@@ -1,0 +1,157 @@
+//! Finite-difference gradient checking.
+//!
+//! Every differentiable operation in this crate, the manual-gradient HAM
+//! trainer in `ham-core` and the baselines in `ham-baselines` are validated
+//! against central finite differences through this module.
+
+use crate::params::{ParamId, ParamStore};
+
+/// Result of a gradient check for a single parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_diff: f32,
+    /// Largest relative difference (`|a - n| / max(1, |a|, |n|)`).
+    pub max_rel_diff: f32,
+    /// Number of scalar entries compared.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// Whether the analytic gradient matches within `tol` (relative).
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_diff <= tol
+    }
+}
+
+/// Checks the analytic gradient of `param` for the scalar loss computed by
+/// `loss_fn` against central finite differences.
+///
+/// `loss_fn` must be a pure function of the parameter store (it is invoked
+/// many times with perturbed parameter values). `analytic` is the gradient to
+/// validate, flattened in row-major order and shaped like the parameter.
+///
+/// Only the first `max_entries` scalar entries are perturbed (checking every
+/// entry of a large embedding table would be quadratic in practice).
+pub fn check_gradient(
+    params: &mut ParamStore,
+    param: ParamId,
+    analytic: &ham_tensor::Matrix,
+    max_entries: usize,
+    epsilon: f32,
+    mut loss_fn: impl FnMut(&ParamStore) -> f32,
+) -> GradCheckReport {
+    assert_eq!(
+        analytic.shape(),
+        params.value(param).shape(),
+        "check_gradient: analytic gradient must be shaped like the parameter"
+    );
+    let n = params.value(param).len().min(max_entries);
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for i in 0..n {
+        let original = params.value(param).as_slice()[i];
+        params.value_mut(param).as_mut_slice()[i] = original + epsilon;
+        let plus = loss_fn(params);
+        params.value_mut(param).as_mut_slice()[i] = original - epsilon;
+        let minus = loss_fn(params);
+        params.value_mut(param).as_mut_slice()[i] = original;
+
+        let numeric = (plus - minus) / (2.0 * epsilon);
+        let a = analytic.as_slice()[i];
+        let abs = (a - numeric).abs();
+        let rel = abs / 1.0f32.max(a.abs()).max(numeric.abs());
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    GradCheckReport { max_abs_diff: max_abs, max_rel_diff: max_rel, checked: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use ham_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a small but representative graph exercising most operations and
+    /// checks every parameter's gradient numerically.
+    #[test]
+    fn composite_graph_passes_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut params = ParamStore::new();
+        let emb = params.add_embedding("V", Matrix::xavier_uniform(6, 4, &mut rng));
+        let w = params.add_dense("W", Matrix::xavier_uniform(4, 3, &mut rng));
+        let b = params.add_dense("b", Matrix::xavier_uniform(1, 3, &mut rng));
+
+        let forward = |p: &ParamStore| -> (Graph, crate::graph::VarId) {
+            let mut g = Graph::new();
+            let rows = g.gather(p, emb, &[0, 2, 3, 2]);
+            let pooled_mean = g.mean_rows(rows);
+            let pooled_max = g.max_rows(rows);
+            let mixed = g.hadamard(pooled_mean, pooled_max);
+            let added = g.add(mixed, pooled_mean);
+            let wv = g.param(p, w);
+            let bv = g.param(p, b);
+            let hidden = g.matmul(added, wv);
+            let hidden = g.add_row_broadcast(hidden, bv);
+            let act = g.tanh(hidden);
+            let sm = g.row_softmax(act);
+            let sp = g.softplus(sm);
+            let loss = g.mean_all(sp);
+            (g, loss)
+        };
+
+        let (g, loss) = forward(&params);
+        let grads = g.backward(loss);
+
+        for (id, name) in [(emb, "V"), (w, "W"), (b, "b")] {
+            let analytic = grads.to_dense(id, params.value(id));
+            let report = check_gradient(&mut params, id, &analytic, 24, 1e-2, |p| {
+                let (g, loss) = forward(p);
+                g.value(loss).get(0, 0)
+            });
+            assert!(report.passes(2e-2), "gradient check failed for {name}: {report:?}");
+            assert!(report.checked > 0);
+        }
+    }
+
+    /// Convolution gradients are the trickiest rule; check them separately.
+    #[test]
+    fn conv_full_width_passes_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut params = ParamStore::new();
+        let emb = params.add_embedding("E", Matrix::xavier_uniform(5, 3, &mut rng));
+        let filter = params.add_dense("F", Matrix::xavier_uniform(2, 3, &mut rng));
+
+        let forward = |p: &ParamStore| -> (Graph, crate::graph::VarId) {
+            let mut g = Graph::new();
+            let rows = g.gather(p, emb, &[0, 1, 2, 3, 4]);
+            let f = g.param(p, filter);
+            let conv = g.conv_full_width(rows, f);
+            let pooled = g.max_rows(conv);
+            let act = g.relu(pooled);
+            let loss = g.sum_all(act);
+            (g, loss)
+        };
+
+        let (g, loss) = forward(&params);
+        let grads = g.backward(loss);
+        for id in [emb, filter] {
+            let analytic = grads.to_dense(id, params.value(id));
+            let report = check_gradient(&mut params, id, &analytic, 15, 1e-2, |p| {
+                let (g, loss) = forward(p);
+                g.value(loss).get(0, 0)
+            });
+            assert!(report.passes(2e-2), "conv gradient check failed: {report:?}");
+        }
+    }
+
+    #[test]
+    fn report_pass_threshold_behaviour() {
+        let report = GradCheckReport { max_abs_diff: 0.5, max_rel_diff: 0.01, checked: 3 };
+        assert!(report.passes(0.02));
+        assert!(!report.passes(0.001));
+    }
+}

@@ -1,0 +1,245 @@
+//! Optimizers: Adam (with lazy/sparse updates for embedding tables, as the
+//! paper trains all models with Adam) and plain SGD used in tests.
+
+use crate::params::{GradStore, ParamId, ParamStore};
+use ham_tensor::Matrix;
+use std::collections::HashMap;
+
+/// A gradient-descent optimizer over a [`ParamStore`].
+pub trait Optimizer {
+    /// Applies one update step using the gradients in `grads`.
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore);
+}
+
+/// Configuration of the [`Adam`] optimizer.
+///
+/// Defaults follow the paper's Appendix B: learning rate `1e-3`,
+/// regularization factor `1e-3`, and the standard Adam moment decay rates.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Step size.
+    pub learning_rate: f32,
+    /// Exponential decay rate of the first-moment estimate.
+    pub beta1: f32,
+    /// Exponential decay rate of the second-moment estimate.
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub epsilon: f32,
+    /// Decoupled L2 weight decay (the paper's `λ‖Θ‖²` regularizer).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self { learning_rate: 1e-3, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, weight_decay: 1e-3 }
+    }
+}
+
+/// Adam optimizer with sparse (per-touched-row) updates for embedding tables.
+///
+/// Rows of an embedding table that did not appear in the current mini-batch
+/// are left untouched (lazy Adam); weight decay is likewise only applied to
+/// touched rows, which is the standard behaviour for sparse recommenders and
+/// avoids decaying embeddings of items that are never observed.
+#[derive(Debug)]
+pub struct Adam {
+    config: AdamConfig,
+    step: u64,
+    /// First / second moment estimates, keyed by parameter index.
+    m: HashMap<usize, Matrix>,
+    v: HashMap<usize, Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given configuration.
+    pub fn new(config: AdamConfig) -> Self {
+        Self { config, step: 0, m: HashMap::new(), v: HashMap::new() }
+    }
+
+    /// Creates an Adam optimizer with [`AdamConfig::default`].
+    pub fn with_defaults() -> Self {
+        Self::new(AdamConfig::default())
+    }
+
+    /// The number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AdamConfig {
+        &self.config
+    }
+
+    fn moments(&mut self, id: ParamId, shape: (usize, usize)) -> (&mut Matrix, &mut Matrix) {
+        let m = self.m.entry(id.index()).or_insert_with(|| Matrix::zeros(shape.0, shape.1));
+        let v = self.v.entry(id.index()).or_insert_with(|| Matrix::zeros(shape.0, shape.1));
+        (m, v)
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore) {
+        self.step += 1;
+        let t = self.step as f32;
+        let c = self.config;
+        let bias1 = 1.0 - c.beta1.powf(t);
+        let bias2 = 1.0 - c.beta2.powf(t);
+
+        // Dense updates.
+        let dense_ids: Vec<ParamId> = grads.dense_ids().collect();
+        for id in dense_ids {
+            let shape = params.value(id).shape();
+            let grad = grads.dense(id).expect("dense id must have a dense grad").clone();
+            let (m, v) = self.moments(id, shape);
+            let value = params.value_mut(id);
+            for i in 0..value.len() {
+                let g = grad.as_slice()[i] + c.weight_decay * value.as_slice()[i];
+                let mi = c.beta1 * m.as_slice()[i] + (1.0 - c.beta1) * g;
+                let vi = c.beta2 * v.as_slice()[i] + (1.0 - c.beta2) * g * g;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let m_hat = mi / bias1;
+                let v_hat = vi / bias2;
+                value.as_mut_slice()[i] -= c.learning_rate * m_hat / (v_hat.sqrt() + c.epsilon);
+            }
+        }
+
+        // Sparse (row-wise) updates.
+        let sparse_ids: Vec<ParamId> = grads.sparse_ids().collect();
+        for id in sparse_ids {
+            let shape = params.value(id).shape();
+            let sparse = grads.sparse(id).expect("sparse id must have a sparse grad");
+            let rows: Vec<(usize, Vec<f32>)> = sparse.iter().map(|(r, g)| (r, g.to_vec())).collect();
+            let (m, v) = self.moments(id, shape);
+            let value = params.value_mut(id);
+            let cols = shape.1;
+            for (row, grad_row) in rows {
+                for col in 0..cols {
+                    let i = row * cols + col;
+                    let g = grad_row[col] + c.weight_decay * value.as_slice()[i];
+                    let mi = c.beta1 * m.as_slice()[i] + (1.0 - c.beta1) * g;
+                    let vi = c.beta2 * v.as_slice()[i] + (1.0 - c.beta2) * g * g;
+                    m.as_mut_slice()[i] = mi;
+                    v.as_mut_slice()[i] = vi;
+                    let m_hat = mi / bias1;
+                    let v_hat = vi / bias2;
+                    value.as_mut_slice()[i] -= c.learning_rate * m_hat / (v_hat.sqrt() + c.epsilon);
+                }
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent; mainly used to keep optimizer behaviour
+/// observable in tests and ablation benches.
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    /// Step size.
+    pub learning_rate: f32,
+    /// Decoupled L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate and no decay.
+    pub fn new(learning_rate: f32) -> Self {
+        Self { learning_rate, weight_decay: 0.0 }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamStore, grads: &GradStore) {
+        let dense_ids: Vec<ParamId> = grads.dense_ids().collect();
+        for id in dense_ids {
+            let grad = grads.dense(id).expect("dense id must have a dense grad").clone();
+            let value = params.value_mut(id);
+            for i in 0..value.len() {
+                let g = grad.as_slice()[i] + self.weight_decay * value.as_slice()[i];
+                value.as_mut_slice()[i] -= self.learning_rate * g;
+            }
+        }
+        let sparse_ids: Vec<ParamId> = grads.sparse_ids().collect();
+        for id in sparse_ids {
+            let sparse = grads.sparse(id).expect("sparse id must have a sparse grad");
+            let rows: Vec<(usize, Vec<f32>)> = sparse.iter().map(|(r, g)| (r, g.to_vec())).collect();
+            let cols = params.value(id).cols();
+            let value = params.value_mut(id);
+            for (row, grad_row) in rows {
+                for col in 0..cols {
+                    let i = row * cols + col;
+                    let g = grad_row[col] + self.weight_decay * value.as_slice()[i];
+                    value.as_mut_slice()[i] -= self.learning_rate * g;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimises `(w - 3)^2` with Adam and checks convergence.
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut params = ParamStore::new();
+        let w = params.add_dense("w", Matrix::full(1, 1, 0.0));
+        let mut adam = Adam::new(AdamConfig { learning_rate: 0.1, weight_decay: 0.0, ..Default::default() });
+        for _ in 0..500 {
+            let mut g = Graph::new();
+            let wv = g.param(&params, w);
+            let target = g.constant(Matrix::full(1, 1, 3.0));
+            let diff = g.sub(wv, target);
+            let sq = g.hadamard(diff, diff);
+            let loss = g.sum_all(sq);
+            let grads = g.backward(loss);
+            adam.step(&mut params, &grads);
+        }
+        assert!((params.value(w).get(0, 0) - 3.0).abs() < 0.05);
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut params = ParamStore::new();
+        let w = params.add_dense("w", Matrix::full(1, 1, 1.0));
+        let mut grads = GradStore::new();
+        grads.accumulate_dense(w, &Matrix::full(1, 1, 2.0));
+        let mut sgd = Sgd::new(0.5);
+        sgd.step(&mut params, &grads);
+        assert_eq!(params.value(w).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn sparse_adam_only_touches_gradient_rows() {
+        let mut params = ParamStore::new();
+        let v = params.add_embedding("V", Matrix::full(4, 2, 1.0));
+        let mut grads = GradStore::new();
+        grads.accumulate_sparse(v, &[1], &Matrix::row_vector(&[1.0, -1.0]));
+        let mut adam = Adam::with_defaults();
+        adam.step(&mut params, &grads);
+        let value = params.value(v);
+        // untouched rows keep their original values exactly
+        assert_eq!(value.row(0), &[1.0, 1.0]);
+        assert_eq!(value.row(2), &[1.0, 1.0]);
+        assert_eq!(value.row(3), &[1.0, 1.0]);
+        // the touched row moved opposite to the gradient sign
+        assert!(value.get(1, 0) < 1.0);
+        assert!(value.get(1, 1) > 1.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters_without_gradient_signal() {
+        let mut params = ParamStore::new();
+        let w = params.add_dense("w", Matrix::full(1, 1, 1.0));
+        let mut adam = Adam::new(AdamConfig { weight_decay: 0.1, ..Default::default() });
+        for _ in 0..50 {
+            let mut grads = GradStore::new();
+            grads.accumulate_dense(w, &Matrix::zeros(1, 1));
+            adam.step(&mut params, &grads);
+        }
+        assert!(params.value(w).get(0, 0) < 1.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Trainable-parameter storage and gradient accumulation.
+//!
+//! Embedding matrices in recommendation models are tall (tens of thousands of
+//! items) while each training step only touches a handful of rows, so their
+//! gradients are accumulated *sparsely* as `(row index, row gradient)` pairs.
+//! Small dense weight matrices (gating weights, attention projections, biases)
+//! accumulate dense gradients.
+
+use ham_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Handle to a parameter stored in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index of this parameter inside its store.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Whether a parameter's gradient is accumulated densely or sparsely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Gradient has the full shape of the parameter.
+    Dense,
+    /// Gradient is a set of `(row, row-gradient)` pairs (embedding tables).
+    SparseRows,
+}
+
+#[derive(Debug, Clone)]
+struct Param {
+    name: String,
+    value: Matrix,
+    kind: ParamKind,
+}
+
+/// Owns every trainable parameter of a model.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a dense parameter (weights, biases) and returns its handle.
+    pub fn add_dense(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.push(name.into(), value, ParamKind::Dense)
+    }
+
+    /// Registers an embedding table whose gradient is accumulated sparsely.
+    pub fn add_embedding(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.push(name.into(), value, ParamKind::SparseRows)
+    }
+
+    fn push(&mut self, name: String, value: Matrix, kind: ParamKind) -> ParamId {
+        self.params.push(Param { name, value, kind });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar values across all parameters.
+    pub fn num_values(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// The value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to the value of a parameter.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// The gradient-accumulation kind of a parameter.
+    pub fn kind(&self, id: ParamId) -> ParamKind {
+        self.params[id.0].kind
+    }
+
+    /// Iterates over all parameter handles.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Sum of squared values over all parameters (used for reporting the L2
+    /// term; the optimizers apply decoupled weight decay instead).
+    pub fn l2_norm_sq(&self) -> f32 {
+        self.params.iter().map(|p| p.value.frobenius_norm_sq()).sum()
+    }
+}
+
+/// Sparse row-wise gradient for an embedding table.
+#[derive(Debug, Clone, Default)]
+pub struct SparseGrad {
+    rows: HashMap<usize, Vec<f32>>,
+    cols: usize,
+}
+
+impl SparseGrad {
+    /// Creates an empty sparse gradient for a table with `cols` columns.
+    pub fn new(cols: usize) -> Self {
+        Self { rows: HashMap::new(), cols }
+    }
+
+    /// Accumulates `grad` into the gradient of `row`.
+    pub fn add_row(&mut self, row: usize, grad: &[f32]) {
+        assert_eq!(grad.len(), self.cols, "SparseGrad::add_row: width mismatch");
+        let entry = self.rows.entry(row).or_insert_with(|| vec![0.0; self.cols]);
+        for (e, g) in entry.iter_mut().zip(grad) {
+            *e += g;
+        }
+    }
+
+    /// Number of distinct rows with a non-empty gradient.
+    pub fn touched_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Width (number of columns) of each row gradient.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Iterates over `(row index, row gradient)` pairs in an unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f32])> + '_ {
+        self.rows.iter().map(|(&r, g)| (r, g.as_slice()))
+    }
+
+    /// Materialises the sparse gradient as a dense matrix of the given number
+    /// of rows (used by gradient checking and tests).
+    pub fn to_dense(&self, rows: usize) -> Matrix {
+        let mut out = Matrix::zeros(rows, self.cols);
+        for (r, g) in self.iter() {
+            assert!(r < rows, "SparseGrad::to_dense: row {r} out of bounds for {rows} rows");
+            for (o, v) in out.row_mut(r).iter_mut().zip(g) {
+                *o += v;
+            }
+        }
+        out
+    }
+}
+
+/// The gradients produced by one backward pass, keyed by [`ParamId`].
+#[derive(Debug, Default)]
+pub struct GradStore {
+    dense: HashMap<usize, Matrix>,
+    sparse: HashMap<usize, SparseGrad>,
+}
+
+impl GradStore {
+    /// Creates an empty gradient store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates a dense gradient for `id`.
+    pub fn accumulate_dense(&mut self, id: ParamId, grad: &Matrix) {
+        match self.dense.get_mut(&id.0) {
+            Some(existing) => existing.add_assign(grad),
+            None => {
+                self.dense.insert(id.0, grad.clone());
+            }
+        }
+    }
+
+    /// Accumulates a sparse (row-indexed) gradient for `id`.
+    pub fn accumulate_sparse(&mut self, id: ParamId, indices: &[usize], rows: &Matrix) {
+        assert_eq!(indices.len(), rows.rows(), "accumulate_sparse: index / row count mismatch");
+        let entry = self.sparse.entry(id.0).or_insert_with(|| SparseGrad::new(rows.cols()));
+        for (i, &idx) in indices.iter().enumerate() {
+            entry.add_row(idx, rows.row(i));
+        }
+    }
+
+    /// Dense gradient for `id`, if any was accumulated.
+    pub fn dense(&self, id: ParamId) -> Option<&Matrix> {
+        self.dense.get(&id.0)
+    }
+
+    /// Sparse gradient for `id`, if any was accumulated.
+    pub fn sparse(&self, id: ParamId) -> Option<&SparseGrad> {
+        self.sparse.get(&id.0)
+    }
+
+    /// Whether any gradient at all was recorded for `id`.
+    pub fn contains(&self, id: ParamId) -> bool {
+        self.dense.contains_key(&id.0) || self.sparse.contains_key(&id.0)
+    }
+
+    /// Total gradient of `id` as a dense matrix shaped like `shape_like`
+    /// (combines dense and sparse contributions; used by tests/gradcheck).
+    pub fn to_dense(&self, id: ParamId, shape_like: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(shape_like.rows(), shape_like.cols());
+        if let Some(d) = self.dense(id) {
+            out.add_assign(d);
+        }
+        if let Some(s) = self.sparse(id) {
+            out.add_assign(&s.to_dense(shape_like.rows()));
+        }
+        out
+    }
+
+    /// Iterates over parameter indices that received dense gradients.
+    pub fn dense_ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        self.dense.keys().map(|&k| ParamId(k))
+    }
+
+    /// Iterates over parameter indices that received sparse gradients.
+    pub fn sparse_ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        self.sparse.keys().map(|&k| ParamId(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup_params() {
+        let mut store = ParamStore::new();
+        let a = store.add_dense("w", Matrix::zeros(2, 3));
+        let b = store.add_embedding("V", Matrix::zeros(10, 4));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_values(), 6 + 40);
+        assert_eq!(store.name(a), "w");
+        assert_eq!(store.kind(b), ParamKind::SparseRows);
+        assert_eq!(store.value(b).shape(), (10, 4));
+        store.value_mut(a).set(0, 0, 5.0);
+        assert_eq!(store.value(a).get(0, 0), 5.0);
+        assert_eq!(store.ids().count(), 2);
+    }
+
+    #[test]
+    fn sparse_grad_accumulates_and_densifies() {
+        let mut g = SparseGrad::new(2);
+        g.add_row(3, &[1.0, 2.0]);
+        g.add_row(3, &[0.5, 0.5]);
+        g.add_row(0, &[1.0, 0.0]);
+        assert_eq!(g.touched_rows(), 2);
+        let dense = g.to_dense(5);
+        assert_eq!(dense.row(3), &[1.5, 2.5]);
+        assert_eq!(dense.row(0), &[1.0, 0.0]);
+        assert_eq!(dense.row(4), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_store_combines_dense_and_sparse() {
+        let mut params = ParamStore::new();
+        let v = params.add_embedding("V", Matrix::zeros(4, 2));
+        let mut grads = GradStore::new();
+        grads.accumulate_dense(v, &Matrix::full(4, 2, 1.0));
+        grads.accumulate_sparse(v, &[2], &Matrix::row_vector(&[3.0, 3.0]));
+        let total = grads.to_dense(v, params.value(v));
+        assert_eq!(total.row(0), &[1.0, 1.0]);
+        assert_eq!(total.row(2), &[4.0, 4.0]);
+        assert!(grads.contains(v));
+    }
+
+    #[test]
+    fn l2_norm_sums_all_params() {
+        let mut params = ParamStore::new();
+        params.add_dense("a", Matrix::full(1, 2, 2.0));
+        params.add_dense("b", Matrix::full(1, 1, 3.0));
+        assert_eq!(params.l2_norm_sq(), 8.0 + 9.0);
+    }
+}

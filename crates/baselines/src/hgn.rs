@@ -1,0 +1,288 @@
+//! HGN — Hierarchical Gating Networks (Ma et al., KDD'19), the paper's
+//! strongest baseline.
+//!
+//! HGN scores a candidate item `j` for user `i` with three terms:
+//!
+//! ```text
+//! r_ij = u_i·w_j + agg·w_j + (Σ_l e_l)·w_j
+//! ```
+//!
+//! where `e_l` are the embeddings of the `L` most recent items,
+//! *feature gating* modulates each embedding dimension-wise
+//! (`gated_l = e_l ∘ σ(e_l·W_f + u_i·U_f)`), *instance gating* weights the
+//! items (`a = σ(gated·w_inst + u_i·u_inst)`), and
+//! `agg = Σ_l a_l · gated_l / L`.
+//!
+//! The instance-gating weights `a` are exactly the weights analysed in
+//! Figure 4 of the paper; [`Hgn::instance_gating_weights`] exposes them for
+//! the reproduction of that study.
+
+use crate::common::{bpr_pairwise_loss, fixed_window, train_bpr, BaselineTrainConfig, SequentialRecommender, TrainInstance};
+use ham_autograd::{Graph, ParamId, ParamStore, VarId};
+use ham_data::dataset::ItemId;
+use ham_tensor::matrix::dot;
+use ham_tensor::ops::sigmoid_scalar;
+use ham_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hyper-parameters of [`Hgn`] (the paper's Table A2 reports `d`, `L`, `T`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HgnConfig {
+    /// Embedding dimension.
+    pub d: usize,
+    /// Length of the recent-item window (`L`).
+    pub seq_len: usize,
+    /// Number of target items per training window (`T`).
+    pub targets: usize,
+}
+
+impl Default for HgnConfig {
+    fn default() -> Self {
+        Self { d: 64, seq_len: 5, targets: 3 }
+    }
+}
+
+/// The hierarchical gating network model.
+#[derive(Debug)]
+pub struct Hgn {
+    config: HgnConfig,
+    params: ParamStore,
+    users: ParamId,
+    items_in: ParamId,
+    items_out: ParamId,
+    feat_gate_item: ParamId,
+    feat_gate_user: ParamId,
+    inst_gate_item: ParamId,
+    inst_gate_user: ParamId,
+    num_items: usize,
+}
+
+impl Hgn {
+    /// Trains HGN on per-user training sequences.
+    pub fn fit(
+        train_sequences: &[Vec<ItemId>],
+        num_items: usize,
+        config: &HgnConfig,
+        train_config: &BaselineTrainConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = config.d;
+        let mut params = ParamStore::new();
+        let users = params.add_embedding("U", Matrix::xavier_uniform(train_sequences.len(), d, &mut rng));
+        let items_in = params.add_embedding("E", Matrix::xavier_uniform(num_items, d, &mut rng));
+        let items_out = params.add_embedding("W", Matrix::xavier_uniform(num_items, d, &mut rng));
+        let feat_gate_item = params.add_dense("W_f", Matrix::xavier_uniform(d, d, &mut rng));
+        let feat_gate_user = params.add_dense("U_f", Matrix::xavier_uniform(d, d, &mut rng));
+        let inst_gate_item = params.add_dense("w_inst", Matrix::xavier_uniform(d, 1, &mut rng));
+        let inst_gate_user = params.add_dense("u_inst", Matrix::xavier_uniform(d, 1, &mut rng));
+
+        let model_ids = (users, items_in, items_out, feat_gate_item, feat_gate_user, inst_gate_item, inst_gate_user);
+        train_bpr(
+            &mut params,
+            train_sequences,
+            num_items,
+            config.seq_len,
+            config.targets,
+            train_config,
+            seed,
+            |store, g, inst| Self::instance_loss(store, g, inst, model_ids, config.seq_len),
+        );
+
+        Self {
+            config: *config,
+            params,
+            users,
+            items_in,
+            items_out,
+            feat_gate_item,
+            feat_gate_user,
+            inst_gate_item,
+            inst_gate_user,
+            num_items,
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn instance_loss(
+        store: &ParamStore,
+        g: &mut Graph,
+        inst: &TrainInstance,
+        ids: (ParamId, ParamId, ParamId, ParamId, ParamId, ParamId, ParamId),
+        seq_len: usize,
+    ) -> VarId {
+        let (users, items_in, items_out, w_f, u_f, w_inst, u_inst) = ids;
+        let u = g.gather(store, users, &[inst.user]);
+        let window = g.gather(store, items_in, &inst.input);
+
+        // Feature gating: gated = E ∘ σ(E·W_f + u·U_f)
+        let wf = g.param(store, w_f);
+        let uf = g.param(store, u_f);
+        let item_part = g.matmul(window, wf);
+        let user_part = g.matmul(u, uf);
+        let gate_pre = g.add_row_broadcast(item_part, user_part);
+        let gate = g.sigmoid(gate_pre);
+        let gated = g.hadamard(window, gate);
+
+        // Instance gating: a = σ(gated·w_inst + u·u_inst), agg = aᵀ·gated / L
+        let wi = g.param(store, w_inst);
+        let ui = g.param(store, u_inst);
+        let item_scores = g.matmul(gated, wi);
+        let user_score = g.matmul(u, ui);
+        let inst_pre = g.add_row_broadcast(item_scores, user_score);
+        let weights = g.sigmoid(inst_pre);
+        let weights_t = g.transpose(weights);
+        let agg_raw = g.matmul(weights_t, gated);
+        let agg = g.scale(agg_raw, 1.0 / seq_len as f32);
+
+        // Item–item term: Σ_l e_l
+        let mean_e = g.mean_rows(window);
+        let sum_e = g.scale(mean_e, inst.input.len() as f32);
+
+        // q = u + agg + Σ e_l
+        let q0 = g.add(u, agg);
+        let q = g.add(q0, sum_e);
+        bpr_pairwise_loss(g, store, items_out, q, inst)
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &HgnConfig {
+        &self.config
+    }
+
+    /// The instance-gating weights of the user's most recent `L` items — the
+    /// quantity whose distribution Figure 4 of the paper studies.
+    pub fn instance_gating_weights(&self, user: usize, sequence: &[ItemId]) -> Vec<(ItemId, f32)> {
+        let window = fixed_window(sequence, self.config.seq_len);
+        let (gated, weights) = self.gated_window(user, &window);
+        debug_assert_eq!(gated.rows(), weights.len());
+        window.into_iter().zip(weights).collect()
+    }
+
+    /// Computes the feature-gated window embeddings and the instance-gating
+    /// weights with plain matrix math (used at inference time).
+    fn gated_window(&self, user: usize, window: &[ItemId]) -> (Matrix, Vec<f32>) {
+        let u = self.params.value(self.users).row(user);
+        let e = self.params.value(self.items_in).gather_rows(window);
+        let w_f = self.params.value(self.feat_gate_item);
+        let u_f = self.params.value(self.feat_gate_user);
+        let w_inst = self.params.value(self.inst_gate_item);
+        let u_inst = self.params.value(self.inst_gate_user);
+
+        let user_part = Matrix::row_vector(u).matmul(u_f);
+        let gate_pre = e.matmul(w_f).add_row_broadcast(&user_part.row(0).to_vec());
+        let gate = ham_tensor::ops::sigmoid(&gate_pre);
+        let gated = e.hadamard(&gate);
+
+        let user_score = dot(u, &u_inst.transpose().row(0).to_vec());
+        let weights: Vec<f32> = (0..gated.rows())
+            .map(|l| sigmoid_scalar(dot(gated.row(l), &w_inst.transpose().row(0).to_vec()) + user_score))
+            .collect();
+        (gated, weights)
+    }
+}
+
+impl SequentialRecommender for Hgn {
+    fn name(&self) -> &'static str {
+        "HGN"
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn score_all(&self, user: usize, sequence: &[ItemId]) -> Vec<f32> {
+        let window = fixed_window(sequence, self.config.seq_len);
+        let (gated, weights) = self.gated_window(user, &window);
+
+        // agg = Σ_l a_l · gated_l / L
+        let d = self.config.d;
+        let mut agg = vec![0.0f32; d];
+        for (l, w) in weights.iter().enumerate() {
+            for (a, v) in agg.iter_mut().zip(gated.row(l)) {
+                *a += w * v;
+            }
+        }
+        agg.iter_mut().for_each(|a| *a /= self.config.seq_len as f32);
+
+        // q = u + agg + Σ e_l
+        let e = self.params.value(self.items_in).gather_rows(&window);
+        let mut q = self.params.value(self.users).row(user).to_vec();
+        for (qi, ai) in q.iter_mut().zip(&agg) {
+            *qi += ai;
+        }
+        for l in 0..e.rows() {
+            for (qi, ei) in q.iter_mut().zip(e.row(l)) {
+                *qi += ei;
+            }
+        }
+
+        let w_out = self.params.value(self.items_out);
+        (0..self.num_items).map(|j| dot(&q, w_out.row(j))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ham_data::synthetic::DatasetProfile;
+
+    fn small_model() -> (Hgn, Vec<Vec<usize>>) {
+        let data = DatasetProfile::tiny("hgn-test").generate(2);
+        let cfg = HgnConfig { d: 8, seq_len: 4, targets: 2 };
+        let tc = BaselineTrainConfig { epochs: 1, batch_size: 64, ..Default::default() };
+        (Hgn::fit(&data.sequences, data.num_items, &cfg, &tc, 11), data.sequences.clone())
+    }
+
+    #[test]
+    fn scores_cover_the_catalogue_and_are_finite() {
+        let (model, seqs) = small_model();
+        let scores = model.score_all(3, &seqs[3]);
+        assert_eq!(scores.len(), model.num_items());
+        assert!(scores.iter().all(|s| s.is_finite()));
+        assert_eq!(model.name(), "HGN");
+    }
+
+    #[test]
+    fn gating_weights_are_probabilities_over_the_window() {
+        let (model, seqs) = small_model();
+        let weights = model.instance_gating_weights(0, &seqs[0]);
+        assert_eq!(weights.len(), model.config().seq_len);
+        for (_, w) in weights {
+            assert!((0.0..=1.0).contains(&w), "gating weight {w} outside (0, 1)");
+        }
+    }
+
+    #[test]
+    fn scores_depend_on_the_recent_window() {
+        let (model, _) = small_model();
+        let a = model.score_all(0, &[1, 2, 3, 4]);
+        let b = model.score_all(0, &[9, 10, 11, 12]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn training_improves_the_bpr_objective() {
+        let data = DatasetProfile::tiny("hgn-loss").generate(4);
+        let cfg = HgnConfig { d: 8, seq_len: 4, targets: 2 };
+        // fit twice with different epoch budgets and compare scores' spread on
+        // trained items as a cheap convergence signal: instead track the loss
+        // returned by the shared harness directly.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = ParamStore::new();
+        let users = params.add_embedding("U", Matrix::xavier_uniform(data.num_users(), cfg.d, &mut rng));
+        let items_in = params.add_embedding("E", Matrix::xavier_uniform(data.num_items, cfg.d, &mut rng));
+        let items_out = params.add_embedding("W", Matrix::xavier_uniform(data.num_items, cfg.d, &mut rng));
+        let w_f = params.add_dense("W_f", Matrix::xavier_uniform(cfg.d, cfg.d, &mut rng));
+        let u_f = params.add_dense("U_f", Matrix::xavier_uniform(cfg.d, cfg.d, &mut rng));
+        let w_i = params.add_dense("w_inst", Matrix::xavier_uniform(cfg.d, 1, &mut rng));
+        let u_i = params.add_dense("u_inst", Matrix::xavier_uniform(cfg.d, 1, &mut rng));
+        let ids = (users, items_in, items_out, w_f, u_f, w_i, u_i);
+        let tc = BaselineTrainConfig { epochs: 4, batch_size: 64, ..Default::default() };
+        let losses = train_bpr(&mut params, &data.sequences, data.num_items, cfg.seq_len, cfg.targets, &tc, 7, |s, g, inst| {
+            Hgn::instance_loss(s, g, inst, ids, cfg.seq_len)
+        });
+        assert!(losses.last().unwrap() < losses.first().unwrap(), "HGN loss should decrease: {losses:?}");
+    }
+}

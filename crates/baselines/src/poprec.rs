@@ -1,0 +1,66 @@
+//! Popularity ranking: recommends the globally most frequent items.
+//!
+//! Not part of the paper's comparison but a standard sanity baseline; any
+//! sequential model that does not beat popularity on the synthetic data has a
+//! training problem, so the integration tests use it as a floor.
+
+use crate::common::SequentialRecommender;
+use ham_data::dataset::ItemId;
+
+/// A non-personalised popularity recommender.
+#[derive(Debug, Clone)]
+pub struct PopRec {
+    scores: Vec<f32>,
+}
+
+impl PopRec {
+    /// Fits the popularity counts on training sequences.
+    pub fn fit(train_sequences: &[Vec<ItemId>], num_items: usize) -> Self {
+        let mut counts = vec![0.0f32; num_items];
+        for seq in train_sequences {
+            for &item in seq {
+                counts[item] += 1.0;
+            }
+        }
+        Self { scores: counts }
+    }
+
+    /// The raw popularity count of an item.
+    pub fn popularity(&self, item: ItemId) -> f32 {
+        self.scores[item]
+    }
+}
+
+impl SequentialRecommender for PopRec {
+    fn name(&self) -> &'static str {
+        "PopRec"
+    }
+
+    fn num_items(&self) -> usize {
+        self.scores.len()
+    }
+
+    fn score_all(&self, _user: usize, _sequence: &[ItemId]) -> Vec<f32> {
+        self.scores.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popularity_counts_training_occurrences() {
+        let model = PopRec::fit(&[vec![0, 1, 1], vec![1, 2]], 4);
+        assert_eq!(model.popularity(1), 3.0);
+        assert_eq!(model.popularity(3), 0.0);
+        assert_eq!(model.num_items(), 4);
+        assert_eq!(model.name(), "PopRec");
+    }
+
+    #[test]
+    fn scores_are_identical_for_every_user() {
+        let model = PopRec::fit(&[vec![0, 1]], 3);
+        assert_eq!(model.score_all(0, &[0]), model.score_all(5, &[2]));
+    }
+}

@@ -1,0 +1,33 @@
+//! Throughput of the data substrate: synthetic generation, splitting and
+//! sliding-window extraction (the pipeline every experiment pays before any
+//! training starts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ham_data::split::{split_dataset, EvalSetting};
+use ham_data::synthetic::DatasetProfile;
+use ham_data::window::sliding_windows;
+use std::hint::black_box;
+
+fn data_pipeline(c: &mut Criterion) {
+    let profile = {
+        let mut p = DatasetProfile::tiny("bench-pipeline");
+        p.num_users = 500;
+        p.num_items = 1000;
+        p.mean_seq_len = 40.0;
+        p
+    };
+    let dataset = profile.generate(9);
+    let split = split_dataset(&dataset, EvalSetting::Cut8020);
+
+    let mut group = c.benchmark_group("data_pipeline");
+    group.sample_size(10);
+    group.bench_function("generate_500_users", |b| b.iter(|| black_box(profile.generate(black_box(9)))));
+    group.bench_function("split_80_20", |b| b.iter(|| black_box(split_dataset(black_box(&dataset), EvalSetting::Cut8020))));
+    group.bench_function("sliding_windows_nh5_np3", |b| {
+        b.iter(|| black_box(sliding_windows(black_box(&split.train), 5, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, data_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! The design-choice ablation the paper motivates: aggregating a window of
+//! item embeddings with simplistic pooling (HAM) versus a parameterised
+//! attention layer (SASRec-style), measured at the operation level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ham_tensor::ops::softmax_rows;
+use ham_tensor::pool::{max_pool_rows, mean_pool_rows};
+use ham_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// A single-head self-attention pass over the window (Q=K=V projections,
+/// scaled dot-product, softmax, context mix) — what SASRec/HGN-style models
+/// pay per window where HAM pays one pooling pass.
+fn attention_aggregate(window: &Matrix, wq: &Matrix, wk: &Matrix, wv: &Matrix) -> Vec<f32> {
+    let q = window.matmul(wq);
+    let k = window.matmul(wk);
+    let v = window.matmul(wv);
+    let scores = q.matmul_transposed(&k).scale(1.0 / (window.cols() as f32).sqrt());
+    let attn = softmax_rows(&scores);
+    let context = attn.matmul(&v);
+    context.row(context.rows() - 1).to_vec()
+}
+
+fn pooling_vs_attention(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let d = 64;
+    let mut group = c.benchmark_group("window_aggregation");
+    for &window_len in &[5usize, 10, 20] {
+        let window = Matrix::xavier_uniform(window_len, d, &mut rng);
+        let wq = Matrix::xavier_uniform(d, d, &mut rng);
+        let wk = Matrix::xavier_uniform(d, d, &mut rng);
+        let wv = Matrix::xavier_uniform(d, d, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("mean_pooling", window_len), &window, |b, w| {
+            b.iter(|| black_box(mean_pool_rows(black_box(w))))
+        });
+        group.bench_with_input(BenchmarkId::new("max_pooling", window_len), &window, |b, w| {
+            b.iter(|| black_box(max_pool_rows(black_box(w)).0))
+        });
+        group.bench_with_input(BenchmarkId::new("self_attention", window_len), &window, |b, w| {
+            b.iter(|| black_box(attention_aggregate(black_box(w), &wq, &wk, &wv)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pooling_vs_attention);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Cost of the recursive item synergies (Eq. 5) as the order `p` grows — the
+//! `p` rows of Tables 10–12 trade accuracy against this cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ham_bench::{bench_dataset, quick_ham};
+use ham_core::synergy::{apply_latent_cross, synergy_terms};
+use ham_core::HamVariant;
+use ham_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn synergy_benchmarks(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let window = Matrix::xavier_uniform(8, 64, &mut rng);
+    let h = window.mean_rows();
+
+    let mut group = c.benchmark_group("synergy_computation");
+    for order in 1usize..=4 {
+        group.bench_with_input(BenchmarkId::new("synergy_terms", order), &order, |b, &p| {
+            b.iter(|| {
+                let terms = synergy_terms(black_box(&window), p);
+                black_box(apply_latent_cross(&h, &terms))
+            })
+        });
+    }
+    group.finish();
+
+    // End-to-end: full-catalogue scoring with and without the synergy term.
+    let data = bench_dataset();
+    let plain = quick_ham(&data, HamVariant::HamM, 32);
+    let synergy = quick_ham(&data, HamVariant::HamSM, 32);
+    let history = data.sequences[0].clone();
+    let mut group = c.benchmark_group("score_all_by_variant");
+    group.sample_size(20);
+    group.bench_function("HAMm", |b| b.iter(|| black_box(plain.score_all(0, black_box(&history)))));
+    group.bench_function("HAMs_m", |b| b.iter(|| black_box(synergy.score_all(0, black_box(&history)))));
+    group.finish();
+}
+
+criterion_group!(benches, synergy_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Cost of one mini-batch BPR training step per method, plus the manual vs
+//! autograd gradient paths for HAM (the fast-path ablation called out in
+//! DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ham_bench::bench_dataset;
+use ham_core::{train_with_history, HamConfig, HamVariant, TrainConfig};
+use ham_data::dataset::SequenceDataset;
+use std::hint::black_box;
+
+fn one_epoch(data: &SequenceDataset, config: &HamConfig, force_autograd: bool) {
+    let tc = TrainConfig { epochs: 1, batch_size: 256, force_autograd, ..TrainConfig::default() };
+    let (_, history) = train_with_history(&data.sequences, data.num_items, config, &tc, 3);
+    black_box(history);
+}
+
+fn training_benchmarks(c: &mut Criterion) {
+    let data = bench_dataset();
+    // keep the benchmark epoch small by truncating users
+    let data = SequenceDataset::new(
+        data.name.clone(),
+        data.sequences.iter().take(60).cloned().collect(),
+        data.num_items,
+    );
+
+    let mut group = c.benchmark_group("train_one_epoch");
+    group.sample_size(10);
+
+    let plain = HamConfig::for_variant(HamVariant::HamM).with_dimensions(32, 5, 2, 3, 1);
+    group.bench_function("HAMm_manual_gradients", |b| b.iter(|| one_epoch(&data, &plain, false)));
+    group.bench_function("HAMm_autograd_reference", |b| b.iter(|| one_epoch(&data, &plain, true)));
+
+    let synergy = HamConfig::for_variant(HamVariant::HamSM).with_dimensions(32, 5, 2, 3, 3);
+    group.bench_function("HAMs_m_autograd", |b| b.iter(|| one_epoch(&data, &synergy, true)));
+
+    group.bench_function("HGN_autograd", |b| {
+        b.iter(|| {
+            let cfg = ham_baselines::HgnConfig { d: 32, seq_len: 5, targets: 3 };
+            let tc = ham_baselines::BaselineTrainConfig { epochs: 1, batch_size: 256, ..Default::default() };
+            black_box(ham_baselines::Hgn::fit(&data.sequences, data.num_items, &cfg, &tc, 3));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, training_benchmarks);
+criterion_main!(benches);

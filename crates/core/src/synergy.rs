@@ -1,0 +1,189 @@
+//! Item synergies (Section 4.2.2 of the paper).
+//!
+//! Pairwise synergies are Hadamard products of item embeddings (Eq. 2); they
+//! are aggregated per item (Eq. 3), averaged over the window (Eq. 4) and
+//! extended to order-`p` synergies recursively (Eq. 5):
+//!
+//! ```text
+//! c^(1)_j = v_j
+//! c^(p)_j = Σ_{k≠j} c^(p-1)_j ∘ v_k
+//! c^(p)   = mean_j c^(p)_j
+//! ```
+//!
+//! Because `c^(p-1)_j` does not depend on the summation index `k`, the inner
+//! sum factors into `c^(p-1)_j ∘ (S − v_j)` with `S = Σ_k v_k`, giving the
+//! closed form used here:
+//!
+//! ```text
+//! c^(p) = mean_j [ v_j ∘ (S − v_j)^{∘(p−1)} ]
+//! ```
+//!
+//! The equivalence with the literal recursion is verified by the unit tests in
+//! this module.
+
+use ham_tensor::Matrix;
+
+/// Computes the order-`order` synergy vector `c^(order)` of the item
+/// embeddings in `rows` (one embedding per row).
+///
+/// `order == 1` returns the mean embedding (`c^(1) = mean_j v_j`), matching
+/// the recursion's base case; synergies proper start at `order == 2`.
+///
+/// # Panics
+/// Panics if `order == 0` or `rows` is empty.
+pub fn synergy_vector(rows: &Matrix, order: usize) -> Vec<f32> {
+    assert!(order >= 1, "synergy_vector: order must be >= 1");
+    assert!(rows.rows() > 0, "synergy_vector: the item window must not be empty");
+    let (n, d) = rows.shape();
+
+    // S = Σ_k v_k
+    let mut total = vec![0.0f32; d];
+    for r in 0..n {
+        for (t, v) in total.iter_mut().zip(rows.row(r)) {
+            *t += v;
+        }
+    }
+
+    let mut acc = vec![0.0f32; d];
+    for r in 0..n {
+        let v = rows.row(r);
+        for c in 0..d {
+            let rest = total[c] - v[c];
+            acc[c] += v[c] * rest.powi(order as i32 - 1);
+        }
+    }
+    let inv = 1.0 / n as f32;
+    acc.iter_mut().for_each(|a| *a *= inv);
+    acc
+}
+
+/// Computes every synergy vector `c^(2) … c^(max_order)`.
+/// Returns an empty vector when `max_order < 2`.
+pub fn synergy_terms(rows: &Matrix, max_order: usize) -> Vec<Vec<f32>> {
+    (2..=max_order).map(|p| synergy_vector(rows, p)).collect()
+}
+
+/// Applies the latent-cross combination of Eq. 6:
+/// `s = h + Σ_k c^(k) ∘ h`.
+pub fn apply_latent_cross(h: &[f32], synergies: &[Vec<f32>]) -> Vec<f32> {
+    let mut s = h.to_vec();
+    for c in synergies {
+        assert_eq!(c.len(), h.len(), "apply_latent_cross: dimension mismatch");
+        for ((s_i, &c_i), &h_i) in s.iter_mut().zip(c).zip(h) {
+            *s_i += c_i * h_i;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Literal implementation of Eq. 2–5 for cross-checking the closed form.
+    fn brute_force_synergy(rows: &Matrix, order: usize) -> Vec<f32> {
+        let (n, d) = rows.shape();
+        // c^(1)_j = v_j
+        let mut per_item: Vec<Vec<f32>> = (0..n).map(|j| rows.row(j).to_vec()).collect();
+        for _ in 2..=order {
+            let mut next: Vec<Vec<f32>> = Vec::with_capacity(n);
+            for j in 0..n {
+                let mut acc = vec![0.0f32; d];
+                for k in 0..n {
+                    if k == j {
+                        continue;
+                    }
+                    for c in 0..d {
+                        acc[c] += per_item[j][c] * rows.get(k, c);
+                    }
+                }
+                next.push(acc);
+            }
+            per_item = next;
+        }
+        let mut mean = vec![0.0f32; d];
+        for item in &per_item {
+            for (m, v) in mean.iter_mut().zip(item) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n as f32);
+        mean
+    }
+
+    fn example_rows() -> Matrix {
+        Matrix::from_rows(&[
+            &[0.5, -1.0, 2.0],
+            &[1.5, 0.25, -0.5],
+            &[-0.75, 1.0, 0.0],
+            &[0.2, 0.3, 0.4],
+        ])
+    }
+
+    #[test]
+    fn closed_form_matches_recursion_order2() {
+        let rows = example_rows();
+        let fast = synergy_vector(&rows, 2);
+        let slow = brute_force_synergy(&rows, 2);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-5, "order 2 mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_recursion_order3_and_4() {
+        let rows = example_rows();
+        for order in [3, 4] {
+            let fast = synergy_vector(&rows, order);
+            let slow = brute_force_synergy(&rows, order);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-4, "order {order} mismatch: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_one_is_the_mean_embedding() {
+        let rows = example_rows();
+        let c1 = synergy_vector(&rows, 1);
+        let mean = rows.mean_rows();
+        assert_eq!(c1, mean);
+    }
+
+    #[test]
+    fn pairwise_synergy_of_two_items_is_their_hadamard_product() {
+        // With exactly two items, c^(2) = mean(v1∘v2, v2∘v1) = v1∘v2.
+        let rows = Matrix::from_rows(&[&[2.0, 3.0], &[4.0, -1.0]]);
+        let c2 = synergy_vector(&rows, 2);
+        assert_eq!(c2, vec![8.0, -3.0]);
+    }
+
+    #[test]
+    fn synergy_terms_collects_all_orders() {
+        let rows = example_rows();
+        let terms = synergy_terms(&rows, 4);
+        assert_eq!(terms.len(), 3);
+        assert!(synergy_terms(&rows, 1).is_empty());
+        assert_eq!(terms[0], synergy_vector(&rows, 2));
+    }
+
+    #[test]
+    fn latent_cross_with_no_synergies_is_identity() {
+        let h = [1.0, 2.0, 3.0];
+        assert_eq!(apply_latent_cross(&h, &[]), h.to_vec());
+    }
+
+    #[test]
+    fn latent_cross_strengthens_aligned_dimensions() {
+        let h = [1.0, 2.0];
+        let synergies = vec![vec![0.5, -0.25]];
+        // s = h + c ∘ h = [1 + 0.5, 2 - 0.5]
+        assert_eq!(apply_latent_cross(&h, &synergies), vec![1.5, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_window_panics() {
+        let _ = synergy_vector(&Matrix::zeros(0, 3), 2);
+    }
+}

@@ -1,0 +1,248 @@
+//! Analytic (manual) gradients of the BPR objective for the pooling-only HAM
+//! variants.
+//!
+//! For one training pair (positive target `j`, sampled negative `k`) with
+//! query vector `q = u_i + h + o` and margin `x = q·w_j − q·w_k`, the BPR loss
+//! is `softplus(−x)` and its gradients are
+//!
+//! ```text
+//! ∂L/∂w_j =  g·q        ∂L/∂w_k = −g·q        with g = σ(x) − 1
+//! ∂L/∂q   =  g·(w_j − w_k)
+//! ```
+//!
+//! `∂L/∂q` is then routed to the user embedding and — through the pooling
+//! operator — to the input item embeddings (`1/n_h` per window item for mean
+//! pooling; to the per-dimension arg-max item for max pooling).
+//!
+//! This path only supports `synergy_order == 1`; the synergy variants use the
+//! autograd path, against which these gradients are verified in the tests
+//! below.
+
+use super::{HamParams, PreparedInstance};
+use crate::config::HamConfig;
+use ham_autograd::GradStore;
+use ham_tensor::matrix::dot;
+use ham_tensor::ops::{log_sigmoid, sigmoid_scalar};
+use ham_tensor::pool::max_pool_rows;
+use ham_tensor::{Matrix, Pooling};
+
+/// Computes the gradients and the mean loss of one mini-batch.
+///
+/// # Panics
+/// Panics if the configuration uses synergies (`synergy_order >= 2`);
+/// those variants must use [`super::autograd_ref::batch_gradients`].
+pub(crate) fn batch_gradients(
+    params: &HamParams,
+    batch: &[PreparedInstance],
+    config: &HamConfig,
+) -> (GradStore, f32) {
+    assert!(
+        !config.uses_synergies(),
+        "manual gradients only support synergy_order == 1; use the autograd trainer"
+    );
+    assert!(!batch.is_empty(), "batch_gradients: batch must not be empty");
+
+    let u_mat = params.store.value(params.u);
+    let v_mat = params.store.value(params.v);
+    let w_mat = params.store.value(params.w);
+    let d = config.d;
+
+    let mut grads = GradStore::new();
+    let mut total_loss = 0.0f64;
+    let batch_scale = 1.0f32 / batch.len() as f32;
+
+    for instance in batch {
+        let high_rows = v_mat.gather_rows(&instance.input);
+        let (h, high_argmax) = pool_with_argmax(&high_rows, config.pooling);
+        let (o, low_rows, low_argmax) = if instance.low.is_empty() {
+            (vec![0.0f32; d], None, None)
+        } else {
+            let rows = v_mat.gather_rows(&instance.low);
+            let (pooled, argmax) = pool_with_argmax(&rows, config.pooling);
+            (pooled, Some(rows), Some(argmax))
+        };
+
+        // q = u + h + o (respecting ablations)
+        let mut q = h.clone();
+        for (qi, oi) in q.iter_mut().zip(&o) {
+            *qi += oi;
+        }
+        if config.use_user_term {
+            for (qi, ui) in q.iter_mut().zip(u_mat.row(instance.user)) {
+                *qi += ui;
+            }
+        }
+
+        let pair_scale = batch_scale / instance.targets.len() as f32;
+        let mut dq = vec![0.0f32; d];
+        let mut instance_loss = 0.0f32;
+
+        for (&pos, &neg) in instance.targets.iter().zip(&instance.negatives) {
+            let w_pos = w_mat.row(pos);
+            let w_neg = w_mat.row(neg);
+            let x = dot(&q, w_pos) - dot(&q, w_neg);
+            instance_loss += -log_sigmoid(x) / instance.targets.len() as f32;
+            let g = (sigmoid_scalar(x) - 1.0) * pair_scale;
+
+            // ∂L/∂W rows
+            let dw_pos: Vec<f32> = q.iter().map(|&qi| g * qi).collect();
+            let dw_neg: Vec<f32> = q.iter().map(|&qi| -g * qi).collect();
+            grads.accumulate_sparse(params.w, &[pos], &Matrix::row_vector(&dw_pos));
+            grads.accumulate_sparse(params.w, &[neg], &Matrix::row_vector(&dw_neg));
+
+            // ∂L/∂q accumulated across the n_p pairs
+            for c in 0..d {
+                dq[c] += g * (w_pos[c] - w_neg[c]);
+            }
+        }
+        total_loss += instance_loss as f64;
+
+        // Route ∂L/∂q to the user embedding.
+        if config.use_user_term {
+            grads.accumulate_sparse(params.u, &[instance.user], &Matrix::row_vector(&dq));
+        }
+
+        // Route ∂L/∂q through the pooling of the high-order window.
+        route_pooling_gradient(
+            &mut grads,
+            params,
+            &instance.input,
+            &high_rows,
+            &high_argmax,
+            &dq,
+            config.pooling,
+        );
+        // … and of the low-order window.
+        if let (Some(rows), Some(argmax)) = (low_rows.as_ref(), low_argmax.as_ref()) {
+            route_pooling_gradient(&mut grads, params, &instance.low, rows, argmax, &dq, config.pooling);
+        }
+    }
+
+    (grads, (total_loss / batch.len() as f64) as f32)
+}
+
+/// Pools rows and returns the per-dimension arg-max (unused for mean pooling).
+fn pool_with_argmax(rows: &Matrix, pooling: Pooling) -> (Vec<f32>, Vec<usize>) {
+    match pooling {
+        Pooling::Mean => (ham_tensor::pool::mean_pool_rows(rows), Vec::new()),
+        Pooling::Max => max_pool_rows(rows),
+    }
+}
+
+/// Distributes the pooled-vector gradient `dq` back onto the item embeddings
+/// of `window`.
+fn route_pooling_gradient(
+    grads: &mut GradStore,
+    params: &HamParams,
+    window: &[usize],
+    rows: &Matrix,
+    argmax: &[usize],
+    dq: &[f32],
+    pooling: Pooling,
+) {
+    match pooling {
+        Pooling::Mean => {
+            let scale = 1.0 / rows.rows() as f32;
+            let row_grad: Vec<f32> = dq.iter().map(|&g| g * scale).collect();
+            let grad_matrix = Matrix::row_vector(&row_grad);
+            for &item in window {
+                grads.accumulate_sparse(params.v, &[item], &grad_matrix);
+            }
+        }
+        Pooling::Max => {
+            // Each output dimension receives its gradient only at the row that
+            // attained the maximum.
+            for (c, &winner_row) in argmax.iter().enumerate() {
+                if dq[c] == 0.0 {
+                    continue;
+                }
+                let mut row_grad = vec![0.0f32; dq.len()];
+                row_grad[c] = dq[c];
+                grads.accumulate_sparse(params.v, &[window[winner_row]], &Matrix::row_vector(&row_grad));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HamConfig, HamVariant};
+    use crate::model::HamModel;
+    use crate::trainer::{autograd_ref, HamParams};
+
+    fn setup(variant: HamVariant, pooling_dims: (usize, usize, usize, usize)) -> (HamParams, HamConfig) {
+        let (d, n_h, n_l, n_p) = pooling_dims;
+        let config = HamConfig::for_variant(variant).with_dimensions(d, n_h, n_l, n_p, 1);
+        let model = HamModel::new(4, 12, config, 17);
+        (HamParams::from_model(&model), config)
+    }
+
+    fn example_batch() -> Vec<PreparedInstance> {
+        vec![
+            PreparedInstance { user: 0, input: vec![1, 2, 3, 4], low: vec![3, 4], targets: vec![5, 6], negatives: vec![7, 8] },
+            PreparedInstance { user: 2, input: vec![9, 1, 0, 2], low: vec![0, 2], targets: vec![3, 10], negatives: vec![11, 4] },
+            PreparedInstance { user: 3, input: vec![6, 6, 7, 8], low: vec![7, 8], targets: vec![9, 0], negatives: vec![1, 2] },
+        ]
+    }
+
+    fn max_param_diff(a: &GradStore, b: &GradStore, params: &HamParams) -> f32 {
+        let mut max_diff = 0.0f32;
+        for id in [params.u, params.v, params.w] {
+            let da = a.to_dense(id, params.store.value(id));
+            let db = b.to_dense(id, params.store.value(id));
+            for (x, y) in da.as_slice().iter().zip(db.as_slice()) {
+                max_diff = max_diff.max((x - y).abs());
+            }
+        }
+        max_diff
+    }
+
+    #[test]
+    fn manual_matches_autograd_for_mean_pooling() {
+        let (params, config) = setup(HamVariant::HamM, (8, 4, 2, 2));
+        let batch = example_batch();
+        let (manual_grads, manual_loss) = batch_gradients(&params, &batch, &config);
+        let (auto_grads, auto_loss) = autograd_ref::batch_gradients(&params, &batch, &config);
+        assert!((manual_loss - auto_loss).abs() < 1e-5, "loss mismatch: {manual_loss} vs {auto_loss}");
+        let diff = max_param_diff(&manual_grads, &auto_grads, &params);
+        assert!(diff < 1e-5, "gradient mismatch between manual and autograd paths: {diff}");
+    }
+
+    #[test]
+    fn manual_matches_autograd_for_max_pooling() {
+        let (params, config) = setup(HamVariant::HamX, (8, 4, 2, 2));
+        let batch = example_batch();
+        let (manual_grads, _) = batch_gradients(&params, &batch, &config);
+        let (auto_grads, _) = autograd_ref::batch_gradients(&params, &batch, &config);
+        let diff = max_param_diff(&manual_grads, &auto_grads, &params);
+        assert!(diff < 1e-5, "max-pooling gradient mismatch: {diff}");
+    }
+
+    #[test]
+    fn ablated_user_term_receives_no_gradient() {
+        let (params, config) = setup(HamVariant::HamSMNoUser, (8, 4, 2, 2));
+        // strip synergies so the manual path applies
+        let config = HamConfig { synergy_order: 1, ..config };
+        let batch = example_batch();
+        let (grads, _) = batch_gradients(&params, &batch, &config);
+        assert!(!grads.contains(params.u), "user embedding must not receive gradients when ablated");
+        assert!(grads.contains(params.v) && grads.contains(params.w));
+    }
+
+    #[test]
+    fn loss_is_positive_and_finite() {
+        let (params, config) = setup(HamVariant::HamM, (8, 4, 2, 2));
+        let (_, loss) = batch_gradients(&params, &example_batch(), &config);
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "synergy_order == 1")]
+    fn synergy_config_is_rejected() {
+        let config = HamConfig::for_variant(HamVariant::HamSM).with_dimensions(8, 4, 2, 2, 2);
+        let model = HamModel::new(2, 10, config, 1);
+        let params = HamParams::from_model(&model);
+        let _ = batch_gradients(&params, &example_batch(), &config);
+    }
+}

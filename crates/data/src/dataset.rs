@@ -1,0 +1,128 @@
+//! The preprocessed, sequence-oriented dataset representation used by every
+//! model and experiment in the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// Item identifier after preprocessing: a dense index in `0..num_items`.
+pub type ItemId = usize;
+
+/// User identifier after preprocessing: a dense index in `0..num_users`.
+pub type UserId = usize;
+
+/// A preprocessed dataset: one chronological item sequence per user, with
+/// dense, contiguous user and item ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SequenceDataset {
+    /// Human-readable dataset name (e.g. `"CDs"`, `"ML-1M"`).
+    pub name: String,
+    /// `sequences[u]` is the chronological item sequence of user `u`.
+    pub sequences: Vec<Vec<ItemId>>,
+    /// Number of distinct items; every item id is `< num_items`.
+    pub num_items: usize,
+}
+
+impl SequenceDataset {
+    /// Creates a dataset from per-user sequences.
+    ///
+    /// # Panics
+    /// Panics if any item id is `>= num_items`.
+    pub fn new(name: impl Into<String>, sequences: Vec<Vec<ItemId>>, num_items: usize) -> Self {
+        for (u, seq) in sequences.iter().enumerate() {
+            for &item in seq {
+                assert!(item < num_items, "item id {item} of user {u} is >= num_items {num_items}");
+            }
+        }
+        Self { name: name.into(), sequences, num_items }
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Total number of interactions across all users.
+    pub fn num_interactions(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+
+    /// Average sequence length (interactions per user).
+    pub fn interactions_per_user(&self) -> f64 {
+        if self.sequences.is_empty() {
+            return 0.0;
+        }
+        self.num_interactions() as f64 / self.num_users() as f64
+    }
+
+    /// Average number of interactions per item.
+    pub fn interactions_per_item(&self) -> f64 {
+        if self.num_items == 0 {
+            return 0.0;
+        }
+        self.num_interactions() as f64 / self.num_items as f64
+    }
+
+    /// How many times each item occurs in the dataset.
+    pub fn item_frequencies(&self) -> Vec<usize> {
+        let mut freq = vec![0usize; self.num_items];
+        for seq in &self.sequences {
+            for &item in seq {
+                freq[item] += 1;
+            }
+        }
+        freq
+    }
+
+    /// The sequence of a single user.
+    pub fn sequence(&self, user: UserId) -> &[ItemId] {
+        &self.sequences[user]
+    }
+
+    /// Density of the interaction matrix (`#interactions / (#users · #items)`).
+    pub fn density(&self) -> f64 {
+        let cells = self.num_users() as f64 * self.num_items as f64;
+        if cells == 0.0 {
+            return 0.0;
+        }
+        self.num_interactions() as f64 / cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> SequenceDataset {
+        SequenceDataset::new("toy", vec![vec![0, 1, 2], vec![2, 3], vec![0]], 4)
+    }
+
+    #[test]
+    fn counts_and_averages() {
+        let d = toy();
+        assert_eq!(d.num_users(), 3);
+        assert_eq!(d.num_items, 4);
+        assert_eq!(d.num_interactions(), 6);
+        assert!((d.interactions_per_user() - 2.0).abs() < 1e-12);
+        assert!((d.interactions_per_item() - 1.5).abs() < 1e-12);
+        assert!((d.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn item_frequencies_count_occurrences() {
+        let d = toy();
+        assert_eq!(d.item_frequencies(), vec![2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_dataset_edge_cases() {
+        let d = SequenceDataset::new("empty", vec![], 0);
+        assert_eq!(d.interactions_per_user(), 0.0);
+        assert_eq!(d.interactions_per_item(), 0.0);
+        assert_eq!(d.density(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_items")]
+    fn out_of_range_item_panics() {
+        let _ = SequenceDataset::new("bad", vec![vec![5]], 3);
+    }
+}

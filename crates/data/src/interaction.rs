@@ -1,0 +1,53 @@
+//! Raw user–item interactions, the input of the preprocessing pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// A single user–item interaction (a purchase, rating or review event).
+///
+/// `rating` follows the paper's datasets: explicit ratings are on a 1–5 star
+/// scale and implicit feedback is recorded as 5.0 (always positive after
+/// binarization). `timestamp` only needs to be monotone within a user to
+/// establish chronological order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interaction {
+    /// User identifier (not necessarily contiguous before preprocessing).
+    pub user: u64,
+    /// Item identifier (not necessarily contiguous before preprocessing).
+    pub item: u64,
+    /// Chronological position of the interaction.
+    pub timestamp: u64,
+    /// Rating value in `[1, 5]`; implicit feedback should use 5.0.
+    pub rating: f32,
+}
+
+impl Interaction {
+    /// Creates a new interaction record.
+    pub fn new(user: u64, item: u64, timestamp: u64, rating: f32) -> Self {
+        Self { user, item, timestamp, rating }
+    }
+
+    /// Whether this interaction is positive after the paper's binarization
+    /// rule (ratings of 4 and 5 become 1, lower ratings become 0).
+    pub fn is_positive(&self, threshold: f32) -> bool {
+        self.rating >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binarization_threshold() {
+        let good = Interaction::new(1, 2, 3, 4.0);
+        let bad = Interaction::new(1, 2, 3, 3.5);
+        assert!(good.is_positive(4.0));
+        assert!(!bad.is_positive(4.0));
+    }
+
+    #[test]
+    fn construction_preserves_fields() {
+        let i = Interaction::new(7, 11, 13, 5.0);
+        assert_eq!((i.user, i.item, i.timestamp, i.rating), (7, 11, 13, 5.0));
+    }
+}

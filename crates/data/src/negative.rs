@@ -1,0 +1,114 @@
+//! Negative sampling for the BPR objective.
+//!
+//! Following the paper (Section 4.4) and the reference implementations of HGN
+//! and Caser, one negative item is sampled uniformly for every positive
+//! target item, rejecting items that appear anywhere in the user's training
+//! sequence.
+
+use crate::dataset::ItemId;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples negative items for a user, rejecting items the user has already
+/// interacted with.
+#[derive(Debug, Clone)]
+pub struct NegativeSampler {
+    num_items: usize,
+    seen: HashSet<ItemId>,
+}
+
+impl NegativeSampler {
+    /// Creates a sampler for a user whose interaction history is `seen`.
+    ///
+    /// # Panics
+    /// Panics if `num_items == 0` or the user has interacted with every item
+    /// (no negative exists).
+    pub fn new(num_items: usize, seen: impl IntoIterator<Item = ItemId>) -> Self {
+        assert!(num_items > 0, "NegativeSampler: num_items must be positive");
+        let seen: HashSet<ItemId> = seen.into_iter().collect();
+        assert!(
+            seen.len() < num_items,
+            "NegativeSampler: the user interacted with every item; no negatives exist"
+        );
+        Self { num_items, seen }
+    }
+
+    /// Number of candidate items that could be sampled.
+    pub fn num_candidates(&self) -> usize {
+        self.num_items - self.seen.len()
+    }
+
+    /// Samples one item the user has not interacted with.
+    pub fn sample(&self, rng: &mut impl Rng) -> ItemId {
+        // Rejection sampling: the seen set is tiny compared to the catalogue
+        // in every recommendation dataset, so this terminates almost surely
+        // after one or two draws; a safety fallback scans linearly.
+        for _ in 0..64 {
+            let candidate = rng.gen_range(0..self.num_items);
+            if !self.seen.contains(&candidate) {
+                return candidate;
+            }
+        }
+        (0..self.num_items)
+            .find(|i| !self.seen.contains(i))
+            .expect("at least one negative exists by construction")
+    }
+
+    /// Samples `k` negatives (with replacement across draws).
+    pub fn sample_many(&self, k: usize, rng: &mut impl Rng) -> Vec<ItemId> {
+        (0..k).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Whether the user has interacted with `item`.
+    pub fn is_seen(&self, item: ItemId) -> bool {
+        self.seen.contains(&item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_items_are_never_seen() {
+        let sampler = NegativeSampler::new(50, vec![1, 2, 3, 4, 5]);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let s = sampler.sample(&mut rng);
+            assert!(!sampler.is_seen(s));
+            assert!(s < 50);
+        }
+    }
+
+    #[test]
+    fn sample_many_returns_requested_count() {
+        let sampler = NegativeSampler::new(10, vec![0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sampler.sample_many(7, &mut rng).len(), 7);
+        assert_eq!(sampler.num_candidates(), 9);
+    }
+
+    #[test]
+    fn works_when_almost_everything_is_seen() {
+        // only item 7 is unseen; the fallback path must find it
+        let sampler = NegativeSampler::new(8, (0..8).filter(|&i| i != 7));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            assert_eq!(sampler.sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no negatives exist")]
+    fn all_items_seen_panics() {
+        let _ = NegativeSampler::new(3, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_items must be positive")]
+    fn zero_items_panics() {
+        let _ = NegativeSampler::new(0, Vec::<usize>::new());
+    }
+}

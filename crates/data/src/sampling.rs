@@ -1,0 +1,142 @@
+//! Alternative negative-sampling strategies.
+//!
+//! The paper (and the uniform [`crate::negative::NegativeSampler`]) samples
+//! negatives uniformly over the catalogue. Popularity-proportional sampling is
+//! a widely used alternative that produces harder negatives on long-tailed
+//! catalogues; it is provided here as an opt-in extension and exercised by the
+//! ablation benches.
+
+use crate::dataset::ItemId;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples negatives proportionally to `frequency^exponent`, rejecting items
+/// the user has interacted with.
+#[derive(Debug, Clone)]
+pub struct PopularityNegativeSampler {
+    cumulative: Vec<f64>,
+    seen: HashSet<ItemId>,
+}
+
+impl PopularityNegativeSampler {
+    /// Creates a sampler from per-item interaction counts.
+    ///
+    /// `exponent` controls the skew: `1.0` samples proportionally to raw
+    /// popularity, `0.0` degenerates to uniform sampling over items with
+    /// non-zero weight, and values around `0.75` are the word2vec-style
+    /// compromise. Items with zero frequency receive a small floor weight so
+    /// every item remains reachable.
+    ///
+    /// # Panics
+    /// Panics if `frequencies` is empty, `exponent` is negative, or the user
+    /// has seen every item.
+    pub fn new(frequencies: &[usize], exponent: f64, seen: impl IntoIterator<Item = ItemId>) -> Self {
+        assert!(!frequencies.is_empty(), "PopularityNegativeSampler: catalogue must not be empty");
+        assert!(exponent >= 0.0, "PopularityNegativeSampler: exponent must be non-negative");
+        let seen: HashSet<ItemId> = seen.into_iter().collect();
+        assert!(
+            seen.len() < frequencies.len(),
+            "PopularityNegativeSampler: the user interacted with every item; no negatives exist"
+        );
+        let mut cumulative = Vec::with_capacity(frequencies.len());
+        let mut acc = 0.0f64;
+        for &f in frequencies {
+            let weight = (f as f64).max(0.5).powf(exponent);
+            acc += weight;
+            cumulative.push(acc);
+        }
+        Self { cumulative, seen }
+    }
+
+    /// Number of items in the catalogue.
+    pub fn num_items(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Samples one negative item for the user.
+    pub fn sample(&self, rng: &mut impl Rng) -> ItemId {
+        let total = *self.cumulative.last().expect("catalogue is non-empty");
+        for _ in 0..64 {
+            let draw = rng.gen_range(0.0..total);
+            let item = self.cumulative.partition_point(|&c| c <= draw);
+            let item = item.min(self.cumulative.len() - 1);
+            if !self.seen.contains(&item) {
+                return item;
+            }
+        }
+        // Fallback: first unseen item (the rejection loop is overwhelmingly
+        // unlikely to get here on realistic catalogues).
+        (0..self.cumulative.len())
+            .find(|i| !self.seen.contains(i))
+            .expect("at least one negative exists by construction")
+    }
+
+    /// Samples `k` negatives.
+    pub fn sample_many(&self, k: usize, rng: &mut impl Rng) -> Vec<ItemId> {
+        (0..k).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn popular_items_are_sampled_more_often() {
+        // item 0 is 9x more popular than item 2; item 1 is seen and never sampled
+        let sampler = PopularityNegativeSampler::new(&[90, 50, 10], 1.0, vec![1]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..5000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "seen items must never be sampled");
+        assert!(counts[0] > counts[2] * 4, "popular item should dominate: {counts:?}");
+        assert_eq!(sampler.num_items(), 3);
+    }
+
+    #[test]
+    fn zero_exponent_is_close_to_uniform() {
+        let sampler = PopularityNegativeSampler::new(&[1000, 1, 1, 1], 0.0, Vec::<usize>::new());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1000..3000).contains(&c), "counts should be roughly uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zero_frequency_items_remain_reachable() {
+        let sampler = PopularityNegativeSampler::new(&[0, 100], 1.0, vec![1]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(sampler.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn sample_many_returns_requested_count() {
+        let sampler = PopularityNegativeSampler::new(&[5, 5, 5, 5], 0.75, vec![0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = sampler.sample_many(20, &mut rng);
+        assert_eq!(samples.len(), 20);
+        assert!(samples.iter().all(|&i| i != 0 && i < 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "no negatives exist")]
+    fn fully_seen_catalogue_panics() {
+        let _ = PopularityNegativeSampler::new(&[1, 1], 1.0, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_catalogue_panics() {
+        let _ = PopularityNegativeSampler::new(&[], 1.0, Vec::<usize>::new());
+    }
+}

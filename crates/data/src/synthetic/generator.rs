@@ -1,0 +1,188 @@
+//! The synthetic interaction-sequence generator.
+
+use super::markov::{sample_weighted, ClusterDynamics};
+use super::profile::DatasetProfile;
+use crate::dataset::SequenceDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Items of one cluster together with the cumulative Zipf popularity weights
+/// used to sample an item inside the cluster.
+#[derive(Debug, Clone)]
+struct ClusterItems {
+    items: Vec<usize>,
+    cumulative: Vec<f64>,
+}
+
+impl ClusterItems {
+    fn new(items: Vec<usize>, zipf_exponent: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(items.len());
+        let mut acc = 0.0;
+        for rank in 0..items.len() {
+            acc += 1.0 / ((rank + 1) as f64).powf(zipf_exponent);
+            cumulative.push(acc);
+        }
+        Self { items, cumulative }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("cluster must not be empty");
+        let draw = rng.gen_range(0.0..total);
+        let pos = self.cumulative.partition_point(|&c| c < draw);
+        self.items[pos.min(self.items.len() - 1)]
+    }
+}
+
+/// Generates a synthetic [`SequenceDataset`] for `profile`, deterministically
+/// from `seed`.
+pub fn generate(profile: &DatasetProfile, seed: u64) -> SequenceDataset {
+    let num_users = profile.scaled_users();
+    let num_items = profile.scaled_items();
+    let num_clusters = profile.num_clusters.min(num_items).max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dynamics = ClusterDynamics::new(num_clusters, profile.num_synergy_pairs, seed ^ 0x5eed);
+
+    // Assign items to clusters round-robin so clusters have near-equal size,
+    // then build Zipf popularity inside each cluster.
+    let mut cluster_members: Vec<Vec<usize>> = vec![Vec::new(); num_clusters];
+    for item in 0..num_items {
+        cluster_members[item % num_clusters].push(item);
+    }
+    let clusters: Vec<ClusterItems> = cluster_members
+        .iter()
+        .map(|members| ClusterItems::new(members.clone(), profile.zipf_exponent))
+        .collect();
+    let item_cluster: Vec<usize> = (0..num_items).map(|item| item % num_clusters).collect();
+
+    // The window length the synergy / association structure looks back over;
+    // matches the order of associations the paper reports as significant.
+    let recent_len = 4usize;
+
+    let mut sequences = Vec::with_capacity(num_users);
+    for _ in 0..num_users {
+        // Long-term preference: a small number of preferred clusters.
+        let num_preferred = rng.gen_range(2..=4usize.min(num_clusters));
+        let mut preference = vec![0.05f64; num_clusters];
+        for _ in 0..num_preferred {
+            preference[rng.gen_range(0..num_clusters)] += 1.0;
+        }
+        let total: f64 = preference.iter().sum();
+        preference.iter_mut().for_each(|p| *p /= total);
+
+        // Sequence length: exponential around the profile mean, clamped below
+        // by the preprocessing minimum.
+        let mean = profile.mean_seq_len.max(profile.min_seq_len as f64);
+        let draw: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let length = (-draw.ln() * mean).round() as usize;
+        let length = length.clamp(profile.min_seq_len, (mean * 4.0) as usize);
+
+        let mut seq: Vec<usize> = Vec::with_capacity(length);
+        let mut recent_clusters: Vec<usize> = Vec::with_capacity(recent_len);
+        for _ in 0..length {
+            let item = if rng.gen_bool(profile.noise_prob) {
+                rng.gen_range(0..num_items)
+            } else {
+                let weights = dynamics.next_cluster_weights(
+                    &preference,
+                    &recent_clusters,
+                    profile.weight_user,
+                    profile.weight_order1,
+                    profile.weight_order2,
+                    profile.weight_synergy,
+                );
+                let cluster = sample_weighted(&weights, &mut rng);
+                clusters[cluster].sample(&mut rng)
+            };
+            seq.push(item);
+            recent_clusters.push(item_cluster[item]);
+            if recent_clusters.len() > recent_len {
+                recent_clusters.remove(0);
+            }
+        }
+        sequences.push(seq);
+    }
+
+    SequenceDataset::new(profile.name.clone(), sequences, num_items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DatasetProfile {
+        DatasetProfile::tiny("tiny")
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = generate(&tiny(), 7);
+        let b = generate(&tiny(), 7);
+        assert_eq!(a.sequences, b.sequences);
+        let c = generate(&tiny(), 8);
+        assert_ne!(a.sequences, c.sequences);
+    }
+
+    #[test]
+    fn generated_counts_match_profile() {
+        let p = tiny();
+        let d = generate(&p, 1);
+        assert_eq!(d.num_users(), p.scaled_users());
+        assert_eq!(d.num_items, p.scaled_items());
+        // every user respects the minimum sequence length
+        assert!(d.sequences.iter().all(|s| s.len() >= p.min_seq_len));
+    }
+
+    #[test]
+    fn mean_sequence_length_is_in_the_right_ballpark() {
+        let p = DatasetProfile::tiny("t").with_scale(4.0); // more users => tighter mean
+        let d = generate(&p, 3);
+        let mean = d.interactions_per_user();
+        assert!(
+            mean > p.mean_seq_len * 0.5 && mean < p.mean_seq_len * 2.0,
+            "mean sequence length {mean} too far from profile mean {}",
+            p.mean_seq_len
+        );
+    }
+
+    #[test]
+    fn item_popularity_is_long_tailed() {
+        let d = generate(&DatasetProfile::tiny("t").with_scale(4.0), 5);
+        let mut freqs = d.item_frequencies();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: usize = freqs.iter().take(freqs.len() / 10).sum();
+        let total: usize = freqs.iter().sum();
+        assert!(
+            top_decile as f64 > total as f64 * 0.2,
+            "top 10% of items should hold well over 10% of interactions (got {top_decile}/{total})"
+        );
+    }
+
+    #[test]
+    fn sequential_structure_is_present() {
+        // Transitions between items should be far from uniform: measure how
+        // often the next item's cluster equals the successor of the previous
+        // item's cluster, which the first-order dynamics prefer.
+        let p = tiny();
+        let d = generate(&p, 11);
+        let num_clusters = p.num_clusters.min(d.num_items).max(2);
+        let cluster_of = |item: usize| item % num_clusters;
+        let mut successor_hits = 0usize;
+        let mut transitions = 0usize;
+        for seq in &d.sequences {
+            for pair in seq.windows(2) {
+                transitions += 1;
+                if cluster_of(pair[1]) == (cluster_of(pair[0]) + 1) % num_clusters
+                    || cluster_of(pair[1]) == cluster_of(pair[0])
+                {
+                    successor_hits += 1;
+                }
+            }
+        }
+        let rate = successor_hits as f64 / transitions as f64;
+        let chance = 2.0 / num_clusters as f64;
+        assert!(
+            rate > chance * 1.5,
+            "sequential structure too weak: successor rate {rate:.3} vs chance {chance:.3}"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Sliding-window training instances (Fig. 1 / Fig. 2 of the paper).
+//!
+//! During training each user sequence is swept with a window of size
+//! `n_h + n_p`: the first `n_h` items are the model input and the following
+//! `n_p` items are the prediction targets. Windows slide item by item and
+//! therefore overlap.
+
+use crate::dataset::ItemId;
+
+/// One training instance: a user, the `n_h` input items and the `n_p` target
+/// items immediately following them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainingInstance {
+    /// Dense user id.
+    pub user: usize,
+    /// The `n_h` most recent items before the targets (chronological order).
+    pub input: Vec<ItemId>,
+    /// The `n_p` items to be predicted.
+    pub targets: Vec<ItemId>,
+}
+
+/// Generates all sliding-window training instances from per-user training
+/// sequences.
+///
+/// Users whose training sequence is shorter than `n_h + n_p` are padded by
+/// repeating their earliest item, mirroring the zero-padding used by the
+/// reference implementations (repeating the earliest item keeps every padded
+/// position a valid item id so no special-case embedding is needed).
+pub fn sliding_windows(train: &[Vec<ItemId>], n_h: usize, n_p: usize) -> Vec<TrainingInstance> {
+    assert!(n_h > 0, "sliding_windows: n_h must be positive");
+    assert!(n_p > 0, "sliding_windows: n_p must be positive");
+    let mut out = Vec::new();
+    for (user, seq) in train.iter().enumerate() {
+        out.extend(user_windows(user, seq, n_h, n_p));
+    }
+    out
+}
+
+/// Sliding windows for a single user (see [`sliding_windows`]).
+pub fn user_windows(user: usize, seq: &[ItemId], n_h: usize, n_p: usize) -> Vec<TrainingInstance> {
+    let window = n_h + n_p;
+    if seq.is_empty() || seq.len() < n_p + 1 {
+        // Need at least one input item and n_p targets to form an instance.
+        return Vec::new();
+    }
+    let padded: Vec<ItemId> = if seq.len() < window {
+        let mut p = vec![seq[0]; window - seq.len()];
+        p.extend_from_slice(seq);
+        p
+    } else {
+        seq.to_vec()
+    };
+    let mut out = Vec::new();
+    for start in 0..=(padded.len() - window) {
+        out.push(TrainingInstance {
+            user,
+            input: padded[start..start + n_h].to_vec(),
+            targets: padded[start + n_h..start + window].to_vec(),
+        });
+    }
+    out
+}
+
+/// The most recent `n_h` items of a sequence, padded at the front by
+/// repeating the earliest item when the sequence is shorter than `n_h`.
+/// This is the inference-time input window.
+pub fn recent_window(seq: &[ItemId], n_h: usize) -> Vec<ItemId> {
+    assert!(n_h > 0, "recent_window: n_h must be positive");
+    if seq.is_empty() {
+        return Vec::new();
+    }
+    if seq.len() >= n_h {
+        seq[seq.len() - n_h..].to_vec()
+    } else {
+        let mut out = vec![seq[0]; n_h - seq.len()];
+        out.extend_from_slice(seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_slide_item_by_item() {
+        let seq: Vec<usize> = (0..6).collect();
+        let w = user_windows(0, &seq, 3, 2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].input, vec![0, 1, 2]);
+        assert_eq!(w[0].targets, vec![3, 4]);
+        assert_eq!(w[1].input, vec![1, 2, 3]);
+        assert_eq!(w[1].targets, vec![4, 5]);
+    }
+
+    #[test]
+    fn short_sequences_are_front_padded() {
+        let seq = vec![7, 8, 9];
+        let w = user_windows(3, &seq, 4, 2);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].user, 3);
+        assert_eq!(w[0].input, vec![7, 7, 7, 7]);
+        assert_eq!(w[0].targets, vec![8, 9]);
+    }
+
+    #[test]
+    fn too_short_sequences_produce_no_instances() {
+        assert!(user_windows(0, &[1, 2], 3, 2).is_empty());
+        assert!(user_windows(0, &[], 3, 2).is_empty());
+    }
+
+    #[test]
+    fn sliding_windows_aggregates_all_users() {
+        let train = vec![(0..6).collect::<Vec<_>>(), (0..4).collect(), vec![]];
+        let w = sliding_windows(&train, 3, 2);
+        let users: Vec<usize> = w.iter().map(|i| i.user).collect();
+        assert!(users.contains(&0) && users.contains(&1));
+        assert!(!users.contains(&2));
+    }
+
+    #[test]
+    fn instance_count_matches_formula_for_long_sequences() {
+        let seq: Vec<usize> = (0..50).collect();
+        let (n_h, n_p) = (5, 3);
+        let w = user_windows(0, &seq, n_h, n_p);
+        assert_eq!(w.len(), 50 - (n_h + n_p) + 1);
+    }
+
+    #[test]
+    fn recent_window_takes_suffix_and_pads() {
+        assert_eq!(recent_window(&[1, 2, 3, 4, 5], 3), vec![3, 4, 5]);
+        assert_eq!(recent_window(&[9, 8], 4), vec![9, 9, 9, 8]);
+        assert!(recent_window(&[], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "n_h must be positive")]
+    fn zero_window_panics() {
+        let _ = sliding_windows(&[vec![1, 2, 3]], 0, 1);
+    }
+}

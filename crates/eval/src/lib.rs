@@ -1,0 +1,41 @@
+//! # ham-eval
+//!
+//! Evaluation infrastructure for the HAM reproduction: the Recall@k / NDCG@k
+//! metrics (Section 5.4), the per-setting evaluation protocol (Section 5.3),
+//! paired significance testing (the `*` markers of Tables 3–9), run-time
+//! measurement in testing (Table 14) and improvement summaries (Table 9).
+//!
+//! The evaluator is model-agnostic: it takes any scoring function
+//! `Fn(user, history) -> scores`, so HAM models, the baselines, and ad-hoc
+//! scorers are all evaluated through the same code path.
+//!
+//! ## Example
+//!
+//! ```
+//! use ham_data::synthetic::DatasetProfile;
+//! use ham_data::split::{split_dataset, EvalSetting};
+//! use ham_eval::protocol::{evaluate, EvalConfig};
+//!
+//! let data = DatasetProfile::tiny("eval-doc").generate(1);
+//! let split = split_dataset(&data, EvalSetting::Cut8020);
+//! // a popularity scorer
+//! let mut pop = vec![0.0f32; data.num_items];
+//! for seq in &split.train { for &i in seq { pop[i] += 1.0; } }
+//! let report = evaluate(&split, &EvalConfig::default(), |_user, _history| pop.clone());
+//! assert!(report.mean.recall_at_10 >= 0.0 && report.mean.recall_at_10 <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod improvement;
+pub mod metrics;
+pub mod protocol;
+pub mod ranking;
+pub mod report;
+pub mod significance;
+pub mod timing;
+
+pub use metrics::{ndcg_at_k, recall_at_k, MetricSet};
+pub use protocol::{evaluate, EvalConfig, EvalReport};
+pub use significance::{paired_t_test, TTestResult};
+pub use timing::{measure_scoring_time, TimingReport};

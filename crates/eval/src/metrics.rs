@@ -1,0 +1,171 @@
+//! Recall@k and NDCG@k (Section 5.4 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Recall@k for one user: the proportion of the user's ground-truth test
+/// items that appear among the top-`k` recommended items.
+pub fn recall_at_k(recommended: &[usize], ground_truth: &HashSet<usize>, k: usize) -> f64 {
+    if ground_truth.is_empty() {
+        return 0.0;
+    }
+    let hits = recommended.iter().take(k).filter(|item| ground_truth.contains(item)).count();
+    hits as f64 / ground_truth.len() as f64
+}
+
+/// NDCG@k for one user with binary gains: the discounted cumulative gain of
+/// the top-`k` recommendations normalised by the ideal DCG (all ground-truth
+/// items, up to `k`, ranked first).
+pub fn ndcg_at_k(recommended: &[usize], ground_truth: &HashSet<usize>, k: usize) -> f64 {
+    if ground_truth.is_empty() {
+        return 0.0;
+    }
+    let dcg: f64 = recommended
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, item)| ground_truth.contains(item))
+        .map(|(pos, _)| 1.0 / ((pos + 2) as f64).log2())
+        .sum();
+    let ideal_hits = ground_truth.len().min(k);
+    let idcg: f64 = (0..ideal_hits).map(|pos| 1.0 / ((pos + 2) as f64).log2()).sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// The four metric values the paper reports per method and dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricSet {
+    /// Recall@5.
+    pub recall_at_5: f64,
+    /// Recall@10.
+    pub recall_at_10: f64,
+    /// NDCG@5.
+    pub ndcg_at_5: f64,
+    /// NDCG@10.
+    pub ndcg_at_10: f64,
+}
+
+impl MetricSet {
+    /// Computes all four metrics from a ranked recommendation list and the
+    /// ground-truth test items of one user.
+    pub fn from_ranking(recommended: &[usize], ground_truth: &HashSet<usize>) -> Self {
+        Self {
+            recall_at_5: recall_at_k(recommended, ground_truth, 5),
+            recall_at_10: recall_at_k(recommended, ground_truth, 10),
+            ndcg_at_5: ndcg_at_k(recommended, ground_truth, 5),
+            ndcg_at_10: ndcg_at_k(recommended, ground_truth, 10),
+        }
+    }
+
+    /// Element-wise mean of a collection of metric sets (the per-dataset
+    /// averages reported in the tables). Returns the default (all zeros) for
+    /// an empty collection.
+    pub fn mean(sets: &[MetricSet]) -> Self {
+        if sets.is_empty() {
+            return Self::default();
+        }
+        let n = sets.len() as f64;
+        Self {
+            recall_at_5: sets.iter().map(|s| s.recall_at_5).sum::<f64>() / n,
+            recall_at_10: sets.iter().map(|s| s.recall_at_10).sum::<f64>() / n,
+            ndcg_at_5: sets.iter().map(|s| s.ndcg_at_5).sum::<f64>() / n,
+            ndcg_at_10: sets.iter().map(|s| s.ndcg_at_10).sum::<f64>() / n,
+        }
+    }
+
+    /// The metric selected by name (`"Recall@5"`, `"Recall@10"`, `"NDCG@5"`,
+    /// `"NDCG@10"`), used by the table-formatting code.
+    pub fn get(&self, name: &str) -> f64 {
+        match name {
+            "Recall@5" => self.recall_at_5,
+            "Recall@10" => self.recall_at_10,
+            "NDCG@5" => self.ndcg_at_5,
+            "NDCG@10" => self.ndcg_at_10,
+            other => panic!("unknown metric {other:?}"),
+        }
+    }
+
+    /// The metric names in the order the paper reports them.
+    pub fn metric_names() -> [&'static str; 4] {
+        ["Recall@5", "Recall@10", "NDCG@5", "NDCG@10"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(items: &[usize]) -> HashSet<usize> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn recall_counts_hits_over_ground_truth_size() {
+        let rec = vec![1, 2, 3, 4, 5];
+        let gt = truth(&[2, 9, 4]);
+        assert!((recall_at_k(&rec, &gt, 5) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at_k(&rec, &gt, 1) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_is_one_when_everything_is_found() {
+        let rec = vec![7, 8, 9];
+        let gt = truth(&[8, 7]);
+        assert_eq!(recall_at_k(&rec, &gt, 5), 1.0);
+    }
+
+    #[test]
+    fn empty_ground_truth_gives_zero() {
+        let rec = vec![1, 2];
+        assert_eq!(recall_at_k(&rec, &HashSet::new(), 5), 0.0);
+        assert_eq!(ndcg_at_k(&rec, &HashSet::new(), 5), 0.0);
+    }
+
+    #[test]
+    fn ndcg_is_one_for_perfect_ranking() {
+        let gt = truth(&[3, 5]);
+        assert!((ndcg_at_k(&[3, 5, 9], &gt, 5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalises_late_hits() {
+        let gt = truth(&[3]);
+        let early = ndcg_at_k(&[3, 1, 2], &gt, 5);
+        let late = ndcg_at_k(&[1, 2, 3], &gt, 5);
+        assert!(early > late);
+        assert!(late > 0.0);
+        // exact value: 1/log2(4) / (1/log2(2)) = 0.5
+        assert!((late - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_idcg_is_capped_at_k() {
+        // 10 relevant items but k = 2: ideal has only two positions
+        let gt: HashSet<usize> = (0..10).collect();
+        let perfect = ndcg_at_k(&[0, 1], &gt, 2);
+        assert!((perfect - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_set_from_ranking_and_mean() {
+        let gt = truth(&[1, 2]);
+        let a = MetricSet::from_ranking(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], &gt);
+        assert_eq!(a.recall_at_5, 1.0);
+        let b = MetricSet::default();
+        let mean = MetricSet::mean(&[a, b]);
+        assert!((mean.recall_at_5 - 0.5).abs() < 1e-12);
+        assert_eq!(MetricSet::mean(&[]), MetricSet::default());
+        assert_eq!(a.get("Recall@5"), a.recall_at_5);
+        assert_eq!(MetricSet::metric_names().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown metric")]
+    fn unknown_metric_name_panics() {
+        MetricSet::default().get("MRR");
+    }
+}

@@ -1,0 +1,216 @@
+//! The evaluation protocol of Section 5.3: for every user with test items,
+//! score all items given the user's training(+validation) history, mask the
+//! items already seen in that history, rank, and compute Recall/NDCG against
+//! the user's test items.
+
+use crate::metrics::MetricSet;
+use ham_data::split::DataSplit;
+use ham_tensor::ops::top_k_indices;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Use the training + validation items as the scoring history (the
+    /// paper's final-evaluation protocol). When `false`, only the training
+    /// prefix is used (the protocol for validation-time model selection).
+    pub include_validation_in_history: bool,
+    /// Mask items that appear in the scoring history so they cannot be
+    /// recommended again (the protocol of the HGN / Caser evaluation code).
+    pub exclude_history_items: bool,
+    /// Number of worker threads for per-user evaluation (1 = sequential).
+    pub num_threads: usize,
+    /// Ranking depth kept per user; must be at least 10 for the reported
+    /// metrics.
+    pub max_rank: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self { include_validation_in_history: true, exclude_history_items: true, num_threads: 1, max_rank: 10 }
+    }
+}
+
+/// The outcome of evaluating one scorer on one split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Dataset the split came from.
+    pub dataset: String,
+    /// Name of the experimental setting.
+    pub setting: String,
+    /// Mean metrics over evaluated users.
+    pub mean: MetricSet,
+    /// Per-user metrics, in user order, for users that had test items.
+    pub per_user: Vec<MetricSet>,
+    /// Number of users that were evaluated.
+    pub num_evaluated: usize,
+    /// Mean wall-clock seconds spent scoring + ranking per evaluated user.
+    pub seconds_per_user: f64,
+}
+
+/// Evaluates a scoring function on a split.
+///
+/// `score_fn(user, history)` must return one score per catalogue item
+/// (`split.num_items` scores). Users without test items (or without any
+/// history) are skipped, following the paper's protocol.
+pub fn evaluate<F>(split: &DataSplit, config: &EvalConfig, score_fn: F) -> EvalReport
+where
+    F: Fn(usize, &[usize]) -> Vec<f32> + Sync,
+{
+    assert!(config.max_rank >= 10, "EvalConfig: max_rank must be at least 10 to compute the @10 metrics");
+    let histories: Vec<Vec<usize>> = if config.include_validation_in_history {
+        split.train_with_val()
+    } else {
+        split.train.clone()
+    };
+
+    let users: Vec<usize> = (0..split.num_users())
+        .filter(|&u| !split.test[u].is_empty() && !histories[u].is_empty())
+        .collect();
+
+    let results: Mutex<Vec<(usize, MetricSet, f64)>> = Mutex::new(Vec::with_capacity(users.len()));
+    let evaluate_user = |&user: &usize| {
+        let history = &histories[user];
+        let truth: HashSet<usize> = split.test[user].iter().copied().collect();
+        let start = Instant::now();
+        let mut scores = score_fn(user, history);
+        assert_eq!(
+            scores.len(),
+            split.num_items,
+            "score_fn must return one score per item ({} expected, {} returned)",
+            split.num_items,
+            scores.len()
+        );
+        if config.exclude_history_items {
+            for &seen in history {
+                scores[seen] = f32::NEG_INFINITY;
+            }
+        }
+        let ranked = top_k_indices(&scores, config.max_rank);
+        let elapsed = start.elapsed().as_secs_f64();
+        let metrics = MetricSet::from_ranking(&ranked, &truth);
+        results.lock().push((user, metrics, elapsed));
+    };
+
+    let threads = config.num_threads.max(1);
+    if threads <= 1 || users.len() < 2 {
+        users.iter().for_each(evaluate_user);
+    } else {
+        let chunk = users.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for part in users.chunks(chunk) {
+                scope.spawn(|_| part.iter().for_each(evaluate_user));
+            }
+        })
+        .expect("evaluation worker panicked");
+    }
+
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(user, _, _)| *user);
+    let per_user: Vec<MetricSet> = collected.iter().map(|(_, m, _)| *m).collect();
+    let total_time: f64 = collected.iter().map(|(_, _, t)| t).sum();
+    let num_evaluated = per_user.len();
+
+    EvalReport {
+        dataset: split.dataset_name.clone(),
+        setting: split.setting.name().to_string(),
+        mean: MetricSet::mean(&per_user),
+        per_user,
+        num_evaluated,
+        seconds_per_user: if num_evaluated > 0 { total_time / num_evaluated as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ham_data::dataset::SequenceDataset;
+    use ham_data::split::{split_dataset, EvalSetting};
+
+    fn toy_split() -> DataSplit {
+        // 3 users with 20-item sequences over a 30-item catalogue
+        let sequences: Vec<Vec<usize>> = (0..3).map(|u| (0..20).map(|t| (u * 7 + t) % 30).collect()).collect();
+        let data = SequenceDataset::new("toy", sequences, 30);
+        split_dataset(&data, EvalSetting::Cut8020)
+    }
+
+    /// An oracle scorer that already knows each user's test items must achieve
+    /// perfect recall and NDCG.
+    #[test]
+    fn oracle_scorer_achieves_perfect_metrics() {
+        let split = toy_split();
+        let test_sets = split.test.clone();
+        let report = evaluate(&split, &EvalConfig::default(), |user, _history| {
+            let mut scores = vec![0.0f32; split.num_items];
+            for (rank, &item) in test_sets[user].iter().enumerate() {
+                scores[item] = 100.0 - rank as f32;
+            }
+            scores
+        });
+        assert_eq!(report.num_evaluated, 3);
+        assert!((report.mean.recall_at_10 - 1.0).abs() < 1e-9, "recall {:?}", report.mean);
+        assert!((report.mean.ndcg_at_10 - 1.0).abs() < 1e-9);
+        assert!(report.seconds_per_user >= 0.0);
+    }
+
+    /// A scorer that always ranks the user's history first scores zero when
+    /// history items are excluded, confirming the mask is applied.
+    #[test]
+    fn history_exclusion_masks_seen_items() {
+        let split = toy_split();
+        let histories = split.train_with_val();
+        let adversarial = |user: usize, _h: &[usize]| {
+            let mut scores = vec![0.0f32; split.num_items];
+            for (rank, &item) in histories[user].iter().enumerate() {
+                scores[item] = 100.0 - rank as f32;
+            }
+            scores
+        };
+        let masked = evaluate(&split, &EvalConfig::default(), adversarial);
+        let unmasked = evaluate(
+            &split,
+            &EvalConfig { exclude_history_items: false, ..EvalConfig::default() },
+            adversarial,
+        );
+        // With masking the adversarial scorer ranks unseen items arbitrarily
+        // (all-zero scores) and cannot exploit the history; without masking it
+        // wastes the top of the ranking on already-seen items, so both recalls
+        // stay low — but the two configurations must differ to prove the mask
+        // has an effect.
+        assert!(masked.mean.recall_at_10 <= 1.0);
+        assert_ne!(masked.per_user, unmasked.per_user);
+    }
+
+    #[test]
+    fn parallel_and_sequential_evaluation_agree() {
+        let split = toy_split();
+        let scorer = |user: usize, history: &[usize]| {
+            let mut scores = vec![0.1f32; split.num_items];
+            scores[(user * 3 + history.len()) % split.num_items] = 1.0;
+            scores
+        };
+        let seq = evaluate(&split, &EvalConfig { num_threads: 1, ..Default::default() }, scorer);
+        let par = evaluate(&split, &EvalConfig { num_threads: 4, ..Default::default() }, scorer);
+        assert_eq!(seq.per_user, par.per_user);
+        assert_eq!(seq.mean, par.mean);
+    }
+
+    #[test]
+    fn users_without_test_items_are_skipped() {
+        let sequences = vec![(0..20).collect::<Vec<usize>>(), vec![0, 1]];
+        let data = SequenceDataset::new("short", sequences, 30);
+        let split = split_dataset(&data, EvalSetting::Cut8020);
+        let report = evaluate(&split, &EvalConfig::default(), |_, _| vec![0.0; 30]);
+        assert_eq!(report.num_evaluated, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one score per item")]
+    fn wrong_score_length_panics() {
+        let split = toy_split();
+        let _ = evaluate(&split, &EvalConfig::default(), |_, _| vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Paired significance testing over per-user metrics — the `*` markers of
+//! Tables 3–9 in the paper (95% / 90% confidence).
+
+/// Result of a paired t-test between two methods' per-user metric values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic of the mean paired difference.
+    pub t_statistic: f64,
+    /// Degrees of freedom (`n − 1`).
+    pub degrees_of_freedom: usize,
+    /// Mean of the paired differences (`a − b`).
+    pub mean_difference: f64,
+    /// Two-sided significance at the 95% confidence level.
+    pub significant_95: bool,
+    /// Two-sided significance at the 90% confidence level.
+    pub significant_90: bool,
+}
+
+/// Performs a paired t-test of `a` against `b` (both are per-user values of
+/// the same metric for two methods, aligned by user).
+///
+/// The critical values use the normal approximation of the t distribution,
+/// which is accurate for the user counts of every benchmark dataset (hundreds
+/// to tens of thousands of users); for tiny `n` the test is conservative.
+///
+/// # Panics
+/// Panics if the slices have different lengths or fewer than two pairs.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> TTestResult {
+    assert_eq!(a.len(), b.len(), "paired_t_test: methods must be evaluated on the same users");
+    assert!(a.len() >= 2, "paired_t_test: need at least two paired observations");
+    let n = a.len();
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n - 1) as f64;
+    let std_err = (var / n as f64).sqrt();
+    let t = if std_err == 0.0 {
+        if mean == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * mean.signum()
+        }
+    } else {
+        mean / std_err
+    };
+    // Two-sided critical values of the standard normal: 1.96 (95%), 1.645 (90%).
+    TTestResult {
+        t_statistic: t,
+        degrees_of_freedom: n - 1,
+        mean_difference: mean,
+        significant_95: t.abs() > 1.96,
+        significant_90: t.abs() > 1.645,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_different_samples_are_significant() {
+        let a: Vec<f64> = (0..100).map(|i| 0.5 + (i % 7) as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..100).map(|i| 0.3 + (i % 7) as f64 * 0.01).collect();
+        let result = paired_t_test(&a, &b);
+        assert!(result.significant_95);
+        assert!(result.significant_90);
+        assert!(result.mean_difference > 0.19);
+    }
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = vec![0.4; 50];
+        let result = paired_t_test(&a, &a);
+        assert_eq!(result.t_statistic, 0.0);
+        assert!(!result.significant_90);
+        assert_eq!(result.degrees_of_freedom, 49);
+    }
+
+    #[test]
+    fn noisy_overlapping_samples_are_not_significant() {
+        // alternating tiny differences cancel out
+        let a: Vec<f64> = (0..60).map(|i| 0.5 + if i % 2 == 0 { 0.01 } else { -0.01 }).collect();
+        let b = vec![0.5; 60];
+        let result = paired_t_test(&a, &b);
+        assert!(!result.significant_95);
+    }
+
+    #[test]
+    fn constant_nonzero_difference_is_significant() {
+        let a = vec![0.6; 30];
+        let b = vec![0.5; 30];
+        let result = paired_t_test(&a, &b);
+        // the paired differences are (numerically almost) constant, so the
+        // t statistic is enormous (or infinite when the variance is exactly 0)
+        assert!(result.t_statistic > 1e3 || result.t_statistic.is_infinite());
+        assert!(result.significant_95);
+    }
+
+    #[test]
+    #[should_panic(expected = "same users")]
+    fn mismatched_lengths_panic() {
+        let _ = paired_t_test(&[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Run-time measurement in testing (Table 14 of the paper): mean wall-clock
+//! seconds to produce recommendations for one user.
+
+use std::time::Instant;
+
+/// Timing measurement of a scorer over a set of users.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Mean seconds per user (scoring every catalogue item once).
+    pub seconds_per_user: f64,
+    /// Number of users measured.
+    pub users_measured: usize,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+}
+
+impl TimingReport {
+    /// The speed-up of this method relative to `other`
+    /// (`other.seconds_per_user / self.seconds_per_user`), i.e. how many times
+    /// faster `self` is.
+    pub fn speedup_over(&self, other: &TimingReport) -> f64 {
+        if self.seconds_per_user == 0.0 {
+            return f64::INFINITY;
+        }
+        other.seconds_per_user / self.seconds_per_user
+    }
+}
+
+/// Measures the mean per-user scoring time of `score_fn` over the given
+/// users/histories. The scores themselves are discarded; a fold over the
+/// first score guards against the compiler optimising the call away.
+pub fn measure_scoring_time<F>(users: &[(usize, Vec<usize>)], score_fn: F) -> TimingReport
+where
+    F: Fn(usize, &[usize]) -> Vec<f32>,
+{
+    assert!(!users.is_empty(), "measure_scoring_time: need at least one user");
+    let start = Instant::now();
+    let mut guard = 0.0f32;
+    for (user, history) in users {
+        let scores = score_fn(*user, history);
+        guard += scores.first().copied().unwrap_or(0.0);
+    }
+    let total = start.elapsed().as_secs_f64();
+    // keep `guard` observable
+    std::hint::black_box(guard);
+    TimingReport {
+        seconds_per_user: total / users.len() as f64,
+        users_measured: users.len(),
+        total_seconds: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_positive_time_and_counts_users() {
+        let users: Vec<(usize, Vec<usize>)> = (0..5).map(|u| (u, vec![1, 2, 3])).collect();
+        let report = measure_scoring_time(&users, |_, _| vec![0.5; 100]);
+        assert_eq!(report.users_measured, 5);
+        assert!(report.seconds_per_user >= 0.0);
+        assert!(report.total_seconds >= report.seconds_per_user);
+    }
+
+    #[test]
+    fn speedup_is_a_ratio_of_per_user_times() {
+        let fast = TimingReport { seconds_per_user: 1e-4, users_measured: 10, total_seconds: 1e-3 };
+        let slow = TimingReport { seconds_per_user: 2e-3, users_measured: 10, total_seconds: 2e-2 };
+        assert!((fast.speedup_over(&slow) - 20.0).abs() < 1e-9);
+        assert!(slow.speedup_over(&fast) < 1.0);
+    }
+
+    #[test]
+    fn zero_time_gives_infinite_speedup() {
+        let zero = TimingReport { seconds_per_user: 0.0, users_measured: 1, total_seconds: 0.0 };
+        let other = TimingReport { seconds_per_user: 1.0, users_measured: 1, total_seconds: 1.0 };
+        assert!(zero.speedup_over(&other).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn empty_user_list_panics() {
+        let _ = measure_scoring_time(&[], |_, _| vec![]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal command-line argument parsing shared by the experiment binaries
+//! (kept dependency-free; the workspace's allowed crate list has no argument
+//! parser).
+
+use crate::runner::ExperimentConfig;
+
+/// Parsed command-line options common to every experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// Scale factor applied to the dataset profiles (`--scale`, default 0.01).
+    pub scale: f64,
+    /// Training epochs per method (`--epochs`).
+    pub epochs: usize,
+    /// Embedding dimension used by every method (`--d`).
+    pub d: usize,
+    /// Upper bound on the number of users kept per dataset (`--max-users`).
+    pub max_users: usize,
+    /// Dataset names to run on (`--datasets CDs,ML-1M`); empty = the binary's
+    /// default selection.
+    pub datasets: Vec<String>,
+    /// Random seed (`--seed`).
+    pub seed: u64,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        let cfg = ExperimentConfig::default();
+        Self {
+            scale: cfg.scale,
+            epochs: cfg.epochs,
+            d: cfg.d,
+            max_users: cfg.max_users,
+            datasets: Vec::new(),
+            seed: cfg.seed,
+        }
+    }
+}
+
+impl CliArgs {
+    /// Parses arguments from an iterator of tokens (excluding the program
+    /// name). Unknown flags are rejected with a descriptive error.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = || iter.next().ok_or_else(|| format!("flag {flag} requires a value"));
+            match flag.as_str() {
+                "--scale" => out.scale = parse_num(&value()?, "--scale")?,
+                "--epochs" => out.epochs = parse_num::<usize>(&value()?, "--epochs")?,
+                "--d" => out.d = parse_num::<usize>(&value()?, "--d")?,
+                "--max-users" => out.max_users = parse_num::<usize>(&value()?, "--max-users")?,
+                "--seed" => out.seed = parse_num::<u64>(&value()?, "--seed")?,
+                "--datasets" => {
+                    out.datasets = value()?.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+                }
+                "--help" | "-h" => return Err(Self::usage().to_string()),
+                other => return Err(format!("unknown flag {other}\n{}", Self::usage())),
+            }
+        }
+        if out.scale <= 0.0 {
+            return Err("--scale must be positive".to_string());
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, printing usage and exiting on error.
+    pub fn from_env() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The usage string shared by all binaries.
+    pub fn usage() -> &'static str {
+        "usage: <experiment> [--scale F] [--epochs N] [--d N] [--max-users N] [--seed N] [--datasets A,B,...]"
+    }
+
+    /// Converts the CLI options into an [`ExperimentConfig`].
+    pub fn to_experiment_config(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            scale: self.scale,
+            epochs: self.epochs,
+            d: self.d,
+            max_users: self.max_users,
+            seed: self.seed,
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse::<T>().map_err(|_| format!("invalid value {text:?} for {flag}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<CliArgs, String> {
+        CliArgs::parse_from(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_match_experiment_config() {
+        let args = parse(&[]).unwrap();
+        let cfg = ExperimentConfig::default();
+        assert_eq!(args.scale, cfg.scale);
+        assert_eq!(args.epochs, cfg.epochs);
+        assert!(args.datasets.is_empty());
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let args = parse(&[
+            "--scale", "0.05", "--epochs", "3", "--d", "16", "--max-users", "100", "--seed", "7", "--datasets",
+            "CDs,ML-1M",
+        ])
+        .unwrap();
+        assert_eq!(args.scale, 0.05);
+        assert_eq!(args.epochs, 3);
+        assert_eq!(args.d, 16);
+        assert_eq!(args.max_users, 100);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.datasets, vec!["CDs", "ML-1M"]);
+        let cfg = args.to_experiment_config();
+        assert_eq!(cfg.d, 16);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--scale", "abc"]).is_err());
+        assert!(parse(&["--scale", "-1"]).is_err());
+        assert!(parse(&["--epochs"]).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 3: the item log-frequency percentile distribution of
+//! the CDs, Comics, ML-1M and ML-20M profiles.
+
+use ham_experiments::configs::select_profiles;
+use ham_experiments::tables::render_item_frequency;
+use ham_experiments::CliArgs;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.to_experiment_config();
+    let profiles = select_profiles(&args.datasets, &["CDs", "Comics", "ML-1M", "ML-20M"]);
+    println!("{}", render_item_frequency(&profiles, &config, 20));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 4: the distribution of HGN's instance-gating weights by
+//! item-frequency bucket (Section 7.2's analysis of whether learned weights on
+//! sparse data are meaningful).
+
+use ham_experiments::attention_study::{render_gating_weights, run_gating_weight_study};
+use ham_experiments::configs::select_profiles;
+use ham_experiments::CliArgs;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.to_experiment_config();
+    let profiles = select_profiles(&args.datasets, &["CDs", "Comics", "ML-1M"]);
+    for profile in profiles {
+        let study = run_gating_weight_study(&profile, &config, 10);
+        println!("{}", render_gating_weights(&study));
+    }
+}

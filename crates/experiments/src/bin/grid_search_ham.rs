@@ -1,0 +1,23 @@
+//! Validation-set grid search for HAMs_m (the model-selection protocol of
+//! Section 5.3.1), printing every grid point and the final test metrics of the
+//! selected configuration.
+
+use ham_core::HamVariant;
+use ham_data::split::{split_dataset, EvalSetting};
+use ham_experiments::configs::select_profiles;
+use ham_experiments::runner::prepare_dataset;
+use ham_experiments::tuning::{default_grid, grid_search, render_tuning};
+use ham_experiments::CliArgs;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.to_experiment_config();
+    let profiles = select_profiles(&args.datasets, &["CDs"]);
+    for profile in profiles {
+        let dataset = prepare_dataset(&profile, &config);
+        let split = split_dataset(&dataset, EvalSetting::Cut8020);
+        let grid = default_grid(HamVariant::HamSM, config.d);
+        let result = grid_search(&split, &grid, &config);
+        println!("{}", render_tuning(&dataset.name, &result));
+    }
+}

@@ -1,0 +1,104 @@
+//! `ham-exp` — dispatcher CLI that runs any of the paper's experiments by id.
+//!
+//! ```text
+//! cargo run -p ham-experiments --bin ham_exp --release -- table14 --scale 0.01
+//! ```
+
+use ham_data::split::EvalSetting;
+use ham_experiments::ablation::{render_ablation, run_ablation};
+use ham_experiments::attention_study::{render_gating_weights, run_gating_weight_study};
+use ham_experiments::configs::select_profiles;
+use ham_experiments::overall::{render_overall, run_overall};
+use ham_experiments::param_study::{render_param_study, run_param_study};
+use ham_experiments::runtime::{render_runtime, run_runtime_study};
+use ham_experiments::sasrec_sensitivity::{render_sensitivity, run_sasrec_sensitivity};
+use ham_experiments::tables::{dataset_statistics, render_dataset_statistics, render_item_frequency};
+use ham_experiments::{CliArgs, Method};
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table2", "dataset statistics"),
+    ("table3_4", "overall performance in 80-20-CUT"),
+    ("table5_6", "overall performance in 80-3-CUT"),
+    ("table7_8", "overall performance in 3-LOS"),
+    ("table10_12", "HAMs_m parameter study"),
+    ("table13", "ablation study"),
+    ("table14", "testing run-time study"),
+    ("figure3", "item frequency distributions"),
+    ("figure4", "HGN gating-weight distributions"),
+    ("tableA1", "SASRec parameter sensitivity"),
+];
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let experiment = raw.remove(0);
+    let args = match CliArgs::parse_from(raw) {
+        Ok(a) => a,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let config = args.to_experiment_config();
+    let small_default = ["CDs", "ML-1M"];
+
+    match experiment.as_str() {
+        "table2" => {
+            let profiles = select_profiles(&args.datasets, &ham_experiments::configs::dataset_names());
+            println!("{}", render_dataset_statistics(&dataset_statistics(&profiles, &config), config.scale));
+        }
+        "table3_4" | "table5_6" | "table7_8" => {
+            let setting = match experiment.as_str() {
+                "table3_4" => EvalSetting::Cut8020,
+                "table5_6" => EvalSetting::Cut803,
+                _ => EvalSetting::Los3,
+            };
+            let profiles = select_profiles(&args.datasets, &small_default);
+            let comparisons = run_overall(&profiles, setting, &Method::paper_methods(), &config);
+            println!("{}", render_overall(&comparisons, setting));
+        }
+        "table10_12" => {
+            for profile in select_profiles(&args.datasets, &["CDs", "Children", "Comics"]) {
+                println!("{}", render_param_study(&profile.name, &run_param_study(&profile, &config)));
+            }
+        }
+        "table13" => {
+            let profiles = select_profiles(&args.datasets, &["CDs", "Comics", "ML-1M"]);
+            println!("{}", render_ablation(&run_ablation(&profiles, &config)));
+        }
+        "table14" => {
+            let profiles = select_profiles(&args.datasets, &small_default);
+            println!("{}", render_runtime(&run_runtime_study(&profiles, &Method::headline_methods(), &config)));
+        }
+        "figure3" => {
+            let profiles = select_profiles(&args.datasets, &["CDs", "Comics", "ML-1M", "ML-20M"]);
+            println!("{}", render_item_frequency(&profiles, &config, 20));
+        }
+        "figure4" => {
+            for profile in select_profiles(&args.datasets, &["CDs", "Comics", "ML-1M"]) {
+                println!("{}", render_gating_weights(&run_gating_weight_study(&profile, &config, 10)));
+            }
+        }
+        "tableA1" => {
+            for profile in select_profiles(&args.datasets, &["Comics"]) {
+                println!("{}", render_sensitivity(&profile.name, &run_sasrec_sensitivity(&profile, &config)));
+            }
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}\n");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: ham_exp <experiment> [options]\n\nexperiments:");
+    for (id, description) in EXPERIMENTS {
+        eprintln!("  {id:<12} {description}");
+    }
+    eprintln!("\noptions: {}", CliArgs::usage());
+}

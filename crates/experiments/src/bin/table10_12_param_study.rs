@@ -1,0 +1,16 @@
+//! Regenerates Tables 10–12: the parameter study of HAMs_m (d, n_h, n_l,
+//! n_p, p) on the CDs, Children and Comics profiles in 80-20-CUT.
+
+use ham_experiments::configs::select_profiles;
+use ham_experiments::param_study::{render_param_study, run_param_study};
+use ham_experiments::CliArgs;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.to_experiment_config();
+    let profiles = select_profiles(&args.datasets, &["CDs", "Children", "Comics"]);
+    for profile in profiles {
+        let rows = run_param_study(&profile, &config);
+        println!("{}", render_param_study(&profile.name, &rows));
+    }
+}

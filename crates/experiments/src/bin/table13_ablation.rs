@@ -1,0 +1,14 @@
+//! Regenerates Table 13: the ablation of the low-order association term
+//! (HAMs_m-o) and the user general-preference term (HAMs_m-u).
+
+use ham_experiments::ablation::{render_ablation, run_ablation};
+use ham_experiments::configs::select_profiles;
+use ham_experiments::CliArgs;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.to_experiment_config();
+    let profiles = select_profiles(&args.datasets, &["CDs", "Comics", "ML-1M"]);
+    let rows = run_ablation(&profiles, &config);
+    println!("{}", render_ablation(&rows));
+}

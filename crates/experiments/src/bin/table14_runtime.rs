@@ -1,0 +1,16 @@
+//! Regenerates Table 14: per-user test-time latency of Caser, SASRec, HGN and
+//! HAMs_m, with the resulting speed-ups.
+
+use ham_experiments::configs::select_profiles;
+use ham_experiments::runtime::{render_runtime, run_runtime_study};
+use ham_experiments::{CliArgs, Method};
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.to_experiment_config();
+    let profiles = select_profiles(&args.datasets, &["CDs", "ML-1M"]);
+    let rows = run_runtime_study(&profiles, &Method::headline_methods(), &config);
+    println!("{}", render_runtime(&rows));
+    println!("note: absolute times depend on the local CPU; the paper's Table 14 shape is the ordering");
+    println!("      Caser > SASRec > HGN > HAMs_m and the speed-up ratios between methods.");
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 2: statistics of the six benchmark datasets (synthetic
+//! profiles), compared with the paper's reported numbers.
+
+use ham_experiments::configs::select_profiles;
+use ham_experiments::tables::{dataset_statistics, render_dataset_statistics};
+use ham_experiments::CliArgs;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.to_experiment_config();
+    let profiles = select_profiles(&args.datasets, &ham_experiments::configs::dataset_names());
+    let stats = dataset_statistics(&profiles, &config);
+    println!("{}", render_dataset_statistics(&stats, config.scale));
+}

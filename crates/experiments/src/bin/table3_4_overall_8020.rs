@@ -1,0 +1,17 @@
+//! Regenerates Tables 3 and 4: overall Recall@k / NDCG@k of all methods in
+//! the 80-20-CUT setting.
+
+use ham_data::split::EvalSetting;
+use ham_experiments::configs::select_profiles;
+use ham_experiments::overall::{render_overall, run_overall};
+use ham_experiments::{CliArgs, Method};
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.to_experiment_config();
+    // CDs + ML-1M (the sparsest and the densest) by default; pass
+    // `--datasets CDs,Books,Children,Comics,ML-20M,ML-1M` for the full table.
+    let profiles = select_profiles(&args.datasets, &["CDs", "ML-1M"]);
+    let comparisons = run_overall(&profiles, EvalSetting::Cut8020, &Method::paper_methods(), &config);
+    println!("{}", render_overall(&comparisons, EvalSetting::Cut8020));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Tables 7 and 8: overall Recall@k / NDCG@k of all methods in
+//! the 3-LOS (leave-3-out) setting.
+
+use ham_data::split::EvalSetting;
+use ham_experiments::configs::select_profiles;
+use ham_experiments::overall::{render_overall, run_overall};
+use ham_experiments::{CliArgs, Method};
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.to_experiment_config();
+    let profiles = select_profiles(&args.datasets, &["CDs", "ML-1M"]);
+    let comparisons = run_overall(&profiles, EvalSetting::Los3, &Method::paper_methods(), &config);
+    println!("{}", render_overall(&comparisons, EvalSetting::Los3));
+}

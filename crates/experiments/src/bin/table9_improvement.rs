@@ -1,0 +1,35 @@
+//! Regenerates Table 9: the average percentage improvement of HAMs_m over
+//! Caser, SASRec, HGN and HAMm in each experimental setting.
+
+use ham_data::split::EvalSetting;
+use ham_experiments::configs::select_profiles;
+use ham_experiments::overall::{improvement_summary, run_overall};
+use ham_experiments::{CliArgs, Method};
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.to_experiment_config();
+    let profiles = select_profiles(&args.datasets, &["CDs", "ML-1M"]);
+    // The Table 9 comparison set: the three baselines, HAMm and HAMs_m.
+    let methods = vec![
+        Method::Caser,
+        Method::SasRec,
+        Method::Hgn,
+        Method::Ham(ham_core::HamVariant::HamM),
+        Method::Ham(ham_core::HamVariant::HamSM),
+    ];
+
+    println!("=== Performance improvement of HAMs_m (%) — Table 9 ===");
+    for setting in EvalSetting::all() {
+        let comparisons = run_overall(&profiles, setting, &methods, &config);
+        println!("\n{}", setting.name());
+        for metric in ham_eval::metrics::MetricSet::metric_names() {
+            let summary = improvement_summary(&comparisons, metric);
+            print!("  {metric:<10}");
+            for (method, improvement) in summary {
+                print!("  {method}: {improvement:>6.1}%");
+            }
+            println!();
+        }
+    }
+}

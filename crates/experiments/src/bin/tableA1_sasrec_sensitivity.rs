@@ -1,0 +1,16 @@
+//! Regenerates Table A1: SASRec's sensitivity to its embedding dimension and
+//! maximum sequence length on the Comics profile in 3-LOS.
+
+use ham_experiments::configs::select_profiles;
+use ham_experiments::sasrec_sensitivity::{render_sensitivity, run_sasrec_sensitivity};
+use ham_experiments::CliArgs;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = args.to_experiment_config();
+    let profiles = select_profiles(&args.datasets, &["Comics"]);
+    for profile in profiles {
+        let rows = run_sasrec_sensitivity(&profile, &config);
+        println!("{}", render_sensitivity(&profile.name, &rows));
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates the HAMs_m columns of Table A2: the best hyper-parameters per
+//! dataset and setting reported in the paper's Appendix B.
+
+use ham_data::split::EvalSetting;
+use ham_experiments::configs::{dataset_names, paper_best_params};
+
+fn main() {
+    println!("=== Best HAMs_m parameters (Table A2, Appendix B) ===");
+    println!("{:<12} {:<12} {:>5} {:>5} {:>5} {:>5} {:>3}", "setting", "dataset", "d", "n_h", "n_l", "n_p", "p");
+    for setting in EvalSetting::all() {
+        for dataset in dataset_names() {
+            let p = paper_best_params(dataset, setting);
+            println!(
+                "{:<12} {:<12} {:>5} {:>5} {:>5} {:>5} {:>3}",
+                setting.name(),
+                dataset,
+                p.d,
+                p.n_h,
+                p.n_l,
+                p.n_p,
+                p.p
+            );
+        }
+    }
+    println!("\nThese values parameterise the window sizes used by the experiment binaries;");
+    println!("the scaled-down runs override d via --d (default 32).");
+}

@@ -1,0 +1,132 @@
+//! The best hyper-parameters reported in Appendix B (Table A2) of the paper,
+//! used both to regenerate Table A2 itself and to pick the window sizes
+//! (`n_h`, `n_l`, `n_p`, `p`) of the scaled-down experiments.
+
+use ham_data::split::EvalSetting;
+use serde::{Deserialize, Serialize};
+
+/// The HAMs_m hyper-parameters of one row of Table A2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperHamParams {
+    /// Embedding dimension `d`.
+    pub d: usize,
+    /// High-order window `n_h`.
+    pub n_h: usize,
+    /// Low-order window `n_l`.
+    pub n_l: usize,
+    /// Training targets `n_p`.
+    pub n_p: usize,
+    /// Synergy order `p`.
+    pub p: usize,
+}
+
+/// The best HAMs_m parameters of Table A2 for a dataset and setting.
+///
+/// 80-20-CUT and 80-3-CUT share training/validation data and therefore share
+/// the tuned parameters; 3-LOS has its own row.
+///
+/// # Panics
+/// Panics if `dataset` is not one of the six benchmark names.
+pub fn paper_best_params(dataset: &str, setting: EvalSetting) -> PaperHamParams {
+    let cut = matches!(setting, EvalSetting::Cut8020 | EvalSetting::Cut803);
+    match (dataset, cut) {
+        ("CDs", true) => PaperHamParams { d: 400, n_h: 5, n_l: 2, n_p: 3, p: 2 },
+        ("CDs", false) => PaperHamParams { d: 400, n_h: 4, n_l: 2, n_p: 7, p: 2 },
+        ("Books", true) => PaperHamParams { d: 400, n_h: 9, n_l: 2, n_p: 7, p: 2 },
+        ("Books", false) => PaperHamParams { d: 400, n_h: 9, n_l: 2, n_p: 9, p: 2 },
+        ("Children", true) => PaperHamParams { d: 400, n_h: 6, n_l: 1, n_p: 4, p: 3 },
+        ("Children", false) => PaperHamParams { d: 400, n_h: 6, n_l: 1, n_p: 4, p: 3 },
+        ("Comics", true) => PaperHamParams { d: 400, n_h: 7, n_l: 2, n_p: 5, p: 3 },
+        ("Comics", false) => PaperHamParams { d: 400, n_h: 7, n_l: 1, n_p: 5, p: 3 },
+        ("ML-20M", true) => PaperHamParams { d: 400, n_h: 9, n_l: 3, n_p: 2, p: 3 },
+        ("ML-20M", false) => PaperHamParams { d: 400, n_h: 8, n_l: 3, n_p: 3, p: 3 },
+        ("ML-1M", true) => PaperHamParams { d: 400, n_h: 7, n_l: 2, n_p: 3, p: 3 },
+        ("ML-1M", false) => PaperHamParams { d: 400, n_h: 8, n_l: 2, n_p: 2, p: 3 },
+        (other, _) => panic!("paper_best_params: unknown dataset {other:?}"),
+    }
+}
+
+/// The six benchmark dataset names in the paper's table order.
+pub fn dataset_names() -> [&'static str; 6] {
+    ["CDs", "Books", "Children", "Comics", "ML-20M", "ML-1M"]
+}
+
+/// Resolves dataset names (from `--datasets`) to their synthetic profiles.
+/// An empty selection returns the profiles named in `defaults`.
+///
+/// # Panics
+/// Panics if a requested name is not one of the six benchmark datasets.
+pub fn select_profiles(requested: &[String], defaults: &[&str]) -> Vec<ham_data::synthetic::DatasetProfile> {
+    let names: Vec<String> = if requested.is_empty() {
+        defaults.iter().map(|s| s.to_string()).collect()
+    } else {
+        requested.to_vec()
+    };
+    names
+        .iter()
+        .map(|name| {
+            ham_data::synthetic::DatasetProfile::all()
+                .into_iter()
+                .find(|p| p.name.eq_ignore_ascii_case(name))
+                .unwrap_or_else(|| panic!("unknown dataset {name:?}; valid names: {:?}", dataset_names()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dataset_and_setting_has_parameters() {
+        for name in dataset_names() {
+            for setting in EvalSetting::all() {
+                let p = paper_best_params(name, setting);
+                assert!(p.n_l <= p.n_h, "{name}: n_l must not exceed n_h");
+                assert!(p.p <= p.n_h, "{name}: synergy order must not exceed n_h");
+                assert_eq!(p.d, 400, "Table A2 uses d = 400 everywhere for HAMs_m");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_settings_share_parameters() {
+        for name in dataset_names() {
+            assert_eq!(
+                paper_best_params(name, EvalSetting::Cut8020),
+                paper_best_params(name, EvalSetting::Cut803)
+            );
+        }
+    }
+
+    #[test]
+    fn known_values_from_table_a2() {
+        let cds = paper_best_params("CDs", EvalSetting::Cut8020);
+        assert_eq!((cds.n_h, cds.n_l, cds.n_p, cds.p), (5, 2, 3, 2));
+        let comics_los = paper_best_params("Comics", EvalSetting::Los3);
+        assert_eq!((comics_los.n_h, comics_los.n_l), (7, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        let _ = paper_best_params("Netflix", EvalSetting::Cut8020);
+    }
+
+    #[test]
+    fn select_profiles_resolves_names_case_insensitively() {
+        let selected = select_profiles(&["cds".to_string(), "ML-1M".to_string()], &["Books"]);
+        assert_eq!(selected.len(), 2);
+        assert_eq!(selected[0].name, "CDs");
+        assert_eq!(selected[1].name, "ML-1M");
+        let defaults = select_profiles(&[], &["Books", "Comics"]);
+        assert_eq!(defaults[0].name, "Books");
+        assert_eq!(defaults[1].name, "Comics");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn select_profiles_rejects_unknown_names() {
+        let _ = select_profiles(&["Netflix".to_string()], &["CDs"]);
+    }
+}

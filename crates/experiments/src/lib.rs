@@ -1,0 +1,38 @@
+//! # ham-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the HAM
+//! paper's evaluation on the synthetic benchmark datasets (see DESIGN.md §3
+//! for the experiment index and §4 for the dataset substitution rationale).
+//!
+//! Each paper artifact has a dedicated binary under `src/bin/`
+//! (`table3_4_overall_8020`, `table13_ablation`, `figure4_gating_weights`, …)
+//! plus the `ham_exp` dispatcher that runs any experiment by id. All binaries
+//! accept `--scale`, `--epochs`, `--d`, `--max-users` and `--datasets` so the
+//! experiments can be scaled from a quick laptop smoke run (the defaults) up
+//! to the paper's full dataset sizes (`--scale 1.0`).
+//!
+//! Because the data is synthetic and scaled down, absolute metric values are
+//! not comparable to the paper; the harness reports the quantities whose
+//! *shape* the reproduction targets: the ranking of methods, the improvement
+//! percentages of the HAM variants over the baselines, parameter-sensitivity
+//! trends, ablation effects and per-user test-time speed-ups.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod args;
+pub mod attention_study;
+pub mod configs;
+pub mod methods;
+pub mod overall;
+pub mod param_study;
+pub mod runner;
+pub mod runtime;
+pub mod sasrec_sensitivity;
+pub mod tables;
+pub mod tuning;
+
+pub use args::CliArgs;
+pub use configs::{paper_best_params, PaperHamParams};
+pub use methods::Method;
+pub use runner::{prepare_dataset, run_methods, ExperimentConfig, MethodResult};

@@ -1,0 +1,90 @@
+//! The dataset-statistics table (Table 2) and the item-frequency distribution
+//! figure (Figure 3).
+
+use crate::runner::{prepare_dataset, ExperimentConfig};
+use ham_data::stats::{item_frequency_distribution, DatasetStats};
+use ham_data::synthetic::DatasetProfile;
+
+/// Computes the Table 2 statistics of the generated datasets.
+pub fn dataset_statistics(profiles: &[DatasetProfile], config: &ExperimentConfig) -> Vec<DatasetStats> {
+    profiles.iter().map(|p| DatasetStats::compute(&prepare_dataset(p, config))).collect()
+}
+
+/// Renders Table 2 alongside the paper's reported numbers so the reader can
+/// compare the synthetic datasets against the originals.
+pub fn render_dataset_statistics(stats: &[DatasetStats], scale: f64) -> String {
+    let mut out = format!("=== Dataset statistics (Table 2), synthetic profiles at scale {scale} ===\n");
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>8} {:>10} {:>10} {:>8}\n",
+        "dataset", "#users", "#items", "#intrns", "#intrns/u", "#u/i"
+    ));
+    for s in stats {
+        out.push_str(&s.table_row());
+        out.push('\n');
+    }
+    out.push_str("\nPaper (scale 1.0) for reference:\n");
+    for (name, users, items, intrns, per_u, per_i) in [
+        ("CDs", 17_052, 35_118, 472_265, 27.7, 13.4),
+        ("Books", 52_406, 41_264, 1_856_747, 35.4, 45.0),
+        ("Children", 48_296, 32_871, 2_784_423, 57.6, 84.7),
+        ("Comics", 34_445, 33_121, 2_411_314, 70.0, 72.8),
+        ("ML-20M", 129_780, 13_663, 9_926_480, 76.5, 726.5),
+        ("ML-1M", 5_950, 3_125, 573_726, 96.4, 183.6),
+    ] {
+        out.push_str(&format!(
+            "{name:<10} {users:>8} {items:>8} {intrns:>10} {per_u:>10.1} {per_i:>8.1}\n"
+        ));
+    }
+    out
+}
+
+/// Computes and renders the Figure 3 item-frequency distributions.
+pub fn render_item_frequency(profiles: &[DatasetProfile], config: &ExperimentConfig, bins: usize) -> String {
+    let mut out = String::from("=== Item frequency distributions (Figure 3) ===\n");
+    out.push_str("x-axis: normalised log-frequency percentile; values: % of items per bin\n");
+    for profile in profiles {
+        let dataset = prepare_dataset(profile, config);
+        let (grid, hist) = item_frequency_distribution(&dataset, bins);
+        out.push_str(&format!("\n{}\n", dataset.name));
+        for (x, frac) in grid.iter().zip(&hist) {
+            let bar = "#".repeat((frac * 100.0).round() as usize);
+            out.push_str(&format!("  {:>4.2} {:>6.1}% {}\n", x, frac * 100.0, bar));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig { scale: 1.0, max_users: 30, max_seq_len: 30, ..ExperimentConfig::default() }
+    }
+
+    #[test]
+    fn statistics_cover_every_profile() {
+        let profiles = vec![DatasetProfile::tiny("A"), DatasetProfile::tiny("B")];
+        let stats = dataset_statistics(&profiles, &cfg());
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "A");
+        assert!(stats[0].num_interactions > 0);
+    }
+
+    #[test]
+    fn rendered_table_contains_paper_reference_rows() {
+        let stats = dataset_statistics(&[DatasetProfile::tiny("A")], &cfg());
+        let text = render_dataset_statistics(&stats, 0.01);
+        assert!(text.contains("ML-20M"));
+        assert!(text.contains("27.7"));
+        assert!(text.contains('A'));
+    }
+
+    #[test]
+    fn frequency_figure_renders_one_block_per_dataset() {
+        let profiles = vec![DatasetProfile::tiny("A"), DatasetProfile::tiny("B")];
+        let text = render_item_frequency(&profiles, &cfg(), 5);
+        assert!(text.matches("\nA\n").count() == 1);
+        assert!(text.matches("\nB\n").count() == 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Random initialisation of embedding and weight matrices.
+//!
+//! All constructors take an explicit RNG so that every training run in the
+//! workspace is reproducible from a single seed.
+
+use crate::Matrix;
+use rand::Rng;
+
+impl Matrix {
+    /// Uniform initialisation in `[low, high)`.
+    pub fn uniform(rows: usize, cols: usize, low: f32, high: f32, rng: &mut impl Rng) -> Self {
+        assert!(low < high, "uniform: low must be < high (got {low} >= {high})");
+        let data = (0..rows * cols).map(|_| rng.gen_range(low..high)).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+    /// `a = sqrt(6 / (fan_in + fan_out))`.
+    ///
+    /// This is the initialisation used for all embedding and weight matrices
+    /// in the reproduction (the reference implementation uses PyTorch's
+    /// default linear-layer initialisation, which is the same family).
+    pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let a = (6.0 / (rows as f32 + cols as f32)).sqrt();
+        Self::uniform(rows, cols, -a, a, rng)
+    }
+
+    /// Gaussian initialisation with the given mean and standard deviation,
+    /// sampled with the Box–Muller transform (keeps the dependency surface to
+    /// plain `Rng` without distribution helpers).
+    pub fn normal(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut impl Rng) -> Self {
+        assert!(std >= 0.0, "normal: std must be non-negative");
+        let mut data = Vec::with_capacity(rows * cols);
+        while data.len() < rows * cols {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let mag = (-2.0 * u1.ln()).sqrt();
+            let z0 = mag * (2.0 * std::f32::consts::PI * u2).cos();
+            let z1 = mag * (2.0 * std::f32::consts::PI * u2).sin();
+            data.push(mean + std * z0);
+            if data.len() < rows * cols {
+                data.push(mean + std * z1);
+            }
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Matrix::uniform(10, 10, -0.5, 0.5, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let small = Matrix::xavier_uniform(4, 4, &mut rng);
+        let large = Matrix::xavier_uniform(4000, 400, &mut rng);
+        let max_small = small.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let max_large = large.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        assert!(max_large < max_small, "larger fan-in should give smaller init range");
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = Matrix::xavier_uniform(5, 7, &mut StdRng::seed_from_u64(42));
+        let b = Matrix::xavier_uniform(5, 7, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Matrix::normal(200, 200, 1.0, 2.0, &mut rng);
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean} too far from 1.0");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {} too far from 2.0", var.sqrt());
+    }
+
+    #[test]
+    fn normal_values_are_finite() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = Matrix::normal(50, 3, 0.0, 1.0, &mut rng);
+        assert!(m.all_finite());
+    }
+}

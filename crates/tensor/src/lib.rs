@@ -1,0 +1,49 @@
+//! # ham-tensor
+//!
+//! Dense matrix and vector math substrate for the HAM reproduction.
+//!
+//! The HAM paper ("Hybrid Associations Models for Sequential Recommendation")
+//! and the baselines it compares against (Caser, SASRec, HGN) are built from a
+//! small set of dense linear-algebra primitives over embedding matrices:
+//! matrix products, element-wise (Hadamard) products, mean/max pooling over
+//! rows, sigmoid/softmax non-linearities and random initialisation.
+//!
+//! This crate provides exactly those primitives over a row-major [`Matrix`] of
+//! `f32` values, with no external linear-algebra dependencies, so that every
+//! higher layer of the workspace (autograd engine, the HAM models, the deep
+//! baselines) is built from scratch as the reproduction requires.
+//!
+//! ## Conventions
+//!
+//! * All matrices are row-major; an *embedding matrix* stores one embedding
+//!   per row.
+//! * Dimension mismatches are programming errors and panic with a descriptive
+//!   message (mirroring `ndarray`); fallible, data-dependent operations return
+//!   `Result` instead.
+//! * Randomised constructors take an explicit `&mut impl rand::Rng` so every
+//!   experiment in the workspace is reproducible from a seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use ham_tensor::Matrix;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let v = Matrix::xavier_uniform(4, 8, &mut rng); // 4 item embeddings, d = 8
+//! let pooled = v.mean_rows();                     // mean pooling over the items
+//! assert_eq!(pooled.len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod linalg;
+pub mod matrix;
+pub mod ops;
+pub mod pool;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use ops::{sigmoid, sigmoid_scalar, softmax_in_place};
+pub use pool::Pooling;

@@ -1,0 +1,182 @@
+//! Scalar and slice-level numerical operations shared across the workspace:
+//! numerically stable sigmoid / log-sigmoid, softmax, and small helpers used
+//! by both the manual-gradient trainer and the autograd engine.
+
+use crate::Matrix;
+
+/// Numerically stable scalar sigmoid `1 / (1 + exp(-x))`.
+#[inline]
+pub fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Numerically stable `log(sigmoid(x))`, used by the BPR loss
+/// `-log σ(r_pos - r_neg)` without overflow for large negative margins.
+#[inline]
+pub fn log_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        -(1.0 + (-x).exp()).ln()
+    } else {
+        x - (1.0 + x.exp()).ln()
+    }
+}
+
+/// Element-wise sigmoid of a matrix.
+pub fn sigmoid(m: &Matrix) -> Matrix {
+    m.map(sigmoid_scalar)
+}
+
+/// In-place, numerically stable softmax of a slice.
+///
+/// An empty slice is left untouched.
+pub fn softmax_in_place(values: &mut [f32]) {
+    if values.is_empty() {
+        return;
+    }
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in values.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in values.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Row-wise softmax of a matrix (each row sums to one).
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        softmax_in_place(out.row_mut(r));
+    }
+    out
+}
+
+/// Element-wise hyperbolic tangent.
+pub fn tanh(m: &Matrix) -> Matrix {
+    m.map(f32::tanh)
+}
+
+/// Element-wise rectified linear unit.
+pub fn relu(m: &Matrix) -> Matrix {
+    m.map(|v| v.max(0.0))
+}
+
+/// Returns the indices that would sort `scores` in descending order,
+/// truncated to the top `k` entries. Ties are broken by the lower index,
+/// which keeps evaluation deterministic.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let cmp = |a: &usize, b: &usize| {
+        scores[*b]
+            .partial_cmp(&scores[*a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
+    };
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_by(cmp);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_midpoint() {
+        assert!(close(sigmoid_scalar(0.0), 0.5));
+        assert!(close(sigmoid_scalar(3.0) + sigmoid_scalar(-3.0), 1.0));
+    }
+
+    #[test]
+    fn sigmoid_is_stable_for_extreme_inputs() {
+        assert!(sigmoid_scalar(1e4).is_finite());
+        assert!(sigmoid_scalar(-1e4).is_finite());
+        assert!(close(sigmoid_scalar(1e4), 1.0));
+        assert!(close(sigmoid_scalar(-1e4), 0.0));
+    }
+
+    #[test]
+    fn log_sigmoid_matches_naive_in_safe_range() {
+        for &x in &[-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            let naive = sigmoid_scalar(x).ln();
+            assert!(close(log_sigmoid(x), naive), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn log_sigmoid_is_stable_for_large_negative_margin() {
+        let v = log_sigmoid(-100.0);
+        assert!(v.is_finite());
+        assert!(close(v, -100.0));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_preserve_order() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 0.0, 0.0]]);
+        let s = softmax_rows(&m);
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!(close(sum, 1.0));
+        }
+        assert!(s.get(0, 2) > s.get(0, 1) && s.get(0, 1) > s.get(0, 0));
+        assert!(close(s.get(1, 0), 1.0 / 3.0));
+    }
+
+    #[test]
+    fn softmax_handles_large_values_without_overflow() {
+        let mut v = vec![1000.0, 1000.0, 0.0];
+        softmax_in_place(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!(close(v[0], 0.5));
+        assert!(close(v[2], 0.0));
+    }
+
+    #[test]
+    fn softmax_empty_slice_is_noop() {
+        let mut v: Vec<f32> = vec![];
+        softmax_in_place(&mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn relu_and_tanh() {
+        let m = Matrix::from_rows(&[&[-1.0, 2.0]]);
+        assert_eq!(relu(&m).as_slice(), &[0.0, 2.0]);
+        assert!(close(tanh(&m).get(0, 0), (-1.0f32).tanh()));
+    }
+
+    #[test]
+    fn top_k_returns_descending_indices() {
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_indices(&scores, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&scores, 10), vec![1, 3, 2, 0]);
+        assert!(top_k_indices(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn top_k_is_deterministic_on_ties() {
+        let scores = [0.5, 0.5, 0.5];
+        assert_eq!(top_k_indices(&scores, 2), vec![0, 1]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Small descriptive-statistics helpers used by the evaluation crate and the
+//! dataset-statistics experiments (Table 2, Figure 3, Figure 4 of the paper).
+
+/// Arithmetic mean of a slice (0.0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Unbiased sample variance (0.0 for fewer than two values).
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// The `q`-th percentile (0.0..=1.0) using linear interpolation between
+/// closest ranks. Returns 0.0 for an empty slice.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!((0.0..=1.0).contains(&q), "percentile: q must be in [0, 1], got {q}");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A fixed-width histogram over `[min, max]` with `bins` buckets, returning
+/// the fraction of values falling in each bucket. Values outside the range
+/// are clamped into the first / last bucket. Used to reproduce the weight- and
+/// frequency-distribution figures (Fig. 3 and Fig. 4).
+pub fn histogram(values: &[f64], min: f64, max: f64, bins: usize) -> Vec<f64> {
+    assert!(bins > 0, "histogram: bins must be > 0");
+    assert!(max > min, "histogram: max must be > min");
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let t = ((v - min) / (max - min)).clamp(0.0, 1.0);
+        let mut b = (t * bins as f64) as usize;
+        if b == bins {
+            b = bins - 1;
+        }
+        counts[b] += 1;
+    }
+    let total = values.len().max(1) as f64;
+    counts.into_iter().map(|c| c as f64 / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known_values() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((variance(&v) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&v) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert!((percentile(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_one() {
+        let v = [0.05, 0.15, 0.15, 0.95, 1.5, -0.5];
+        let h = histogram(&v, 0.0, 1.0, 10);
+        assert_eq!(h.len(), 10);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // out-of-range values are clamped into first / last buckets
+        assert!(h[0] > 0.0 && h[9] > 0.0);
+        assert!((h[1] - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bins must be > 0")]
+    fn histogram_zero_bins_panics() {
+        let _ = histogram(&[1.0], 0.0, 1.0, 0);
+    }
+}

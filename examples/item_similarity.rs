@@ -1,0 +1,71 @@
+//! Inspecting what the model learned: train HAMs_m on a Comics-like profile
+//! (strong sequential structure), then look at the nearest neighbours of a few
+//! items in the learned input-embedding space and check that items from the
+//! same latent cluster end up close together.
+//!
+//! ```text
+//! cargo run --example item_similarity --release
+//! ```
+
+use ham::core::{train, HamConfig, HamVariant, TrainConfig};
+use ham::data::synthetic::DatasetProfile;
+use ham::tensor::linalg::{cosine_similarity, most_similar_rows, normalize_rows};
+
+fn main() {
+    let profile = DatasetProfile::comics().with_scale(0.005);
+    let dataset = profile.generate(31);
+    println!(
+        "dataset: {} ({} users, {} items)",
+        dataset.name,
+        dataset.num_users(),
+        dataset.num_items
+    );
+
+    let config = HamConfig::for_variant(HamVariant::HamSM).with_dimensions(32, 7, 2, 3, 2);
+    let train_config = TrainConfig { epochs: 10, batch_size: 64, ..TrainConfig::default() };
+    let model = train(&dataset.sequences, dataset.num_items, &config, &train_config, 5);
+
+    // The synthetic generator assigns item i to cluster i % num_clusters; the
+    // learned input embeddings should reflect that structure.
+    let num_clusters = profile.num_clusters.min(dataset.num_items);
+    let embeddings = normalize_rows(model.input_item_embeddings());
+    let frequencies = dataset.item_frequencies();
+
+    // Pick the three most frequent items as probes.
+    let mut by_freq: Vec<usize> = (0..dataset.num_items).collect();
+    by_freq.sort_by_key(|&i| std::cmp::Reverse(frequencies[i]));
+
+    let mut same_cluster_hits = 0usize;
+    let mut neighbours_total = 0usize;
+    for &probe in by_freq.iter().take(3) {
+        let neighbours = most_similar_rows(&embeddings, probe, 5);
+        println!("\nitem {probe} (cluster {}, {} interactions) — nearest neighbours:", probe % num_clusters, frequencies[probe]);
+        for (item, similarity) in &neighbours {
+            println!(
+                "  item {item:>5}  cluster {:>3}  cosine {similarity:.3}  ({} interactions)",
+                item % num_clusters,
+                frequencies[*item]
+            );
+            if item % num_clusters == probe % num_clusters {
+                same_cluster_hits += 1;
+            }
+            neighbours_total += 1;
+        }
+    }
+    println!(
+        "\n{} of {} nearest neighbours share the probe's latent cluster (chance ≈ {:.0}%)",
+        same_cluster_hits,
+        neighbours_total,
+        100.0 / num_clusters as f64
+    );
+
+    // Sanity check on the asymmetric (input vs candidate) embeddings: the same
+    // item's two embeddings are generally *not* aligned, which is exactly why
+    // the paper learns two matrices (asymmetric item transitions).
+    let item = by_freq[0];
+    let sim = cosine_similarity(
+        model.input_item_embeddings().row(item),
+        model.candidate_item_embeddings().row(item),
+    );
+    println!("cosine between item {item}'s input and candidate embeddings: {sim:.3}");
+}
