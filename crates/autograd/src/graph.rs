@@ -21,39 +21,103 @@ enum Op {
     /// Constant input; no gradient flows past it.
     Constant,
     /// Dense parameter leaf.
-    Param { param: ParamId },
+    Param {
+        param: ParamId,
+    },
     /// Embedding-lookup leaf: rows of `param` selected by `indices`.
-    Gather { param: ParamId, indices: Vec<usize> },
-    Add { a: VarId, b: VarId },
-    Sub { a: VarId, b: VarId },
-    Hadamard { a: VarId, b: VarId },
-    Scale { a: VarId, factor: f32 },
-    Neg { a: VarId },
-    MatMul { a: VarId, b: VarId },
+    Gather {
+        param: ParamId,
+        indices: Vec<usize>,
+    },
+    Add {
+        a: VarId,
+        b: VarId,
+    },
+    Sub {
+        a: VarId,
+        b: VarId,
+    },
+    Hadamard {
+        a: VarId,
+        b: VarId,
+    },
+    Scale {
+        a: VarId,
+        factor: f32,
+    },
+    Neg {
+        a: VarId,
+    },
+    MatMul {
+        a: VarId,
+        b: VarId,
+    },
     /// `a · bᵀ`
-    MatMulT { a: VarId, b: VarId },
-    Sigmoid { a: VarId },
-    Tanh { a: VarId },
-    Relu { a: VarId },
+    MatMulT {
+        a: VarId,
+        b: VarId,
+    },
+    Sigmoid {
+        a: VarId,
+    },
+    Tanh {
+        a: VarId,
+    },
+    Relu {
+        a: VarId,
+    },
     /// `softplus(x) = ln(1 + e^x)`; `-log σ(x) = softplus(-x)`.
-    Softplus { a: VarId },
-    MeanRows { a: VarId },
-    MaxRows { a: VarId, argmax: Vec<usize> },
-    SumAll { a: VarId },
-    MeanAll { a: VarId },
-    RowSoftmax { a: VarId },
-    Transpose { a: VarId },
-    Reshape { a: VarId },
-    ConcatRows { parts: Vec<VarId> },
-    ConcatCols { parts: Vec<VarId> },
-    SliceRows { a: VarId, start: usize },
+    Softplus {
+        a: VarId,
+    },
+    MeanRows {
+        a: VarId,
+    },
+    MaxRows {
+        a: VarId,
+        argmax: Vec<usize>,
+    },
+    SumAll {
+        a: VarId,
+    },
+    MeanAll {
+        a: VarId,
+    },
+    RowSoftmax {
+        a: VarId,
+    },
+    Transpose {
+        a: VarId,
+    },
+    Reshape {
+        a: VarId,
+    },
+    ConcatRows {
+        parts: Vec<VarId>,
+    },
+    ConcatCols {
+        parts: Vec<VarId>,
+    },
+    SliceRows {
+        a: VarId,
+        start: usize,
+    },
     /// Row-wise dot product of two equally-shaped matrices → column vector.
-    DotRows { a: VarId, b: VarId },
+    DotRows {
+        a: VarId,
+        b: VarId,
+    },
     /// Adds a `1 x d` row vector `b` to every row of `a`.
-    AddRowBroadcast { a: VarId, b: VarId },
+    AddRowBroadcast {
+        a: VarId,
+        b: VarId,
+    },
     /// Full-width 1-D convolution of `input (L x d)` with `filter (h x d)`,
     /// producing `(L - h + 1) x 1` window scores (Caser's horizontal filters).
-    ConvFullWidth { input: VarId, filter: VarId },
+    ConvFullWidth {
+        input: VarId,
+        filter: VarId,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -158,7 +222,7 @@ impl Graph {
     /// Adds the `1 x d` row vector `b` to every row of `a`.
     pub fn add_row_broadcast(&mut self, a: VarId, b: VarId) -> VarId {
         assert_eq!(self.shape(b).0, 1, "add_row_broadcast: b must be a row vector");
-        let value = self.value(a).add_row_broadcast(&self.value(b).row(0).to_vec());
+        let value = self.value(a).add_row_broadcast(self.value(b).row(0));
         self.push(value, Op::AddRowBroadcast { a, b })
     }
 
@@ -331,7 +395,10 @@ impl Graph {
     pub fn conv_full_width(&mut self, input: VarId, filter: VarId) -> VarId {
         let (inp, fil) = (self.value(input), self.value(filter));
         assert_eq!(inp.cols(), fil.cols(), "conv_full_width: embedding width mismatch");
-        assert!(fil.rows() >= 1 && fil.rows() <= inp.rows(), "conv_full_width: filter height must be in 1..=input rows");
+        assert!(
+            fil.rows() >= 1 && fil.rows() <= inp.rows(),
+            "conv_full_width: filter height must be in 1..=input rows"
+        );
         let positions = inp.rows() - fil.rows() + 1;
         let mut out = Matrix::zeros(positions, 1);
         for p in 0..positions {

@@ -115,9 +115,9 @@ impl Optimizer for Adam {
             let value = params.value_mut(id);
             let cols = shape.1;
             for (row, grad_row) in rows {
-                for col in 0..cols {
+                for (col, &raw_g) in grad_row.iter().enumerate() {
                     let i = row * cols + col;
-                    let g = grad_row[col] + c.weight_decay * value.as_slice()[i];
+                    let g = raw_g + c.weight_decay * value.as_slice()[i];
                     let mi = c.beta1 * m.as_slice()[i] + (1.0 - c.beta1) * g;
                     let vi = c.beta2 * v.as_slice()[i] + (1.0 - c.beta2) * g * g;
                     m.as_mut_slice()[i] = mi;
@@ -166,9 +166,9 @@ impl Optimizer for Sgd {
             let cols = params.value(id).cols();
             let value = params.value_mut(id);
             for (row, grad_row) in rows {
-                for col in 0..cols {
+                for (col, &raw_g) in grad_row.iter().enumerate() {
                     let i = row * cols + col;
-                    let g = grad_row[col] + self.weight_decay * value.as_slice()[i];
+                    let g = raw_g + self.weight_decay * value.as_slice()[i];
                     value.as_mut_slice()[i] -= self.learning_rate * g;
                 }
             }

@@ -125,10 +125,16 @@ impl SparseGrad {
 
     /// Accumulates `grad` into the gradient of `row`.
     pub fn add_row(&mut self, row: usize, grad: &[f32]) {
-        assert_eq!(grad.len(), self.cols, "SparseGrad::add_row: width mismatch");
+        self.add_scaled_row(row, grad, 1.0);
+    }
+
+    /// Accumulates `scale * grad` into the gradient of `row` without
+    /// materialising the scaled row.
+    pub fn add_scaled_row(&mut self, row: usize, grad: &[f32], scale: f32) {
+        assert_eq!(grad.len(), self.cols, "SparseGrad::add_scaled_row: width mismatch");
         let entry = self.rows.entry(row).or_insert_with(|| vec![0.0; self.cols]);
         for (e, g) in entry.iter_mut().zip(grad) {
-            *e += g;
+            *e += scale * g;
         }
     }
 
@@ -191,6 +197,14 @@ impl GradStore {
         for (i, &idx) in indices.iter().enumerate() {
             entry.add_row(idx, rows.row(i));
         }
+    }
+
+    /// Accumulates `scale * grad` into sparse row `row` of `id` directly from
+    /// a slice — the zero-allocation path the manual trainer uses per
+    /// training pair (no `Matrix::row_vector` temporary).
+    pub fn accumulate_scaled_row(&mut self, id: ParamId, row: usize, grad: &[f32], scale: f32) {
+        let entry = self.sparse.entry(id.0).or_insert_with(|| SparseGrad::new(grad.len()));
+        entry.add_scaled_row(row, grad, scale);
     }
 
     /// Dense gradient for `id`, if any was accumulated.

@@ -31,11 +31,7 @@ fn assert_gradients_match(
             let l = build_loss(p, &mut g, &ids_clone);
             g.value(l).get(0, 0)
         });
-        assert!(
-            report.passes(2e-2),
-            "{label}: gradient mismatch for param {} ({report:?})",
-            params.name(id)
-        );
+        assert!(report.passes(2e-2), "{label}: gradient mismatch for param {} ({report:?})", params.name(id));
     }
 }
 

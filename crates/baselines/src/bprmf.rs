@@ -4,7 +4,6 @@
 use crate::common::{bpr_pairwise_loss, train_bpr, BaselineTrainConfig, SequentialRecommender};
 use ham_autograd::{ParamId, ParamStore};
 use ham_data::dataset::ItemId;
-use ham_tensor::matrix::dot;
 use ham_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,8 +82,20 @@ impl SequentialRecommender for BprMf {
 
     fn score_all(&self, user: usize, _sequence: &[ItemId]) -> Vec<f32> {
         let u = self.params.value(self.users).row(user);
-        let q = self.params.value(self.items);
-        (0..self.num_items).map(|j| dot(u, q.row(j))).collect()
+        self.params.value(self.items).matvec_transposed(u)
+    }
+
+    fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> ham_tensor::Matrix {
+        assert_eq!(
+            users.len(),
+            sequences.len(),
+            "score_batch: {} users but {} sequences",
+            users.len(),
+            sequences.len()
+        );
+        // Q is just the gathered user-factor rows; one GEMM scores the batch.
+        let queries = self.params.value(self.users).gather_rows(users);
+        queries.matmul_transposed(self.params.value(self.items))
     }
 }
 

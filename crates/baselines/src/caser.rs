@@ -17,7 +17,6 @@
 use crate::common::{bpr_pairwise_loss, fixed_window, train_bpr, BaselineTrainConfig, SequentialRecommender};
 use ham_autograd::{Graph, ParamId, ParamStore, VarId};
 use ham_data::dataset::ItemId;
-use ham_tensor::matrix::dot;
 use ham_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -89,7 +88,8 @@ impl Caser {
                 .collect();
             horizontal.push(filters);
         }
-        let vertical = params.add_dense("F_v", Matrix::xavier_uniform(config.vertical_filters, config.seq_len, &mut rng));
+        let vertical =
+            params.add_dense("F_v", Matrix::xavier_uniform(config.vertical_filters, config.seq_len, &mut rng));
         let horizontal_out = config.seq_len * config.horizontal_filters;
         let vertical_out = config.vertical_filters * d;
         let fc_weight = params.add_dense("W_fc", Matrix::xavier_uniform(horizontal_out + vertical_out, d, &mut rng));
@@ -184,8 +184,12 @@ impl SequentialRecommender for Caser {
 
     fn score_all(&self, user: usize, sequence: &[ItemId]) -> Vec<f32> {
         let q = self.query_vector(user, sequence);
+        self.params.value(self.ids.items_out).matvec_transposed(&q)
+    }
+
+    fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> ham_tensor::Matrix {
         let w = self.params.value(self.ids.items_out);
-        (0..self.num_items).map(|j| dot(&q, w.row(j))).collect()
+        crate::common::batched_query_scores(users, sequences, w.cols(), w, |u, s| self.query_vector(u, s))
     }
 }
 
@@ -247,10 +251,11 @@ mod tests {
         let fc_weight = params.add_dense("W_fc", Matrix::xavier_uniform(cfg.seq_len + d, d, &mut rng));
         let fc_bias = params.add_dense("b_fc", Matrix::zeros(1, d));
         let ids = CaserParams { users, items_in, items_out, horizontal, vertical, fc_weight, fc_bias };
-        let losses = train_bpr(&mut params, &data.sequences, data.num_items, cfg.seq_len, cfg.targets, &tc, 2, |s, g, inst| {
-            let q = Caser::query_node(s, g, &ids, &cfg, inst.user, &inst.input);
-            bpr_pairwise_loss(g, s, ids.items_out, q, inst)
-        });
+        let losses =
+            train_bpr(&mut params, &data.sequences, data.num_items, cfg.seq_len, cfg.targets, &tc, 2, |s, g, inst| {
+                let q = Caser::query_node(s, g, &ids, &cfg, inst.user, &inst.input);
+                bpr_pairwise_loss(g, s, ids.items_out, q, inst)
+            });
         assert!(losses.last().unwrap() < losses.first().unwrap(), "Caser loss should decrease: {losses:?}");
     }
 }

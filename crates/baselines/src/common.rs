@@ -5,13 +5,15 @@ use ham_autograd::{Adam, AdamConfig, Graph, Optimizer, ParamStore, VarId};
 use ham_data::dataset::ItemId;
 use ham_data::negative::NegativeSampler;
 use ham_data::window::sliding_windows;
+use ham_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// A sequential recommender that can score every catalogue item for a user
 /// given the user's interaction history. Implemented by every baseline; the
-/// HAM models expose the same shape of API in `ham-core`.
+/// HAM models expose the same shape of API (the `Scorer` trait) in
+/// `ham-core`.
 pub trait SequentialRecommender {
     /// Human-readable method name as used in the paper's tables.
     fn name(&self) -> &'static str;
@@ -19,6 +21,52 @@ pub trait SequentialRecommender {
     fn num_items(&self) -> usize;
     /// Scores every item for `user` given the user's chronological history.
     fn score_all(&self, user: usize, sequence: &[ItemId]) -> Vec<f32>;
+    /// Scores every item for a batch of users; row `i` equals
+    /// `score_all(users[i], sequences[i])` within float rounding (≤ 1e-5).
+    ///
+    /// The default loops over `score_all`; models with a linear scoring head
+    /// override it to build their query matrix once and answer with a single
+    /// blocked `Q · Wᵀ` GEMM.
+    ///
+    /// # Panics
+    /// Panics if `users` and `sequences` differ in length.
+    fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> Matrix {
+        score_batch_rows(self.num_items(), users, sequences, |u, s| self.score_all(u, s))
+    }
+}
+
+/// Assembles a batch score matrix from a per-user scoring closure (the
+/// default body of [`SequentialRecommender::score_batch`]).
+pub fn score_batch_rows(
+    num_items: usize,
+    users: &[usize],
+    sequences: &[&[ItemId]],
+    score_all: impl Fn(usize, &[ItemId]) -> Vec<f32>,
+) -> Matrix {
+    assert_eq!(users.len(), sequences.len(), "score_batch: {} users but {} sequences", users.len(), sequences.len());
+    let mut out = Matrix::zeros(users.len(), num_items);
+    for (i, (&user, sequence)) in users.iter().zip(sequences).enumerate() {
+        out.row_mut(i).copy_from_slice(&score_all(user, sequence));
+    }
+    out
+}
+
+/// Builds the query matrix `Q` (one query per user, via `query_vector`) and
+/// scores the whole batch against `candidates` with one blocked GEMM — the
+/// shared body of the baselines' `score_batch` overrides.
+pub fn batched_query_scores(
+    users: &[usize],
+    sequences: &[&[ItemId]],
+    d: usize,
+    candidates: &Matrix,
+    query_vector: impl Fn(usize, &[ItemId]) -> Vec<f32>,
+) -> Matrix {
+    assert_eq!(users.len(), sequences.len(), "score_batch: {} users but {} sequences", users.len(), sequences.len());
+    let mut queries = Matrix::zeros(users.len(), d);
+    for (i, (&user, sequence)) in users.iter().zip(sequences).enumerate() {
+        queries.row_mut(i).copy_from_slice(&query_vector(user, sequence));
+    }
+    queries.matmul_transposed(candidates)
 }
 
 /// Training hyper-parameters shared by all baselines.
@@ -59,6 +107,7 @@ pub struct TrainInstance {
 /// `1 x 1` node; the harness batches instances, averages their losses, runs
 /// the backward pass and applies sparse Adam — exactly the protocol used for
 /// the HAM models, so method comparisons share the data path.
+#[allow(clippy::too_many_arguments)]
 pub fn train_bpr(
     store: &mut ParamStore,
     train_sequences: &[Vec<ItemId>],
@@ -171,10 +220,7 @@ mod tests {
             bpr_pairwise_loss(g, store, items, u, inst)
         });
         assert_eq!(losses.len(), 8);
-        assert!(
-            losses.last().unwrap() < losses.first().unwrap(),
-            "loss should decrease: {losses:?}"
-        );
+        assert!(losses.last().unwrap() < losses.first().unwrap(), "loss should decrease: {losses:?}");
     }
 
     #[test]

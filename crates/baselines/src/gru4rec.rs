@@ -12,10 +12,11 @@
 //! shared BPR harness (the original paper's ranking losses — BPR / TOP1 —
 //! include BPR, so this matches one of its configurations).
 
-use crate::common::{bpr_pairwise_loss, fixed_window, train_bpr, BaselineTrainConfig, SequentialRecommender, TrainInstance};
+use crate::common::{
+    bpr_pairwise_loss, fixed_window, train_bpr, BaselineTrainConfig, SequentialRecommender, TrainInstance,
+};
 use ham_autograd::{Graph, ParamId, ParamStore, VarId};
 use ham_data::dataset::ItemId;
-use ham_tensor::matrix::dot;
 use ham_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -105,7 +106,13 @@ impl Gru4Rec {
     }
 
     /// Unrolls the GRU over the window and returns the final hidden state.
-    fn hidden_state_node(store: &ParamStore, g: &mut Graph, ids: &GruParams, config: &Gru4RecConfig, input: &[ItemId]) -> VarId {
+    fn hidden_state_node(
+        store: &ParamStore,
+        g: &mut Graph,
+        ids: &GruParams,
+        config: &Gru4RecConfig,
+        input: &[ItemId],
+    ) -> VarId {
         debug_assert_eq!(input.len(), config.seq_len);
         let d = config.d;
         let w_z = g.param(store, ids.w_update);
@@ -178,8 +185,12 @@ impl SequentialRecommender for Gru4Rec {
 
     fn score_all(&self, _user: usize, sequence: &[ItemId]) -> Vec<f32> {
         let h = self.hidden_state(sequence);
+        self.params.value(self.ids.items).matvec_transposed(&h)
+    }
+
+    fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> ham_tensor::Matrix {
         let e = self.params.value(self.ids.items);
-        (0..self.num_items).map(|j| dot(&h, e.row(j))).collect()
+        crate::common::batched_query_scores(users, sequences, e.cols(), e, |_, s| self.hidden_state(s))
     }
 }
 
@@ -242,10 +253,11 @@ mod tests {
             b_cand: params.add_dense("b_h", Matrix::zeros(1, d)),
         };
         let tc = BaselineTrainConfig { epochs: 3, batch_size: 64, ..Default::default() };
-        let losses = train_bpr(&mut params, &data.sequences, data.num_items, cfg.seq_len, cfg.targets, &tc, 8, |s, g, inst| {
-            let q = Gru4Rec::hidden_state_node(s, g, &ids, &cfg, &inst.input);
-            bpr_pairwise_loss(g, s, ids.items, q, inst)
-        });
+        let losses =
+            train_bpr(&mut params, &data.sequences, data.num_items, cfg.seq_len, cfg.targets, &tc, 8, |s, g, inst| {
+                let q = Gru4Rec::hidden_state_node(s, g, &ids, &cfg, &inst.input);
+                bpr_pairwise_loss(g, s, ids.items, q, inst)
+            });
         assert!(losses.last().unwrap() < losses.first().unwrap(), "GRU4Rec loss should decrease: {losses:?}");
     }
 }

@@ -17,7 +17,9 @@
 //! Figure 4 of the paper; [`Hgn::instance_gating_weights`] exposes them for
 //! the reproduction of that study.
 
-use crate::common::{bpr_pairwise_loss, fixed_window, train_bpr, BaselineTrainConfig, SequentialRecommender, TrainInstance};
+use crate::common::{
+    bpr_pairwise_loss, fixed_window, train_bpr, BaselineTrainConfig, SequentialRecommender, TrainInstance,
+};
 use ham_autograd::{Graph, ParamId, ParamStore, VarId};
 use ham_data::dataset::ItemId;
 use ham_tensor::matrix::dot;
@@ -171,28 +173,20 @@ impl Hgn {
         let u_inst = self.params.value(self.inst_gate_user);
 
         let user_part = Matrix::row_vector(u).matmul(u_f);
-        let gate_pre = e.matmul(w_f).add_row_broadcast(&user_part.row(0).to_vec());
+        let gate_pre = e.matmul(w_f).add_row_broadcast(user_part.row(0));
         let gate = ham_tensor::ops::sigmoid(&gate_pre);
         let gated = e.hadamard(&gate);
 
-        let user_score = dot(u, &u_inst.transpose().row(0).to_vec());
+        let user_score = dot(u, u_inst.transpose().row(0));
         let weights: Vec<f32> = (0..gated.rows())
-            .map(|l| sigmoid_scalar(dot(gated.row(l), &w_inst.transpose().row(0).to_vec()) + user_score))
+            .map(|l| sigmoid_scalar(dot(gated.row(l), w_inst.transpose().row(0)) + user_score))
             .collect();
         (gated, weights)
     }
-}
 
-impl SequentialRecommender for Hgn {
-    fn name(&self) -> &'static str {
-        "HGN"
-    }
-
-    fn num_items(&self) -> usize {
-        self.num_items
-    }
-
-    fn score_all(&self, user: usize, sequence: &[ItemId]) -> Vec<f32> {
+    /// The final query vector `q = u + agg + Σ e_l` scored against the output
+    /// item embeddings (shared by the per-user and batched scoring paths).
+    fn query_vector(&self, user: usize, sequence: &[ItemId]) -> Vec<f32> {
         let window = fixed_window(sequence, self.config.seq_len);
         let (gated, weights) = self.gated_window(user, &window);
 
@@ -217,9 +211,27 @@ impl SequentialRecommender for Hgn {
                 *qi += ei;
             }
         }
+        q
+    }
+}
 
+impl SequentialRecommender for Hgn {
+    fn name(&self) -> &'static str {
+        "HGN"
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn score_all(&self, user: usize, sequence: &[ItemId]) -> Vec<f32> {
+        let q = self.query_vector(user, sequence);
+        self.params.value(self.items_out).matvec_transposed(&q)
+    }
+
+    fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> ham_tensor::Matrix {
         let w_out = self.params.value(self.items_out);
-        (0..self.num_items).map(|j| dot(&q, w_out.row(j))).collect()
+        crate::common::batched_query_scores(users, sequences, w_out.cols(), w_out, |u, s| self.query_vector(u, s))
     }
 }
 
@@ -280,9 +292,10 @@ mod tests {
         let u_i = params.add_dense("u_inst", Matrix::xavier_uniform(cfg.d, 1, &mut rng));
         let ids = (users, items_in, items_out, w_f, u_f, w_i, u_i);
         let tc = BaselineTrainConfig { epochs: 4, batch_size: 64, ..Default::default() };
-        let losses = train_bpr(&mut params, &data.sequences, data.num_items, cfg.seq_len, cfg.targets, &tc, 7, |s, g, inst| {
-            Hgn::instance_loss(s, g, inst, ids, cfg.seq_len)
-        });
+        let losses =
+            train_bpr(&mut params, &data.sequences, data.num_items, cfg.seq_len, cfg.targets, &tc, 7, |s, g, inst| {
+                Hgn::instance_loss(s, g, inst, ids, cfg.seq_len)
+            });
         assert!(losses.last().unwrap() < losses.first().unwrap(), "HGN loss should decrease: {losses:?}");
     }
 }

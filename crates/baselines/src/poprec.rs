@@ -43,6 +43,22 @@ impl SequentialRecommender for PopRec {
     fn score_all(&self, _user: usize, _sequence: &[ItemId]) -> Vec<f32> {
         self.scores.clone()
     }
+
+    fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> ham_tensor::Matrix {
+        assert_eq!(
+            users.len(),
+            sequences.len(),
+            "score_batch: {} users but {} sequences",
+            users.len(),
+            sequences.len()
+        );
+        // Popularity is user-independent: tile the same score row.
+        let mut out = ham_tensor::Matrix::zeros(users.len(), self.scores.len());
+        for i in 0..users.len() {
+            out.row_mut(i).copy_from_slice(&self.scores);
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,9 @@
 //! almost every dataset), no layer normalisation or dropout, and the BPR loss
 //! of the shared harness instead of per-position binary cross-entropy.
 
-use crate::common::{bpr_pairwise_loss, fixed_window, train_bpr, BaselineTrainConfig, SequentialRecommender, TrainInstance};
+use crate::common::{
+    bpr_pairwise_loss, fixed_window, train_bpr, BaselineTrainConfig, SequentialRecommender, TrainInstance,
+};
 use ham_autograd::{Graph, ParamId, ParamStore, VarId};
 use ham_data::dataset::ItemId;
 use ham_tensor::matrix::dot;
@@ -100,7 +102,13 @@ impl SasRec {
     }
 
     /// Builds the last-position representation of the attention block.
-    fn query_node(store: &ParamStore, g: &mut Graph, ids: &SasRecParams, config: &SasRecConfig, input: &[ItemId]) -> VarId {
+    fn query_node(
+        store: &ParamStore,
+        g: &mut Graph,
+        ids: &SasRecParams,
+        config: &SasRecConfig,
+        input: &[ItemId],
+    ) -> VarId {
         debug_assert_eq!(input.len(), config.seq_len, "SASRec input must have length seq_len");
         let len = config.seq_len;
         let d = config.d;
@@ -154,9 +162,8 @@ impl SasRec {
         let x = e.add(self.params.value(self.ids.positions));
         let q = x.matmul(self.params.value(self.ids.w_query));
         let k = x.matmul(self.params.value(self.ids.w_key));
-        let mut scores: Vec<f32> = (0..window.len())
-            .map(|l| dot(q.row(window.len() - 1), k.row(l)) / (self.config.d as f32).sqrt())
-            .collect();
+        let mut scores: Vec<f32> =
+            (0..window.len()).map(|l| dot(q.row(window.len() - 1), k.row(l)) / (self.config.d as f32).sqrt()).collect();
         ham_tensor::ops::softmax_in_place(&mut scores);
         window.into_iter().zip(scores).collect()
     }
@@ -192,8 +199,12 @@ impl SequentialRecommender for SasRec {
 
     fn score_all(&self, _user: usize, sequence: &[ItemId]) -> Vec<f32> {
         let q = self.query_vector(sequence);
+        self.params.value(self.ids.items).matvec_transposed(&q)
+    }
+
+    fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> ham_tensor::Matrix {
         let e = self.params.value(self.ids.items);
-        (0..self.num_items).map(|j| dot(&q, e.row(j))).collect()
+        crate::common::batched_query_scores(users, sequences, e.cols(), e, |_, s| self.query_vector(s))
     }
 }
 

@@ -22,7 +22,9 @@ fn data_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("data_pipeline");
     group.sample_size(10);
     group.bench_function("generate_500_users", |b| b.iter(|| black_box(profile.generate(black_box(9)))));
-    group.bench_function("split_80_20", |b| b.iter(|| black_box(split_dataset(black_box(&dataset), EvalSetting::Cut8020))));
+    group.bench_function("split_80_20", |b| {
+        b.iter(|| black_box(split_dataset(black_box(&dataset), EvalSetting::Cut8020)))
+    });
     group.bench_function("sliding_windows_nh5_np3", |b| {
         b.iter(|| black_box(sliding_windows(black_box(&split.train), 5, 3)))
     });

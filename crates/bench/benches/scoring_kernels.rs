@@ -1,0 +1,58 @@
+//! The scoring-kernel ladder behind Table 14's efficiency story: the seed's
+//! naive per-item dot loop vs the fused one-user pass
+//! (`matvec_transposed`) vs the batched `Q·Wᵀ` GEMM, at catalogue sizes
+//! 1k / 10k / 50k with d = 32.
+//!
+//! The batched entry is timed over a 64-user batch and reported per batch;
+//! divide by 64 to compare per-user cost against the other two rungs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ham_tensor::kernels::{matmul_transposed, matvec_transposed};
+use ham_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const D: usize = 32;
+const BATCH: usize = 64;
+const CATALOGUE_SIZES: [usize; 3] = [1_000, 10_000, 50_000];
+
+/// The seed's scoring loop: one single-accumulator dot per catalogue item.
+fn naive_score_all(w: &Matrix, q: &[f32]) -> Vec<f32> {
+    (0..w.rows())
+        .map(|j| {
+            let row = w.row(j);
+            let mut acc = 0.0f32;
+            for (x, y) in row.iter().zip(q) {
+                acc += x * y;
+            }
+            acc
+        })
+        .collect()
+}
+
+fn scoring_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut group = c.benchmark_group("score_catalogue_d32");
+    group.sample_size(20);
+
+    for n in CATALOGUE_SIZES {
+        let w = Matrix::xavier_uniform(n, D, &mut rng);
+        let q: Vec<f32> = (0..D).map(|k| (k as f32 * 0.37).sin()).collect();
+        let queries = Matrix::xavier_uniform(BATCH, D, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("naive_dot_loop", n), &n, |b, _| {
+            b.iter(|| black_box(naive_score_all(black_box(&w), black_box(&q))))
+        });
+        group.bench_with_input(BenchmarkId::new("matvec_transposed", n), &n, |b, _| {
+            b.iter(|| black_box(matvec_transposed(black_box(&w), black_box(&q))))
+        });
+        group.bench_with_input(BenchmarkId::new("batched_qwt_64users", n), &n, |b, _| {
+            b.iter(|| black_box(matmul_transposed(black_box(&queries), black_box(&w))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scoring_kernels);
+criterion_main!(benches);

@@ -17,11 +17,8 @@ fn one_epoch(data: &SequenceDataset, config: &HamConfig, force_autograd: bool) {
 fn training_benchmarks(c: &mut Criterion) {
     let data = bench_dataset();
     // keep the benchmark epoch small by truncating users
-    let data = SequenceDataset::new(
-        data.name.clone(),
-        data.sequences.iter().take(60).cloned().collect(),
-        data.num_items,
-    );
+    let data =
+        SequenceDataset::new(data.name.clone(), data.sequences.iter().take(60).cloned().collect(), data.num_items);
 
     let mut group = c.benchmark_group("train_one_epoch");
     group.sample_size(10);

@@ -14,6 +14,10 @@
 //!   (the `p` rows of Tables 10–12).
 //! * `data_pipeline` — synthetic generation, splitting and sliding-window
 //!   extraction throughput.
+//! * `scoring_kernels` — the scoring-kernel ladder (naive per-item dot loop
+//!   vs fused `matvec_transposed` vs batched `Q·Wᵀ`) at catalogue sizes
+//!   1k / 10k / 50k; the `scoring_report` binary writes the same comparison
+//!   plus end-to-end evaluation numbers to `BENCH_scoring.json`.
 
 use ham_core::{train, HamConfig, HamModel, HamVariant, TrainConfig};
 use ham_data::dataset::SequenceDataset;

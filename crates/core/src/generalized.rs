@@ -60,7 +60,11 @@ impl GeneralizedHamConfig {
         assert!(!self.windows.is_empty(), "GeneralizedHamConfig: need at least one window");
         assert!(self.d > 0 && self.n_p > 0, "GeneralizedHamConfig: d and n_p must be positive");
         for pair in self.windows.windows(2) {
-            assert!(pair[0] > pair[1], "GeneralizedHamConfig: windows must be strictly decreasing, got {:?}", self.windows);
+            assert!(
+                pair[0] > pair[1],
+                "GeneralizedHamConfig: windows must be strictly decreasing, got {:?}",
+                self.windows
+            );
         }
         assert!(*self.windows.last().unwrap() >= 1, "GeneralizedHamConfig: windows must be >= 1");
         assert!(
@@ -163,24 +167,34 @@ impl GeneralizedHamModel {
         q
     }
 
-    /// Scores every catalogue item for the user.
+    /// Scores every catalogue item for the user in one fused `W · q` pass.
     pub fn score_all(&self, user: usize, sequence: &[ItemId]) -> Vec<f32> {
         let q = self.query_vector(user, sequence);
-        let w = self.base.candidate_item_embeddings();
-        (0..self.base.num_items()).map(|j| dot(&q, w.row(j))).collect()
+        self.base.candidate_item_embeddings().matvec_transposed(&q)
+    }
+
+    /// Scores every catalogue item for a batch of users with one blocked
+    /// `Q · Wᵀ` GEMM (row `i` matches `score_all(users[i], histories[i])`
+    /// within 1e-5).
+    ///
+    /// # Panics
+    /// Panics if `users` and `histories` differ in length.
+    pub fn score_batch(&self, users: &[usize], histories: &[&[ItemId]]) -> ham_tensor::Matrix {
+        crate::scorer::batched_query_scores(
+            users,
+            histories,
+            self.config.d,
+            self.base.candidate_item_embeddings(),
+            |u, h| self.query_vector(u, h),
+        )
     }
 
     /// Recommends the `k` highest-scoring items, optionally excluding already
-    /// seen items.
+    /// seen items (masked through a catalogue bitmap, not a hash set).
     pub fn recommend_top_k(&self, user: usize, sequence: &[ItemId], k: usize, exclude_seen: bool) -> Vec<ItemId> {
         let mut scores = self.score_all(user, sequence);
         if exclude_seen {
-            let seen: std::collections::HashSet<ItemId> = sequence.iter().copied().collect();
-            for (item, score) in scores.iter_mut().enumerate() {
-                if seen.contains(&item) {
-                    *score = f32::NEG_INFINITY;
-                }
-            }
+            crate::scorer::SeenMask::new(self.base.num_items()).mask_scores(sequence, &mut scores);
         }
         ham_tensor::ops::top_k_indices(&scores, k)
     }

@@ -2,6 +2,7 @@
 //! and top-k recommendation.
 
 use crate::config::HamConfig;
+use crate::scorer::SeenMask;
 use crate::synergy::{apply_latent_cross, synergy_terms};
 use ham_data::dataset::ItemId;
 use ham_data::window::recent_window;
@@ -11,7 +12,6 @@ use ham_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// A (trained or untrained) Hybrid Associations Model.
 ///
@@ -142,9 +142,29 @@ impl HamModel {
     }
 
     /// Scores every item in the catalogue for the user (Eq. 7/8).
+    ///
+    /// Computed as one fused `W · q` pass over the candidate-embedding matrix
+    /// ([`Matrix::matvec_transposed`]) instead of a per-item dot loop.
     pub fn score_all(&self, user: usize, sequence: &[ItemId]) -> Vec<f32> {
         let q = self.query_vector(user, sequence);
-        (0..self.num_items).map(|j| dot(&q, self.item_emb_out.row(j))).collect()
+        self.item_emb_out.matvec_transposed(&q)
+    }
+
+    /// Scores every catalogue item for a batch of users in one blocked GEMM.
+    ///
+    /// Builds the query matrix `Q` (one [`Self::query_vector`] per row) once
+    /// and computes `Q · Wᵀ`, returning a `users.len() × num_items` score
+    /// matrix whose row `i` equals `score_all(users[i], histories[i])` up to
+    /// float-rounding (≤ 1e-5). This is the test-time fast path behind
+    /// `ham_eval::protocol::evaluate_batch`.
+    ///
+    /// # Panics
+    /// Panics if `users` and `histories` differ in length, any user is out of
+    /// range, or any history is empty.
+    pub fn score_batch(&self, users: &[usize], histories: &[&[ItemId]]) -> Matrix {
+        crate::scorer::batched_query_scores(users, histories, self.config.d, &self.item_emb_out, |u, h| {
+            self.query_vector(u, h)
+        })
     }
 
     /// Scores only the given candidate items.
@@ -155,21 +175,25 @@ impl HamModel {
 
     /// Recommends the `k` highest-scoring items, optionally excluding items
     /// the user has already interacted with.
-    pub fn recommend_top_k(
+    pub fn recommend_top_k(&self, user: usize, sequence: &[ItemId], k: usize, exclude_seen: bool) -> Vec<ItemId> {
+        let mut mask = SeenMask::new(self.num_items);
+        self.recommend_top_k_with(user, sequence, k, exclude_seen, &mut mask)
+    }
+
+    /// Like [`Self::recommend_top_k`], reusing a caller-owned [`SeenMask`] so
+    /// a serving loop recommending for many users allocates the catalogue
+    /// bitmap once instead of per call.
+    pub fn recommend_top_k_with(
         &self,
         user: usize,
         sequence: &[ItemId],
         k: usize,
         exclude_seen: bool,
+        mask: &mut SeenMask,
     ) -> Vec<ItemId> {
         let mut scores = self.score_all(user, sequence);
         if exclude_seen {
-            let seen: HashSet<ItemId> = sequence.iter().copied().collect();
-            for (item, score) in scores.iter_mut().enumerate() {
-                if seen.contains(&item) {
-                    *score = f32::NEG_INFINITY;
-                }
-            }
+            mask.mask_scores(sequence, &mut scores);
         }
         top_k_indices(&scores, k)
     }

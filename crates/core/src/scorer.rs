@@ -1,9 +1,159 @@
-//! Ranking utilities shared by the model, the evaluation harness and the
-//! run-time benchmarks.
+//! Scoring and ranking utilities shared by the model, the evaluation harness
+//! and the run-time benchmarks: the [`Scorer`] trait with its batched entry
+//! point, the reusable [`SeenMask`] catalogue bitmap, and candidate-scoring
+//! helpers.
 
 use ham_data::dataset::ItemId;
 use ham_tensor::ops::top_k_indices;
+use ham_tensor::Matrix;
 use std::collections::HashSet;
+
+/// A model that can score every catalogue item for a user, one user at a time
+/// or in batches.
+///
+/// The batched entry point is what the threaded evaluation protocol
+/// (`ham_eval::protocol::evaluate_batch`) calls: implementors with a
+/// linear scoring head (`r = q · Wᵀ`) override it to build the query matrix
+/// once and answer the whole batch with a single blocked GEMM, which is the
+/// paper's Table 14 efficiency story made concrete.
+pub trait Scorer {
+    /// Number of items the model can score.
+    fn num_items(&self) -> usize;
+
+    /// Scores every item for `user` given the user's chronological history.
+    fn score_all(&self, user: usize, sequence: &[ItemId]) -> Vec<f32>;
+
+    /// Scores every item for a batch of users; row `i` of the result equals
+    /// `score_all(users[i], sequences[i])` within float rounding (≤ 1e-5).
+    ///
+    /// The default falls back to one `score_all` call per user; override when
+    /// a batched kernel is available.
+    ///
+    /// # Panics
+    /// Panics if `users` and `sequences` differ in length.
+    fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> Matrix {
+        score_batch_fallback(self.num_items(), users, sequences, |u, s| self.score_all(u, s))
+    }
+}
+
+impl Scorer for crate::model::HamModel {
+    fn num_items(&self) -> usize {
+        crate::model::HamModel::num_items(self)
+    }
+
+    fn score_all(&self, user: usize, sequence: &[ItemId]) -> Vec<f32> {
+        crate::model::HamModel::score_all(self, user, sequence)
+    }
+
+    fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> Matrix {
+        crate::model::HamModel::score_batch(self, users, sequences)
+    }
+}
+
+impl Scorer for crate::generalized::GeneralizedHamModel {
+    fn num_items(&self) -> usize {
+        crate::generalized::GeneralizedHamModel::num_items(self)
+    }
+
+    fn score_all(&self, user: usize, sequence: &[ItemId]) -> Vec<f32> {
+        crate::generalized::GeneralizedHamModel::score_all(self, user, sequence)
+    }
+
+    fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> Matrix {
+        crate::generalized::GeneralizedHamModel::score_batch(self, users, sequences)
+    }
+}
+
+/// Assembles a score matrix by calling a per-user scorer once per row (the
+/// default-implementation body of [`Scorer::score_batch`]).
+///
+/// `ham_baselines::common::score_batch_rows` is the same shape for the
+/// baselines' trait; the two crates cannot share it without a dependency
+/// between them, so keep the implementations in sync.
+pub fn score_batch_fallback(
+    num_items: usize,
+    users: &[usize],
+    sequences: &[&[ItemId]],
+    score_all: impl Fn(usize, &[ItemId]) -> Vec<f32>,
+) -> Matrix {
+    assert_eq!(users.len(), sequences.len(), "score_batch: {} users but {} sequences", users.len(), sequences.len());
+    let mut out = Matrix::zeros(users.len(), num_items);
+    for (i, (&user, sequence)) in users.iter().zip(sequences).enumerate() {
+        let scores = score_all(user, sequence);
+        assert_eq!(scores.len(), num_items, "score_all returned {} scores for {num_items} items", scores.len());
+        out.row_mut(i).copy_from_slice(&scores);
+    }
+    out
+}
+
+/// Builds the query matrix `Q` (one `query_vector` row per user) and scores
+/// the whole batch against `candidates` with one blocked `Q · Wᵀ` GEMM — the
+/// shared body of the HAM models' `score_batch` implementations.
+///
+/// # Panics
+/// Panics if `users` and `histories` differ in length.
+pub fn batched_query_scores(
+    users: &[usize],
+    histories: &[&[ItemId]],
+    d: usize,
+    candidates: &Matrix,
+    query_vector: impl Fn(usize, &[ItemId]) -> Vec<f32>,
+) -> Matrix {
+    assert_eq!(users.len(), histories.len(), "score_batch: {} users but {} histories", users.len(), histories.len());
+    let mut queries = Matrix::zeros(users.len(), d);
+    for (i, (&user, history)) in users.iter().zip(histories).enumerate() {
+        queries.row_mut(i).copy_from_slice(&query_vector(user, history));
+    }
+    queries.matmul_transposed(candidates)
+}
+
+/// A reusable boolean bitmap over the catalogue for masking already-seen
+/// items out of a score vector.
+///
+/// Replaces the per-call `HashSet` the masking paths used to build: marking
+/// and unmarking the seen items is O(history) with no hashing and no
+/// allocation after construction, so a serving loop can reuse one mask
+/// across every request.
+#[derive(Debug, Clone)]
+pub struct SeenMask {
+    seen: Vec<bool>,
+}
+
+impl SeenMask {
+    /// Creates an all-clear mask for a catalogue of `num_items` items.
+    pub fn new(num_items: usize) -> Self {
+        Self { seen: vec![false; num_items] }
+    }
+
+    /// Catalogue size the mask was built for.
+    pub fn num_items(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Sets `scores[item] = -inf` for every item in `seen_items`, leaving the
+    /// bitmap all-clear again on return (so the mask is immediately reusable).
+    ///
+    /// Items outside the catalogue are ignored, matching the behaviour of the
+    /// `HashSet`-based masking this replaced: a history may legitimately
+    /// mention ids beyond the model's (possibly truncated) catalogue.
+    ///
+    /// # Panics
+    /// Panics if `scores` does not match the mask's catalogue size.
+    pub fn mask_scores(&mut self, seen_items: &[ItemId], scores: &mut [f32]) {
+        assert_eq!(scores.len(), self.seen.len(), "SeenMask: score vector does not match catalogue size");
+        for &item in seen_items {
+            if item < self.seen.len() && !self.seen[item] {
+                self.seen[item] = true;
+                scores[item] = f32::NEG_INFINITY;
+            }
+        }
+        for &item in seen_items {
+            if item < self.seen.len() {
+                self.seen[item] = false;
+            }
+        }
+    }
+}
 
 /// Ranks all items by score and returns the top `k`, optionally masking the
 /// items in `exclude` (typically the user's training items, following the
@@ -26,16 +176,14 @@ pub fn rank_top_k(scores: &[f32], k: usize, exclude: Option<&HashSet<ItemId>>) -
 /// Scores a set of candidate items given a query vector and a candidate
 /// embedding matrix (`scores[c] = q · W[candidates[c]]`).
 pub fn score_candidates(query: &[f32], candidate_embeddings: &ham_tensor::Matrix, candidates: &[ItemId]) -> Vec<f32> {
-    candidates
-        .iter()
-        .map(|&item| ham_tensor::matrix::dot(query, candidate_embeddings.row(item)))
-        .collect()
+    candidates.iter().map(|&item| ham_tensor::matrix::dot(query, candidate_embeddings.row(item))).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ham_tensor::Matrix;
+    use crate::config::{HamConfig, HamVariant};
+    use crate::model::HamModel;
 
     #[test]
     fn rank_without_exclusion_is_plain_top_k() {
@@ -63,5 +211,57 @@ mod tests {
         let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
         let q = [2.0, 3.0];
         assert_eq!(score_candidates(&q, &w, &[0, 2]), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn seen_mask_ignores_out_of_catalogue_items() {
+        // Histories may mention ids beyond a truncated catalogue; masking
+        // must skip them (the HashSet-based masking it replaced did).
+        let mut mask = SeenMask::new(3);
+        let mut scores = vec![1.0f32; 3];
+        mask.mask_scores(&[1, 7, 100], &mut scores);
+        assert_eq!(scores, vec![1.0, f32::NEG_INFINITY, 1.0]);
+    }
+
+    #[test]
+    fn seen_mask_masks_and_resets() {
+        let mut mask = SeenMask::new(5);
+        let mut scores = vec![1.0f32; 5];
+        mask.mask_scores(&[1, 3, 3], &mut scores);
+        assert_eq!(scores[0], 1.0);
+        assert_eq!(scores[1], f32::NEG_INFINITY);
+        assert_eq!(scores[3], f32::NEG_INFINITY);
+        // reusable: a second call with different items starts clean
+        let mut scores2 = vec![1.0f32; 5];
+        mask.mask_scores(&[0], &mut scores2);
+        assert_eq!(scores2[1], 1.0);
+        assert_eq!(scores2[0], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn scorer_trait_batch_agrees_with_per_user_path() {
+        let config = HamConfig::for_variant(HamVariant::HamSM).with_dimensions(8, 4, 2, 2, 2);
+        let model = HamModel::new(4, 25, config, 11);
+        let scorer: &dyn Scorer = &model;
+        let sequences: Vec<Vec<usize>> = vec![vec![1, 2, 3], vec![7], vec![4, 9, 2, 0, 5]];
+        let users = [0usize, 2, 3];
+        let seq_refs: Vec<&[usize]> = sequences.iter().map(|s| s.as_slice()).collect();
+        let batch = scorer.score_batch(&users, &seq_refs);
+        assert_eq!(batch.shape(), (3, 25));
+        for (i, (&u, s)) in users.iter().zip(&seq_refs).enumerate() {
+            let single = scorer.score_all(u, s);
+            for (j, (&b, &sgl)) in batch.row(i).iter().zip(&single).enumerate() {
+                assert!((b - sgl).abs() < 1e-5, "user {u} item {j}: {b} vs {sgl}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "users but")]
+    fn mismatched_batch_lengths_panic() {
+        let config = HamConfig::for_variant(HamVariant::HamM).with_dimensions(4, 2, 1, 1, 1);
+        let model = HamModel::new(2, 10, config, 1);
+        let seq: Vec<usize> = vec![1, 2];
+        let _ = model.score_batch(&[0, 1], &[seq.as_slice()]);
     }
 }

@@ -87,14 +87,14 @@ mod tests {
         let mut per_item: Vec<Vec<f32>> = (0..n).map(|j| rows.row(j).to_vec()).collect();
         for _ in 2..=order {
             let mut next: Vec<Vec<f32>> = Vec::with_capacity(n);
-            for j in 0..n {
+            for (j, prev) in per_item.iter().enumerate() {
                 let mut acc = vec![0.0f32; d];
                 for k in 0..n {
                     if k == j {
                         continue;
                     }
-                    for c in 0..d {
-                        acc[c] += per_item[j][c] * rows.get(k, c);
+                    for (c, a) in acc.iter_mut().enumerate() {
+                        *a += prev[c] * rows.get(k, c);
                     }
                 }
                 next.push(acc);
@@ -112,12 +112,7 @@ mod tests {
     }
 
     fn example_rows() -> Matrix {
-        Matrix::from_rows(&[
-            &[0.5, -1.0, 2.0],
-            &[1.5, 0.25, -0.5],
-            &[-0.75, 1.0, 0.0],
-            &[0.2, 0.3, 0.4],
-        ])
+        Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.25, -0.5], &[-0.75, 1.0, 0.0], &[0.2, 0.3, 0.4]])
     }
 
     #[test]

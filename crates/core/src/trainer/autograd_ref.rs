@@ -10,11 +10,7 @@ use ham_autograd::{GradStore, Graph, VarId};
 use ham_tensor::Pooling;
 
 /// Computes the gradients and the mean loss of one mini-batch on the tape.
-pub(crate) fn batch_gradients(
-    params: &HamParams,
-    batch: &[PreparedInstance],
-    config: &HamConfig,
-) -> (GradStore, f32) {
+pub(crate) fn batch_gradients(params: &HamParams, batch: &[PreparedInstance], config: &HamConfig) -> (GradStore, f32) {
     assert!(!batch.is_empty(), "batch_gradients: batch must not be empty");
     let mut g = Graph::new();
     let mut instance_losses: Vec<VarId> = Vec::with_capacity(batch.len());
@@ -102,8 +98,20 @@ mod tests {
 
     fn batch() -> Vec<PreparedInstance> {
         vec![
-            PreparedInstance { user: 0, input: vec![1, 2, 3, 4], low: vec![3, 4], targets: vec![5, 6], negatives: vec![7, 8] },
-            PreparedInstance { user: 1, input: vec![0, 2, 4, 6], low: vec![4, 6], targets: vec![8, 9], negatives: vec![1, 3] },
+            PreparedInstance {
+                user: 0,
+                input: vec![1, 2, 3, 4],
+                low: vec![3, 4],
+                targets: vec![5, 6],
+                negatives: vec![7, 8],
+            },
+            PreparedInstance {
+                user: 1,
+                input: vec![0, 2, 4, 6],
+                low: vec![4, 6],
+                targets: vec![8, 9],
+                negatives: vec![1, 3],
+            },
         ]
     }
 
@@ -120,8 +128,7 @@ mod tests {
             let report = check_gradient(&mut params.store, id, &analytic, 18, 5e-3, |store| {
                 let p = HamParams { store: store.clone(), u: ids.0, v: ids.1, w: ids.2 };
                 let mut g = Graph::new();
-                let losses: Vec<VarId> =
-                    instances.iter().map(|i| instance_loss(&mut g, &p, i, &config)).collect();
+                let losses: Vec<VarId> = instances.iter().map(|i| instance_loss(&mut g, &p, i, &config)).collect();
                 let stacked = g.concat_rows(&losses);
                 let l = g.mean_all(stacked);
                 g.value(l).get(0, 0)

@@ -31,15 +31,8 @@ use ham_tensor::{Matrix, Pooling};
 /// # Panics
 /// Panics if the configuration uses synergies (`synergy_order >= 2`);
 /// those variants must use [`super::autograd_ref::batch_gradients`].
-pub(crate) fn batch_gradients(
-    params: &HamParams,
-    batch: &[PreparedInstance],
-    config: &HamConfig,
-) -> (GradStore, f32) {
-    assert!(
-        !config.uses_synergies(),
-        "manual gradients only support synergy_order == 1; use the autograd trainer"
-    );
+pub(crate) fn batch_gradients(params: &HamParams, batch: &[PreparedInstance], config: &HamConfig) -> (GradStore, f32) {
+    assert!(!config.uses_synergies(), "manual gradients only support synergy_order == 1; use the autograd trainer");
     assert!(!batch.is_empty(), "batch_gradients: batch must not be empty");
 
     let u_mat = params.store.value(params.u);
@@ -50,6 +43,15 @@ pub(crate) fn batch_gradients(
     let mut grads = GradStore::new();
     let mut total_loss = 0.0f64;
     let batch_scale = 1.0f32 / batch.len() as f32;
+
+    // Scratch buffers reused across every instance and pair of the batch:
+    // the query `q`, the accumulated ∂L/∂q, and a row buffer for routing
+    // max-pooling gradients. No per-pair heap allocation happens below —
+    // W-row gradients flow through `GradStore::accumulate_scaled_row`
+    // straight from `q`.
+    let mut q = vec![0.0f32; d];
+    let mut dq = vec![0.0f32; d];
+    let mut row_scratch = vec![0.0f32; d];
 
     for instance in batch {
         let high_rows = v_mat.gather_rows(&instance.input);
@@ -63,7 +65,7 @@ pub(crate) fn batch_gradients(
         };
 
         // q = u + h + o (respecting ablations)
-        let mut q = h.clone();
+        q.copy_from_slice(&h);
         for (qi, oi) in q.iter_mut().zip(&o) {
             *qi += oi;
         }
@@ -74,7 +76,7 @@ pub(crate) fn batch_gradients(
         }
 
         let pair_scale = batch_scale / instance.targets.len() as f32;
-        let mut dq = vec![0.0f32; d];
+        dq.fill(0.0);
         let mut instance_loss = 0.0f32;
 
         for (&pos, &neg) in instance.targets.iter().zip(&instance.negatives) {
@@ -84,11 +86,9 @@ pub(crate) fn batch_gradients(
             instance_loss += -log_sigmoid(x) / instance.targets.len() as f32;
             let g = (sigmoid_scalar(x) - 1.0) * pair_scale;
 
-            // ∂L/∂W rows
-            let dw_pos: Vec<f32> = q.iter().map(|&qi| g * qi).collect();
-            let dw_neg: Vec<f32> = q.iter().map(|&qi| -g * qi).collect();
-            grads.accumulate_sparse(params.w, &[pos], &Matrix::row_vector(&dw_pos));
-            grads.accumulate_sparse(params.w, &[neg], &Matrix::row_vector(&dw_neg));
+            // ∂L/∂w_pos = g·q and ∂L/∂w_neg = −g·q, accumulated in place.
+            grads.accumulate_scaled_row(params.w, pos, &q, g);
+            grads.accumulate_scaled_row(params.w, neg, &q, -g);
 
             // ∂L/∂q accumulated across the n_p pairs
             for c in 0..d {
@@ -99,7 +99,7 @@ pub(crate) fn batch_gradients(
 
         // Route ∂L/∂q to the user embedding.
         if config.use_user_term {
-            grads.accumulate_sparse(params.u, &[instance.user], &Matrix::row_vector(&dq));
+            grads.accumulate_scaled_row(params.u, instance.user, &dq, 1.0);
         }
 
         // Route ∂L/∂q through the pooling of the high-order window.
@@ -111,10 +111,20 @@ pub(crate) fn batch_gradients(
             &high_argmax,
             &dq,
             config.pooling,
+            &mut row_scratch,
         );
         // … and of the low-order window.
         if let (Some(rows), Some(argmax)) = (low_rows.as_ref(), low_argmax.as_ref()) {
-            route_pooling_gradient(&mut grads, params, &instance.low, rows, argmax, &dq, config.pooling);
+            route_pooling_gradient(
+                &mut grads,
+                params,
+                &instance.low,
+                rows,
+                argmax,
+                &dq,
+                config.pooling,
+                &mut row_scratch,
+            );
         }
     }
 
@@ -130,7 +140,8 @@ fn pool_with_argmax(rows: &Matrix, pooling: Pooling) -> (Vec<f32>, Vec<usize>) {
 }
 
 /// Distributes the pooled-vector gradient `dq` back onto the item embeddings
-/// of `window`.
+/// of `window`, reusing `row_scratch` (length `d`) instead of allocating.
+#[allow(clippy::too_many_arguments)]
 fn route_pooling_gradient(
     grads: &mut GradStore,
     params: &HamParams,
@@ -139,26 +150,33 @@ fn route_pooling_gradient(
     argmax: &[usize],
     dq: &[f32],
     pooling: Pooling,
+    row_scratch: &mut [f32],
 ) {
     match pooling {
         Pooling::Mean => {
+            // Every window item receives dq / n; the scale folds into the
+            // accumulate call, so no scaled copy of dq is materialised.
             let scale = 1.0 / rows.rows() as f32;
-            let row_grad: Vec<f32> = dq.iter().map(|&g| g * scale).collect();
-            let grad_matrix = Matrix::row_vector(&row_grad);
             for &item in window {
-                grads.accumulate_sparse(params.v, &[item], &grad_matrix);
+                grads.accumulate_scaled_row(params.v, item, dq, scale);
             }
         }
         Pooling::Max => {
-            // Each output dimension receives its gradient only at the row that
-            // attained the maximum.
-            for (c, &winner_row) in argmax.iter().enumerate() {
-                if dq[c] == 0.0 {
-                    continue;
+            // Each output dimension receives its gradient only at the row
+            // that attained the maximum. Group dimensions by winning row so
+            // each distinct winner gets one accumulate call.
+            for (winner_row, &item) in window.iter().enumerate() {
+                let mut any = false;
+                row_scratch.fill(0.0);
+                for (c, &w) in argmax.iter().enumerate() {
+                    if w == winner_row && dq[c] != 0.0 {
+                        row_scratch[c] = dq[c];
+                        any = true;
+                    }
                 }
-                let mut row_grad = vec![0.0f32; dq.len()];
-                row_grad[c] = dq[c];
-                grads.accumulate_sparse(params.v, &[window[winner_row]], &Matrix::row_vector(&row_grad));
+                if any {
+                    grads.accumulate_scaled_row(params.v, item, row_scratch, 1.0);
+                }
             }
         }
     }
@@ -180,9 +198,27 @@ mod tests {
 
     fn example_batch() -> Vec<PreparedInstance> {
         vec![
-            PreparedInstance { user: 0, input: vec![1, 2, 3, 4], low: vec![3, 4], targets: vec![5, 6], negatives: vec![7, 8] },
-            PreparedInstance { user: 2, input: vec![9, 1, 0, 2], low: vec![0, 2], targets: vec![3, 10], negatives: vec![11, 4] },
-            PreparedInstance { user: 3, input: vec![6, 6, 7, 8], low: vec![7, 8], targets: vec![9, 0], negatives: vec![1, 2] },
+            PreparedInstance {
+                user: 0,
+                input: vec![1, 2, 3, 4],
+                low: vec![3, 4],
+                targets: vec![5, 6],
+                negatives: vec![7, 8],
+            },
+            PreparedInstance {
+                user: 2,
+                input: vec![9, 1, 0, 2],
+                low: vec![0, 2],
+                targets: vec![3, 10],
+                negatives: vec![11, 4],
+            },
+            PreparedInstance {
+                user: 3,
+                input: vec![6, 6, 7, 8],
+                low: vec![7, 8],
+                targets: vec![9, 0],
+                negatives: vec![1, 2],
+            },
         ]
     }
 

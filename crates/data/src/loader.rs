@@ -62,7 +62,7 @@ pub fn parse_interactions(text: &str) -> Result<Vec<Interaction>, LoadError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = line.split(|c| c == '\t' || c == ',').map(str::trim).collect();
+        let fields: Vec<&str> = line.split(['\t', ',']).map(str::trim).collect();
         if fields.len() < 3 {
             return Err(LoadError::Parse {
                 line: idx + 1,
@@ -70,19 +70,15 @@ pub fn parse_interactions(text: &str) -> Result<Vec<Interaction>, LoadError> {
             });
         }
         let parse = |s: &str, what: &str| -> Result<u64, LoadError> {
-            s.parse::<u64>().map_err(|_| LoadError::Parse {
-                line: idx + 1,
-                message: format!("invalid {what}: {s:?}"),
-            })
+            s.parse::<u64>().map_err(|_| LoadError::Parse { line: idx + 1, message: format!("invalid {what}: {s:?}") })
         };
         let user = parse(fields[0], "user id")?;
         let item = parse(fields[1], "item id")?;
         let timestamp = parse(fields[2], "timestamp")?;
         let rating = if fields.len() > 3 {
-            fields[3].parse::<f32>().map_err(|_| LoadError::Parse {
-                line: idx + 1,
-                message: format!("invalid rating: {:?}", fields[3]),
-            })?
+            fields[3]
+                .parse::<f32>()
+                .map_err(|_| LoadError::Parse { line: idx + 1, message: format!("invalid rating: {:?}", fields[3]) })?
         } else {
             5.0
         };

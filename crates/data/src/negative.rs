@@ -26,10 +26,7 @@ impl NegativeSampler {
     pub fn new(num_items: usize, seen: impl IntoIterator<Item = ItemId>) -> Self {
         assert!(num_items > 0, "NegativeSampler: num_items must be positive");
         let seen: HashSet<ItemId> = seen.into_iter().collect();
-        assert!(
-            seen.len() < num_items,
-            "NegativeSampler: the user interacted with every item; no negatives exist"
-        );
+        assert!(seen.len() < num_items, "NegativeSampler: the user interacted with every item; no negatives exist");
         Self { num_items, seen }
     }
 
@@ -49,9 +46,7 @@ impl NegativeSampler {
                 return candidate;
             }
         }
-        (0..self.num_items)
-            .find(|i| !self.seen.contains(i))
-            .expect("at least one negative exists by construction")
+        (0..self.num_items).find(|i| !self.seen.contains(i)).expect("at least one negative exists by construction")
     }
 
     /// Samples `k` negatives (with replacement across draws).

@@ -46,10 +46,8 @@ pub fn preprocess(name: &str, interactions: &[Interaction], config: PreprocessCo
     for i in &positives {
         *item_counts.entry(i.item).or_default() += 1;
     }
-    let kept_items: Vec<&Interaction> = positives
-        .into_iter()
-        .filter(|i| item_counts[&i.item] >= config.min_item_interactions)
-        .collect();
+    let kept_items: Vec<&Interaction> =
+        positives.into_iter().filter(|i| item_counts[&i.item] >= config.min_item_interactions).collect();
 
     // 2b. user filter
     let mut user_counts: HashMap<u64, usize> = HashMap::new();
@@ -91,11 +89,7 @@ mod tests {
     use super::*;
 
     fn raw(user: u64, items: &[(u64, f32)]) -> Vec<Interaction> {
-        items
-            .iter()
-            .enumerate()
-            .map(|(t, &(item, rating))| Interaction::new(user, item, t as u64, rating))
-            .collect()
+        items.iter().enumerate().map(|(t, &(item, rating))| Interaction::new(user, item, t as u64, rating)).collect()
     }
 
     #[test]
@@ -119,7 +113,7 @@ mod tests {
         data.extend(raw(3, &[(99, 5.0), (1, 5.0)]));
         let cfg = PreprocessConfig { min_user_interactions: 2, min_item_interactions: 2, positive_threshold: 4.0 };
         let ds = preprocess("t", &data, cfg);
-        assert_eq!(ds.num_users(), 4 - 1 + 0); // user 3 keeps only item 1 -> below min 2 -> dropped
+        assert_eq!(ds.num_users(), (4 - 1)); // user 3 keeps only item 1 -> below min 2 -> dropped
         assert_eq!(ds.num_items, 3);
     }
 

@@ -103,14 +103,7 @@ pub fn split_dataset(dataset: &SequenceDataset, setting: EvalSetting) -> DataSpl
         test.push(s);
     }
 
-    DataSplit {
-        dataset_name: dataset.name.clone(),
-        setting,
-        num_items: dataset.num_items,
-        train,
-        val,
-        test,
-    }
+    DataSplit { dataset_name: dataset.name.clone(), setting, num_items: dataset.num_items, train, val, test }
 }
 
 /// Splits a single user sequence. Exposed for tests and for streaming use.
@@ -194,7 +187,7 @@ mod tests {
         for n in 0..8 {
             for setting in EvalSetting::all() {
                 let (t, v, s) = split_sequence(&seq(n), setting);
-                assert_eq!(t.len() + v.len() + s.len() <= n.max(t.len() + v.len() + s.len()), true);
+                assert!(t.len() + v.len() + s.len() <= n.max(t.len() + v.len() + s.len()));
                 // pieces concatenate back to a prefix of the original sequence
                 let mut joined = t.clone();
                 joined.extend(v);

@@ -86,11 +86,7 @@ mod tests {
     use super::*;
 
     fn toy() -> SequenceDataset {
-        SequenceDataset::new(
-            "toy",
-            vec![vec![0, 1, 2, 0], vec![0, 3], vec![0, 0, 1]],
-            4,
-        )
+        SequenceDataset::new("toy", vec![vec![0, 1, 2, 0], vec![0, 3], vec![0, 0, 1]], 4)
     }
 
     #[test]

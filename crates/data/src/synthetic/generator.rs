@@ -48,10 +48,8 @@ pub fn generate(profile: &DatasetProfile, seed: u64) -> SequenceDataset {
     for item in 0..num_items {
         cluster_members[item % num_clusters].push(item);
     }
-    let clusters: Vec<ClusterItems> = cluster_members
-        .iter()
-        .map(|members| ClusterItems::new(members.clone(), profile.zipf_exponent))
-        .collect();
+    let clusters: Vec<ClusterItems> =
+        cluster_members.iter().map(|members| ClusterItems::new(members.clone(), profile.zipf_exponent)).collect();
     let item_cluster: Vec<usize> = (0..num_items).map(|item| item % num_clusters).collect();
 
     // The window length the synergy / association structure looks back over;
@@ -180,9 +178,6 @@ mod tests {
         }
         let rate = successor_hits as f64 / transitions as f64;
         let chance = 2.0 / num_clusters as f64;
-        assert!(
-            rate > chance * 1.5,
-            "sequential structure too weak: successor rate {rate:.3} vs chance {chance:.3}"
-        );
+        assert!(rate > chance * 1.5, "sequential structure too weak: successor rate {rate:.3} vs chance {chance:.3}");
     }
 }

@@ -45,9 +45,8 @@ impl ClusterDynamics {
 
         // Second-order: the pair (a, b) of the two previous clusters prefers a
         // deterministic third cluster, sampled once per pair.
-        let order2 = (0..num_clusters)
-            .map(|_| (0..num_clusters).map(|_| rng.gen_range(0..num_clusters)).collect())
-            .collect();
+        let order2 =
+            (0..num_clusters).map(|_| (0..num_clusters).map(|_| rng.gen_range(0..num_clusters)).collect()).collect();
 
         // Synergy triggers over distinct cluster pairs.
         let mut synergies = Vec::with_capacity(num_synergy_pairs);

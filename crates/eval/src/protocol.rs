@@ -2,11 +2,25 @@
 //! score all items given the user's training(+validation) history, mask the
 //! items already seen in that history, rank, and compute Recall/NDCG against
 //! the user's test items.
+//!
+//! Two scoring entry points are provided:
+//!
+//! * [`evaluate`] — per-user scoring closure `(user, history) -> scores`;
+//! * [`evaluate_batch`] — batched scoring closure over a *chunk* of users,
+//!   `(users, histories) -> Matrix` with one score row per user, which lets
+//!   models answer with one GEMM (`Q·Wᵀ`) instead of a per-item dot loop.
+//!
+//! Both honor [`EvalConfig::num_threads`]: the evaluated users are split into
+//! `num_threads` contiguous chunks and each chunk is processed by a scoped
+//! worker thread. Workers never share mutable state — each returns its own
+//! ordered result vector and the chunks are concatenated in order — so the
+//! report is **bit-identical for every thread count** (only wall-clock time
+//! changes).
 
 use crate::metrics::MetricSet;
 use ham_data::split::DataSplit;
 use ham_tensor::ops::top_k_indices;
-use parking_lot::Mutex;
+use ham_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -21,7 +35,11 @@ pub struct EvalConfig {
     /// Mask items that appear in the scoring history so they cannot be
     /// recommended again (the protocol of the HGN / Caser evaluation code).
     pub exclude_history_items: bool,
-    /// Number of worker threads for per-user evaluation (1 = sequential).
+    /// Number of scoped worker threads for evaluation. Users are split into
+    /// this many contiguous chunks, one worker per chunk; `1` (or fewer users
+    /// than chunks) runs sequentially on the calling thread. The reported
+    /// metrics are identical for every value — this knob only trades
+    /// wall-clock time for CPU cores.
     pub num_threads: usize,
     /// Ranking depth kept per user; must be at least 10 for the reported
     /// metrics.
@@ -51,69 +69,61 @@ pub struct EvalReport {
     pub seconds_per_user: f64,
 }
 
-/// Evaluates a scoring function on a split.
-///
-/// `score_fn(user, history)` must return one score per catalogue item
-/// (`split.num_items` scores). Users without test items (or without any
-/// history) are skipped, following the paper's protocol.
-pub fn evaluate<F>(split: &DataSplit, config: &EvalConfig, score_fn: F) -> EvalReport
-where
-    F: Fn(usize, &[usize]) -> Vec<f32> + Sync,
-{
+/// Number of users scored per batched-scorer call inside each worker chunk.
+/// Large enough that a `Q·Wᵀ` GEMM amortises the query build, small enough
+/// that the `B × num_items` score block stays cache- and memory-friendly.
+const SCORE_BATCH: usize = 64;
+
+/// Histories and the users eligible for evaluation under `config`.
+fn eval_inputs(split: &DataSplit, config: &EvalConfig) -> (Vec<Vec<usize>>, Vec<usize>) {
     assert!(config.max_rank >= 10, "EvalConfig: max_rank must be at least 10 to compute the @10 metrics");
-    let histories: Vec<Vec<usize>> = if config.include_validation_in_history {
-        split.train_with_val()
-    } else {
-        split.train.clone()
-    };
+    let histories: Vec<Vec<usize>> =
+        if config.include_validation_in_history { split.train_with_val() } else { split.train.clone() };
+    let users: Vec<usize> =
+        (0..split.num_users()).filter(|&u| !split.test[u].is_empty() && !histories[u].is_empty()).collect();
+    (histories, users)
+}
 
-    let users: Vec<usize> = (0..split.num_users())
-        .filter(|&u| !split.test[u].is_empty() && !histories[u].is_empty())
-        .collect();
-
-    let results: Mutex<Vec<(usize, MetricSet, f64)>> = Mutex::new(Vec::with_capacity(users.len()));
-    let evaluate_user = |&user: &usize| {
-        let history = &histories[user];
-        let truth: HashSet<usize> = split.test[user].iter().copied().collect();
-        let start = Instant::now();
-        let mut scores = score_fn(user, history);
-        assert_eq!(
-            scores.len(),
-            split.num_items,
-            "score_fn must return one score per item ({} expected, {} returned)",
-            split.num_items,
-            scores.len()
-        );
-        if config.exclude_history_items {
-            for &seen in history {
-                scores[seen] = f32::NEG_INFINITY;
-            }
+/// Masks, ranks and scores one user's score vector against the test truth.
+fn judge_user(scores: &mut [f32], history: &[usize], truth: &HashSet<usize>, config: &EvalConfig) -> MetricSet {
+    if config.exclude_history_items {
+        for &seen in history {
+            scores[seen] = f32::NEG_INFINITY;
         }
-        let ranked = top_k_indices(&scores, config.max_rank);
-        let elapsed = start.elapsed().as_secs_f64();
-        let metrics = MetricSet::from_ranking(&ranked, &truth);
-        results.lock().push((user, metrics, elapsed));
-    };
-
-    let threads = config.num_threads.max(1);
-    if threads <= 1 || users.len() < 2 {
-        users.iter().for_each(evaluate_user);
-    } else {
-        let chunk = users.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for part in users.chunks(chunk) {
-                scope.spawn(|_| part.iter().for_each(evaluate_user));
-            }
-        })
-        .expect("evaluation worker panicked");
     }
+    let ranked = top_k_indices(scores, config.max_rank);
+    MetricSet::from_ranking(&ranked, truth)
+}
 
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|(user, _, _)| *user);
-    let per_user: Vec<MetricSet> = collected.iter().map(|(_, m, _)| *m).collect();
-    let total_time: f64 = collected.iter().map(|(_, _, t)| t).sum();
+/// Splits `users` into `num_threads` contiguous chunks, runs `work` on each
+/// chunk (on scoped worker threads when more than one chunk is useful) and
+/// concatenates the per-chunk results in chunk order.
+///
+/// Each worker owns its output vector, so no locking is involved and the
+/// concatenated result is independent of the thread count.
+fn run_user_chunks<W>(users: &[usize], num_threads: usize, work: W) -> Vec<(MetricSet, f64)>
+where
+    W: Fn(&[usize]) -> Vec<(MetricSet, f64)> + Sync,
+{
+    let threads = num_threads.max(1);
+    if threads <= 1 || users.len() < 2 {
+        return work(users);
+    }
+    let chunk = users.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = users.chunks(chunk).map(|part| scope.spawn(|| work(part))).collect();
+        let mut out = Vec::with_capacity(users.len());
+        for handle in handles {
+            out.extend(handle.join().expect("evaluation worker panicked"));
+        }
+        out
+    })
+}
+
+fn build_report(split: &DataSplit, results: Vec<(MetricSet, f64)>) -> EvalReport {
+    let per_user: Vec<MetricSet> = results.iter().map(|(m, _)| *m).collect();
+    let total_time: f64 = results.iter().map(|(_, t)| t).sum();
     let num_evaluated = per_user.len();
-
     EvalReport {
         dataset: split.dataset_name.clone(),
         setting: split.setting.name().to_string(),
@@ -122,6 +132,83 @@ where
         num_evaluated,
         seconds_per_user: if num_evaluated > 0 { total_time / num_evaluated as f64 } else { 0.0 },
     }
+}
+
+/// Evaluates a per-user scoring function on a split.
+///
+/// `score_fn(user, history)` must return one score per catalogue item
+/// (`split.num_items` scores). Users without test items (or without any
+/// history) are skipped, following the paper's protocol.
+///
+/// Prefer [`evaluate_batch`] when the model has a batched scorer
+/// (`score_batch`); this entry point calls the model once per user.
+pub fn evaluate<F>(split: &DataSplit, config: &EvalConfig, score_fn: F) -> EvalReport
+where
+    F: Fn(usize, &[usize]) -> Vec<f32> + Sync,
+{
+    let (histories, users) = eval_inputs(split, config);
+    let results = run_user_chunks(&users, config.num_threads, |part| {
+        part.iter()
+            .map(|&user| {
+                let history = &histories[user];
+                let truth: HashSet<usize> = split.test[user].iter().copied().collect();
+                let start = Instant::now();
+                let mut scores = score_fn(user, history);
+                assert_eq!(
+                    scores.len(),
+                    split.num_items,
+                    "score_fn must return one score per item ({} expected, {} returned)",
+                    split.num_items,
+                    scores.len()
+                );
+                let metrics = judge_user(&mut scores, history, &truth, config);
+                (metrics, start.elapsed().as_secs_f64())
+            })
+            .collect()
+    });
+    build_report(split, results)
+}
+
+/// Evaluates a batched scoring function on a split.
+///
+/// `batch_score_fn(users, histories)` receives up to [`SCORE_BATCH`] users at
+/// a time together with their scoring histories (same order) and must return
+/// a `users.len() × split.num_items` score matrix — e.g.
+/// `HamModel::score_batch`, which builds the query matrix once and scores the
+/// whole chunk with a single blocked GEMM.
+///
+/// Produces a report identical to [`evaluate`] over the same scorer (the mask
+/// / rank / metric pipeline per user is shared); only the scoring call shape
+/// and the wall-clock accounting differ: scoring time is measured per batch
+/// and attributed evenly to the batch's users.
+pub fn evaluate_batch<F>(split: &DataSplit, config: &EvalConfig, batch_score_fn: F) -> EvalReport
+where
+    F: Fn(&[usize], &[&[usize]]) -> Matrix + Sync,
+{
+    let (histories, users) = eval_inputs(split, config);
+    let results = run_user_chunks(&users, config.num_threads, |part| {
+        let mut out = Vec::with_capacity(part.len());
+        for batch in part.chunks(SCORE_BATCH) {
+            let batch_histories: Vec<&[usize]> = batch.iter().map(|&u| histories[u].as_slice()).collect();
+            let start = Instant::now();
+            let mut scores = batch_score_fn(batch, &batch_histories);
+            assert_eq!(
+                scores.shape(),
+                (batch.len(), split.num_items),
+                "batch_score_fn must return a (num_users, num_items) matrix"
+            );
+            let scoring_elapsed = start.elapsed().as_secs_f64();
+            for (i, &user) in batch.iter().enumerate() {
+                let truth: HashSet<usize> = split.test[user].iter().copied().collect();
+                let start = Instant::now();
+                let metrics = judge_user(scores.row_mut(i), &histories[user], &truth, config);
+                let ranking_elapsed = start.elapsed().as_secs_f64();
+                out.push((metrics, scoring_elapsed / batch.len() as f64 + ranking_elapsed));
+            }
+        }
+        out
+    });
+    build_report(split, results)
 }
 
 #[cfg(test)]
@@ -170,11 +257,8 @@ mod tests {
             scores
         };
         let masked = evaluate(&split, &EvalConfig::default(), adversarial);
-        let unmasked = evaluate(
-            &split,
-            &EvalConfig { exclude_history_items: false, ..EvalConfig::default() },
-            adversarial,
-        );
+        let unmasked =
+            evaluate(&split, &EvalConfig { exclude_history_items: false, ..EvalConfig::default() }, adversarial);
         // With masking the adversarial scorer ranks unseen items arbitrarily
         // (all-zero scores) and cannot exploit the history; without masking it
         // wastes the top of the ranking on already-seen items, so both recalls
@@ -196,6 +280,29 @@ mod tests {
         let par = evaluate(&split, &EvalConfig { num_threads: 4, ..Default::default() }, scorer);
         assert_eq!(seq.per_user, par.per_user);
         assert_eq!(seq.mean, par.mean);
+    }
+
+    #[test]
+    fn batched_evaluation_matches_per_user_evaluation() {
+        let split = toy_split();
+        let per_user = |user: usize, history: &[usize]| {
+            let mut scores = vec![0.1f32; split.num_items];
+            scores[(user * 5 + history.len()) % split.num_items] = 1.0;
+            scores
+        };
+        let reference = evaluate(&split, &EvalConfig::default(), per_user);
+        for threads in [1, 3] {
+            let config = EvalConfig { num_threads: threads, ..EvalConfig::default() };
+            let batched = evaluate_batch(&split, &config, |users, histories| {
+                let mut out = Matrix::zeros(users.len(), split.num_items);
+                for (i, (&u, h)) in users.iter().zip(histories).enumerate() {
+                    out.row_mut(i).copy_from_slice(&per_user(u, h));
+                }
+                out
+            });
+            assert_eq!(batched.per_user, reference.per_user, "threads = {threads}");
+            assert_eq!(batched.mean, reference.mean);
+        }
     }
 
     #[test]

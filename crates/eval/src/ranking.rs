@@ -26,11 +26,7 @@ pub fn mrr_at_k(recommended: &[usize], ground_truth: &HashSet<usize>, k: usize) 
     if ground_truth.is_empty() {
         return 0.0;
     }
-    recommended
-        .iter()
-        .take(k)
-        .position(|item| ground_truth.contains(item))
-        .map_or(0.0, |pos| 1.0 / (pos + 1) as f64)
+    recommended.iter().take(k).position(|item| ground_truth.contains(item)).map_or(0.0, |pos| 1.0 / (pos + 1) as f64)
 }
 
 /// Average precision @k: the mean of precision@i over the positions `i` of

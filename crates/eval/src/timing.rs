@@ -43,11 +43,7 @@ where
     let total = start.elapsed().as_secs_f64();
     // keep `guard` observable
     std::hint::black_box(guard);
-    TimingReport {
-        seconds_per_user: total / users.len() as f64,
-        users_measured: users.len(),
-        total_seconds: total,
-    }
+    TimingReport { seconds_per_user: total / users.len() as f64, users_measured: users.len(), total_seconds: total }
 }
 
 #[cfg(test)]

@@ -19,11 +19,7 @@ pub struct AblationRow {
 
 /// The three models of Table 13.
 pub fn ablation_methods() -> Vec<Method> {
-    vec![
-        Method::Ham(HamVariant::HamSM),
-        Method::Ham(HamVariant::HamSMNoLowOrder),
-        Method::Ham(HamVariant::HamSMNoUser),
-    ]
+    vec![Method::Ham(HamVariant::HamSM), Method::Ham(HamVariant::HamSMNoLowOrder), Method::Ham(HamVariant::HamSMNoUser)]
 }
 
 /// Runs the ablation study in 80-20-CUT on the given dataset profiles.
@@ -100,6 +96,6 @@ mod tests {
         assert_eq!(rows[0].entries.len(), 3);
         // the ablated variants are genuinely different models
         let full = rows[0].entries[0].2;
-        assert!(full >= 0.0 && full <= 1.0);
+        assert!((0.0..=1.0).contains(&full));
     }
 }

@@ -116,7 +116,17 @@ mod tests {
     #[test]
     fn parses_every_flag() {
         let args = parse(&[
-            "--scale", "0.05", "--epochs", "3", "--d", "16", "--max-users", "100", "--seed", "7", "--datasets",
+            "--scale",
+            "0.05",
+            "--epochs",
+            "3",
+            "--d",
+            "16",
+            "--max-users",
+            "100",
+            "--seed",
+            "7",
+            "--datasets",
             "CDs,ML-1M",
         ])
         .unwrap();

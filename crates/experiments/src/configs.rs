@@ -57,11 +57,8 @@ pub fn dataset_names() -> [&'static str; 6] {
 /// # Panics
 /// Panics if a requested name is not one of the six benchmark datasets.
 pub fn select_profiles(requested: &[String], defaults: &[&str]) -> Vec<ham_data::synthetic::DatasetProfile> {
-    let names: Vec<String> = if requested.is_empty() {
-        defaults.iter().map(|s| s.to_string()).collect()
-    } else {
-        requested.to_vec()
-    };
+    let names: Vec<String> =
+        if requested.is_empty() { defaults.iter().map(|s| s.to_string()).collect() } else { requested.to_vec() };
     names
         .iter()
         .map(|name| {
@@ -92,10 +89,7 @@ mod tests {
     #[test]
     fn cut_settings_share_parameters() {
         for name in dataset_names() {
-            assert_eq!(
-                paper_best_params(name, EvalSetting::Cut8020),
-                paper_best_params(name, EvalSetting::Cut803)
-            );
+            assert_eq!(paper_best_params(name, EvalSetting::Cut8020), paper_best_params(name, EvalSetting::Cut803));
         }
     }
 

@@ -43,6 +43,15 @@ impl TrainedMethod {
             TrainedMethod::Baseline(model) => model.score_all(user, history),
         }
     }
+
+    /// Scores every catalogue item for a batch of users (one blocked GEMM for
+    /// the linear-head methods; row `i` matches `score_all` within 1e-5).
+    pub fn score_batch(&self, users: &[usize], histories: &[&[ItemId]]) -> ham_tensor::Matrix {
+        match self {
+            TrainedMethod::Ham(model) => model.score_batch(users, histories),
+            TrainedMethod::Baseline(model) => model.score_batch(users, histories),
+        }
+    }
 }
 
 impl Method {
@@ -104,26 +113,45 @@ impl Method {
         match self {
             Method::PopRec => TrainedMethod::Baseline(Box::new(PopRec::fit(train_sequences, num_items))),
             Method::Caser => {
-                let cfg = CaserConfig {
-                    d: config.d,
-                    seq_len: n_h,
-                    targets: n_p,
-                    vertical_filters: 2,
-                    horizontal_filters: 4,
-                };
-                TrainedMethod::Baseline(Box::new(Caser::fit(train_sequences, num_items, &cfg, &baseline_cfg, config.seed)))
+                let cfg =
+                    CaserConfig { d: config.d, seq_len: n_h, targets: n_p, vertical_filters: 2, horizontal_filters: 4 };
+                TrainedMethod::Baseline(Box::new(Caser::fit(
+                    train_sequences,
+                    num_items,
+                    &cfg,
+                    &baseline_cfg,
+                    config.seed,
+                )))
             }
             Method::SasRec => {
                 let cfg = SasRecConfig { d: config.d, seq_len: n_h.max(2), targets: n_p };
-                TrainedMethod::Baseline(Box::new(SasRec::fit(train_sequences, num_items, &cfg, &baseline_cfg, config.seed)))
+                TrainedMethod::Baseline(Box::new(SasRec::fit(
+                    train_sequences,
+                    num_items,
+                    &cfg,
+                    &baseline_cfg,
+                    config.seed,
+                )))
             }
             Method::Hgn => {
                 let cfg = HgnConfig { d: config.d, seq_len: n_h, targets: n_p };
-                TrainedMethod::Baseline(Box::new(Hgn::fit(train_sequences, num_items, &cfg, &baseline_cfg, config.seed)))
+                TrainedMethod::Baseline(Box::new(Hgn::fit(
+                    train_sequences,
+                    num_items,
+                    &cfg,
+                    &baseline_cfg,
+                    config.seed,
+                )))
             }
             Method::Gru4Rec => {
                 let cfg = Gru4RecConfig { d: config.d, seq_len: n_h, targets: n_p };
-                TrainedMethod::Baseline(Box::new(Gru4Rec::fit(train_sequences, num_items, &cfg, &baseline_cfg, config.seed)))
+                TrainedMethod::Baseline(Box::new(Gru4Rec::fit(
+                    train_sequences,
+                    num_items,
+                    &cfg,
+                    &baseline_cfg,
+                    config.seed,
+                )))
             }
             Method::Ham(variant) => {
                 let mut ham_cfg = HamConfig::for_variant(*variant);

@@ -34,12 +34,9 @@ impl DatasetComparison {
     /// baseline at 95% confidence on the per-user values of `metric`.
     pub fn improvement_significant(&self, metric: &str) -> bool {
         let best_of = |ham: bool| {
-            self.results
-                .iter()
-                .filter(|r| r.method.starts_with("HAM") == ham)
-                .max_by(|a, b| {
-                    a.report.mean.get(metric).partial_cmp(&b.report.mean.get(metric)).unwrap_or(std::cmp::Ordering::Equal)
-                })
+            self.results.iter().filter(|r| r.method.starts_with("HAM") == ham).max_by(|a, b| {
+                a.report.mean.get(metric).partial_cmp(&b.report.mean.get(metric)).unwrap_or(std::cmp::Ordering::Equal)
+            })
         };
         let (Some(best_ham), Some(best_base)) = (best_of(true), best_of(false)) else {
             return false;
@@ -105,12 +102,8 @@ pub fn improvement_summary(comparisons: &[DatasetComparison], metric: &str) -> V
         return summary;
     }
     let reference = "HAMs_m";
-    let methods: Vec<String> = comparisons[0]
-        .results
-        .iter()
-        .map(|r| r.method.clone())
-        .filter(|m| m != reference)
-        .collect();
+    let methods: Vec<String> =
+        comparisons[0].results.iter().map(|r| r.method.clone()).filter(|m| m != reference).collect();
     for method in methods {
         let pairs: Vec<(f64, f64)> = comparisons
             .iter()

@@ -116,8 +116,26 @@ mod tests {
     fn render_groups_rows_by_parameter() {
         let rows = vec![
             ParamStudyRow { parameter: "d", d: 16, n_h: 5, n_l: 2, n_p: 3, p: 2, recall_at_5: 0.1, recall_at_10: 0.2 },
-            ParamStudyRow { parameter: "d", d: 32, n_h: 5, n_l: 2, n_p: 3, p: 2, recall_at_5: 0.12, recall_at_10: 0.22 },
-            ParamStudyRow { parameter: "p", d: 32, n_h: 5, n_l: 2, n_p: 3, p: 3, recall_at_5: 0.13, recall_at_10: 0.23 },
+            ParamStudyRow {
+                parameter: "d",
+                d: 32,
+                n_h: 5,
+                n_l: 2,
+                n_p: 3,
+                p: 2,
+                recall_at_5: 0.12,
+                recall_at_10: 0.22,
+            },
+            ParamStudyRow {
+                parameter: "p",
+                d: 32,
+                n_h: 5,
+                n_l: 2,
+                n_p: 3,
+                p: 3,
+                recall_at_5: 0.13,
+                recall_at_10: 0.23,
+            },
         ];
         let text = render_param_study("CDs", &rows);
         assert!(text.contains("varying d"));

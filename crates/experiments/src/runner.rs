@@ -6,7 +6,7 @@ use crate::methods::{Method, TrainedMethod};
 use ham_data::dataset::SequenceDataset;
 use ham_data::split::{split_dataset, DataSplit, EvalSetting};
 use ham_data::synthetic::DatasetProfile;
-use ham_eval::protocol::{evaluate, EvalConfig, EvalReport};
+use ham_eval::protocol::{evaluate_batch, EvalConfig, EvalReport};
 use std::time::Instant;
 
 /// Global knobs of an experiment run (dataset scale, model size, training
@@ -120,9 +120,10 @@ pub fn run_methods_on_split(
         .collect()
 }
 
-/// Evaluates an already-trained method on a split.
+/// Evaluates an already-trained method on a split, routed through the
+/// batched scorer (`score_batch`, one `Q·Wᵀ` GEMM per user chunk).
 pub fn evaluate_trained(trained: &TrainedMethod, split: &DataSplit, eval_cfg: &EvalConfig) -> EvalReport {
-    evaluate(split, eval_cfg, |user, history| trained.score_all(user, history))
+    evaluate_batch(split, eval_cfg, |users, histories| trained.score_batch(users, histories))
 }
 
 /// The `(n_h, n_l, n_p, p)` window sizes used for a dataset/setting: the
@@ -206,14 +207,8 @@ mod tests {
         profile.weight_order1 = 0.60;
         profile.weight_order2 = 0.15;
         profile.weight_synergy = 0.15;
-        let cfg = ExperimentConfig {
-            epochs: 10,
-            max_users: 400,
-            max_seq_len: 60,
-            d: 32,
-            batch_size: 64,
-            ..quick_config()
-        };
+        let cfg =
+            ExperimentConfig { epochs: 10, max_users: 400, max_seq_len: 60, d: 32, batch_size: 64, ..quick_config() };
         let data = prepare_dataset(&profile, &cfg);
         let results = run_methods(&data, EvalSetting::Los3, &[Method::PopRec, Method::Ham(HamVariant::HamM)], &cfg);
         let pop = results[0].report.mean.recall_at_10;

@@ -34,11 +34,8 @@ pub fn run_sasrec_sensitivity(profile: &DatasetProfile, config: &ExperimentConfi
     // the validation items as the "test" segment.
     let mut val_split = split.clone();
     val_split.test = split.val.clone();
-    let eval_cfg = EvalConfig {
-        include_validation_in_history: false,
-        num_threads: config.eval_threads,
-        ..EvalConfig::default()
-    };
+    let eval_cfg =
+        EvalConfig { include_validation_in_history: false, num_threads: config.eval_threads, ..EvalConfig::default() };
 
     let train_cfg = BaselineTrainConfig {
         epochs: config.epochs,

@@ -31,9 +31,7 @@ pub fn render_dataset_statistics(stats: &[DatasetStats], scale: f64) -> String {
         ("ML-20M", 129_780, 13_663, 9_926_480, 76.5, 726.5),
         ("ML-1M", 5_950, 3_125, 573_726, 96.4, 183.6),
     ] {
-        out.push_str(&format!(
-            "{name:<10} {users:>8} {items:>8} {intrns:>10} {per_u:>10.1} {per_i:>8.1}\n"
-        ));
+        out.push_str(&format!("{name:<10} {users:>8} {items:>8} {intrns:>10} {per_u:>10.1} {per_i:>8.1}\n"));
     }
     out
 }

@@ -73,11 +73,8 @@ pub fn grid_search(split: &DataSplit, grid: &[HamConfig], config: &ExperimentCon
         weight_decay: config.weight_decay,
         force_autograd: false,
     };
-    let selection_eval = EvalConfig {
-        include_validation_in_history: false,
-        num_threads: config.eval_threads,
-        ..EvalConfig::default()
-    };
+    let selection_eval =
+        EvalConfig { include_validation_in_history: false, num_threads: config.eval_threads, ..EvalConfig::default() };
     let val_view = validation_view(split);
 
     let mut points = Vec::with_capacity(grid.len());
@@ -91,9 +88,7 @@ pub fn grid_search(split: &DataSplit, grid: &[HamConfig], config: &ExperimentCon
     let best = points
         .iter()
         .max_by(|a, b| {
-            a.validation_recall_at_10
-                .partial_cmp(&b.validation_recall_at_10)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            a.validation_recall_at_10.partial_cmp(&b.validation_recall_at_10).unwrap_or(std::cmp::Ordering::Equal)
         })
         .expect("grid is non-empty")
         .config;
@@ -109,10 +104,7 @@ pub fn grid_search(split: &DataSplit, grid: &[HamConfig], config: &ExperimentCon
 /// Renders the grid-search outcome as a small report.
 pub fn render_tuning(dataset: &str, result: &TuningResult) -> String {
     let mut out = format!("=== Validation grid search on {dataset} ===\n");
-    out.push_str(&format!(
-        "{:>5} {:>5} {:>5} {:>5} {:>3} {:>16}\n",
-        "d", "n_h", "n_l", "n_p", "p", "val Recall@10"
-    ));
+    out.push_str(&format!("{:>5} {:>5} {:>5} {:>5} {:>3} {:>16}\n", "d", "n_h", "n_l", "n_p", "p", "val Recall@10"));
     for point in &result.grid {
         let c = &point.config;
         let marker = if *c == result.best_config { " <- selected" } else { "" };
@@ -123,9 +115,7 @@ pub fn render_tuning(dataset: &str, result: &TuningResult) -> String {
     }
     out.push_str(&format!(
         "\nfinal test performance: Recall@10 {:.4}, NDCG@10 {:.4} over {} users\n",
-        result.test_report.mean.recall_at_10,
-        result.test_report.mean.ndcg_at_10,
-        result.test_report.num_evaluated
+        result.test_report.mean.recall_at_10, result.test_report.mean.ndcg_at_10, result.test_report.num_evaluated
     ));
     out
 }
@@ -169,11 +159,7 @@ mod tests {
         ];
         let result = grid_search(&split, &grid, &cfg);
         assert_eq!(result.grid.len(), 2);
-        let best_val = result
-            .grid
-            .iter()
-            .map(|p| p.validation_recall_at_10)
-            .fold(f64::MIN, f64::max);
+        let best_val = result.grid.iter().map(|p| p.validation_recall_at_10).fold(f64::MIN, f64::max);
         let selected_val = result
             .grid
             .iter()

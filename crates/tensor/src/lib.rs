@@ -13,6 +13,17 @@
 //! higher layer of the workspace (autograd engine, the HAM models, the deep
 //! baselines) is built from scratch as the reproduction requires.
 //!
+//! ## The kernel layer
+//!
+//! Everything hot funnels through the batched kernels in [`kernels`] — a
+//! vectorizing multi-accumulator [`kernels::dot`], the fused one-user
+//! catalogue pass [`kernels::matvec_transposed`], the packed-panel batched
+//! GEMM [`kernels::matmul_transposed`] (`Q·Wᵀ`, the scorer behind
+//! `evaluate_batch`) and the cache-blocked [`kernels::matmul`]. The
+//! [`Matrix`] methods of the same names delegate to them, so model code
+//! written against `Matrix` inherits the fast paths. See the [`kernels`]
+//! module docs for when each entry point applies.
+//!
 //! ## Conventions
 //!
 //! * All matrices are row-major; an *embedding matrix* stores one embedding
@@ -38,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod init;
+pub mod kernels;
 pub mod linalg;
 pub mod matrix;
 pub mod ops;

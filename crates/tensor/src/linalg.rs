@@ -41,10 +41,8 @@ pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
 pub fn most_similar_rows(embeddings: &Matrix, query: usize, k: usize) -> Vec<(usize, f32)> {
     assert!(query < embeddings.rows(), "most_similar_rows: query row out of bounds");
     let q = embeddings.row(query);
-    let mut sims: Vec<(usize, f32)> = (0..embeddings.rows())
-        .filter(|&r| r != query)
-        .map(|r| (r, cosine_similarity(q, embeddings.row(r))))
-        .collect();
+    let mut sims: Vec<(usize, f32)> =
+        (0..embeddings.rows()).filter(|&r| r != query).map(|r| (r, cosine_similarity(q, embeddings.row(r)))).collect();
     sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
     sims.truncate(k);
     sims

@@ -195,54 +195,33 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other`, computed by the cache-blocked
+    /// [`kernels::matmul`](crate::kernels::matmul).
     ///
     /// # Panics
     /// Panics if the inner dimensions do not agree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul: inner dimensions do not agree ({}x{} * {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner loop contiguous for both operands.
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::kernels::matmul(self, other)
     }
 
-    /// Matrix product `self * other^T`.
+    /// Matrix product `self * other^T`, computed by the register-tiled
+    /// [`kernels::matmul_transposed`](crate::kernels::matmul_transposed).
     ///
     /// Computing against a transposed right operand is the common case when
-    /// scoring candidate items (`pooled · Wᵀ`), and doing it directly avoids
-    /// materialising the transpose.
+    /// scoring candidate items (`pooled · Wᵀ` / the batched `Q · Wᵀ`), and
+    /// doing it directly avoids materialising the transpose.
     pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_transposed: column dimensions do not agree ({}x{} * ({}x{})^T)",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                out.data[i * other.rows + j] = dot(a_row, b_row);
-            }
-        }
-        out
+        crate::kernels::matmul_transposed(self, other)
+    }
+
+    /// Scores one query vector against every row of `self` in a single fused
+    /// pass: `out[j] = self.row(j) · q` (the one-user/whole-catalogue fast
+    /// path; see [`kernels::matvec_transposed`](crate::kernels::matvec_transposed)).
+    ///
+    /// # Panics
+    /// Panics if `q.len() != self.cols()`.
+    pub fn matvec_transposed(&self, q: &[f32]) -> Vec<f32> {
+        crate::kernels::matvec_transposed(self, q)
     }
 
     /// Element-wise (Hadamard) product.
@@ -293,11 +272,7 @@ impl Matrix {
 
     /// Applies a function element-wise, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Applies a binary function element-wise against another matrix.
@@ -305,13 +280,7 @@ impl Matrix {
     /// # Panics
     /// Panics if shapes differ.
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
-        assert_eq!(
-            self.shape(),
-            other.shape(),
-            "zip_map: shape mismatch {:?} vs {:?}",
-            self.shape(),
-            other.shape()
-        );
+        assert_eq!(self.shape(), other.shape(), "zip_map: shape mismatch {:?} vs {:?}", self.shape(), other.shape());
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -365,19 +334,12 @@ impl Matrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices (the multi-accumulator kernel from
+/// [`crate::kernels`]).
 ///
 /// # Panics
 /// Panics if the slices differ in length.
-#[inline]
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
-    let mut acc = 0.0f32;
-    for (x, y) in a.iter().zip(b) {
-        acc += x * y;
-    }
-    acc
-}
+pub use crate::kernels::dot;
 
 #[cfg(test)]
 mod tests {

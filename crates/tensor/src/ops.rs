@@ -74,17 +74,25 @@ pub fn relu(m: &Matrix) -> Matrix {
 /// Returns the indices that would sort `scores` in descending order,
 /// truncated to the top `k` entries. Ties are broken by the lower index,
 /// which keeps evaluation deterministic.
+///
+/// For `k ≪ n` (ranking 10 recommendations out of a 50k catalogue) a bounded
+/// min-heap scans the scores once without materialising the full `0..n`
+/// index vector; otherwise the quickselect-then-sort path is used. Both
+/// paths order identically for NaN-free inputs (`-inf` masks included);
+/// with NaN present the ordering is unspecified on either path (the
+/// comparator treats NaN as equal to everything, which is not a total
+/// order), but the heap path never lets a NaN displace a real score.
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     let k = k.min(scores.len());
     if k == 0 {
         return Vec::new();
     }
-    let cmp = |a: &usize, b: &usize| {
-        scores[*b]
-            .partial_cmp(&scores[*a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(b))
-    };
+    let cmp =
+        |a: &usize, b: &usize| scores[*b].partial_cmp(&scores[*a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b));
+    // Heap-based partial selection: O(n log k) time, O(k) extra space.
+    if k * 8 <= scores.len() {
+        return top_k_by_heap(scores, k);
+    }
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     if k < idx.len() {
         idx.select_nth_unstable_by(k - 1, cmp);
@@ -92,6 +100,87 @@ pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     }
     idx.sort_by(cmp);
     idx
+}
+
+/// A score/index pair ordered by "better recommendation": higher score wins,
+/// ties go to the lower index. NaN compares equal to everything, mirroring
+/// the comparator of the full-sort path.
+struct RankedCandidate {
+    score: f32,
+    index: usize,
+}
+
+impl RankedCandidate {
+    fn better_than(&self, other: &Self) -> std::cmp::Ordering {
+        self.score.partial_cmp(&other.score).unwrap_or(std::cmp::Ordering::Equal).then(other.index.cmp(&self.index))
+    }
+}
+
+impl PartialEq for RankedCandidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.better_than(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for RankedCandidate {}
+impl PartialOrd for RankedCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RankedCandidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.better_than(other)
+    }
+}
+
+/// Partial top-k selection with a bounded min-heap (the `k ≪ n` fast path of
+/// [`top_k_indices`]).
+fn top_k_by_heap(scores: &[f32], k: usize) -> Vec<usize> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // `Reverse` turns the max-heap into a min-heap over "betterness", so the
+    // root is always the worst candidate currently kept. NaN scores are
+    // skipped entirely: if one seeded the heap, the `score > worst_score`
+    // fast filter below would stick at NaN (always false) and silently drop
+    // every later real score.
+    let mut heap: BinaryHeap<Reverse<RankedCandidate>> = BinaryHeap::with_capacity(k + 1);
+    // Hot loop: indices only grow, so a candidate tied with the current worst
+    // can never displace it — once the heap is full, a plain
+    // `score > worst_score` filter is exact and keeps the scan
+    // branch-predictable.
+    let mut worst_score = f32::NEG_INFINITY;
+    for (index, &score) in scores.iter().enumerate() {
+        if score.is_nan() {
+            continue;
+        }
+        if heap.len() < k {
+            heap.push(Reverse(RankedCandidate { score, index }));
+            if heap.len() == k {
+                worst_score = heap.peek().map_or(f32::NEG_INFINITY, |Reverse(c)| c.score);
+            }
+        } else if score > worst_score {
+            heap.pop();
+            heap.push(Reverse(RankedCandidate { score, index }));
+            worst_score = heap.peek().map_or(f32::NEG_INFINITY, |Reverse(c)| c.score);
+        }
+    }
+    if heap.len() < k {
+        // Rare: NaNs left fewer than k usable scores. Fall back to the full
+        // sort path, which pads the ranking with the NaN indices.
+        let cmp = |a: &usize, b: &usize| {
+            scores[*b].partial_cmp(&scores[*a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+        };
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+        idx.sort_by(cmp);
+        return idx;
+    }
+    let mut kept: Vec<RankedCandidate> = heap.into_iter().map(|Reverse(c)| c).collect();
+    // Descending by betterness = descending score, ascending index on ties.
+    kept.sort_by(|a, b| b.better_than(a));
+    kept.into_iter().map(|c| c.index).collect()
 }
 
 #[cfg(test)]
@@ -178,5 +267,48 @@ mod tests {
     fn top_k_is_deterministic_on_ties() {
         let scores = [0.5, 0.5, 0.5];
         assert_eq!(top_k_indices(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn heap_and_select_paths_agree() {
+        // 200 scores with deliberate ties; k = 5 takes the heap path,
+        // k = 150 the quickselect path. Cross-check against a full sort.
+        let scores: Vec<f32> = (0..200).map(|i| ((i * 7919) % 23) as f32 * 0.5).collect();
+        let full_order = {
+            let mut idx: Vec<usize> = (0..scores.len()).collect();
+            idx.sort_by(|a, b| scores[*b].partial_cmp(&scores[*a]).unwrap().then(a.cmp(b)));
+            idx
+        };
+        for k in [1, 5, 10, 24, 150, 200] {
+            assert_eq!(top_k_indices(&scores, k), full_order[..k], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn heap_path_is_not_poisoned_by_nan_scores() {
+        // A NaN inside the first k elements must not become a sticky heap
+        // root that blocks every later (real) score.
+        let mut scores = vec![0.0f32; 100];
+        for (i, s) in scores.iter_mut().enumerate().take(8) {
+            *s = if i == 3 { f32::NAN } else { i as f32 };
+        }
+        scores[50] = 100.0;
+        let top = top_k_indices(&scores, 3);
+        assert_eq!(top, vec![50, 7, 6]);
+
+        // All-NaN input still returns k indices (fallback path).
+        let all_nan = vec![f32::NAN; 64];
+        assert_eq!(top_k_indices(&all_nan, 4).len(), 4);
+    }
+
+    #[test]
+    fn heap_path_handles_negative_infinity_masks() {
+        let mut scores = vec![1.0f32; 100];
+        for s in scores.iter_mut().take(90) {
+            *s = f32::NEG_INFINITY;
+        }
+        scores[95] = 2.0;
+        let top = top_k_indices(&scores, 3);
+        assert_eq!(top, vec![95, 90, 91]);
     }
 }

@@ -59,7 +59,8 @@ fn main() {
         .collect();
     let ham_time = measure_scoring_time(&users, |u, h| ham.score_all(u, h));
     let hgn_time = measure_scoring_time(&users, |u, h| hgn.score_all(u, h));
-    println!("\ntest time per user: HAMs_m {:.2e}s, HGN {:.2e}s ({:.1}x speedup)",
+    println!(
+        "\ntest time per user: HAMs_m {:.2e}s, HGN {:.2e}s ({:.1}x speedup)",
         ham_time.seconds_per_user,
         hgn_time.seconds_per_user,
         ham_time.speedup_over(&hgn_time)

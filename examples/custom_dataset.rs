@@ -41,13 +41,15 @@ fn main() {
 
     // 3. Split, grid-search HAMs_m on the validation set, evaluate on test.
     let split = split_dataset(&dataset, EvalSetting::Cut8020);
-    let experiment = ExperimentConfig { epochs: 5, d: 16, batch_size: 64, eval_threads: 2, ..ExperimentConfig::default() };
+    let experiment =
+        ExperimentConfig { epochs: 5, d: 16, batch_size: 64, eval_threads: 2, ..ExperimentConfig::default() };
     let grid = default_grid(HamVariant::HamSM, experiment.d);
     let result = grid_search(&split, &grid[..4.min(grid.len())], &experiment);
     println!("\n{}", render_tuning(&dataset.name, &result));
 
     // 4. Serve a few recommendations from the final model.
     let histories = split.train_with_val();
+    #[allow(clippy::needless_range_loop)]
     for user in 0..3.min(dataset.num_users()) {
         if histories[user].is_empty() {
             continue;

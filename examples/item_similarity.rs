@@ -14,12 +14,7 @@ use ham::tensor::linalg::{cosine_similarity, most_similar_rows, normalize_rows};
 fn main() {
     let profile = DatasetProfile::comics().with_scale(0.005);
     let dataset = profile.generate(31);
-    println!(
-        "dataset: {} ({} users, {} items)",
-        dataset.name,
-        dataset.num_users(),
-        dataset.num_items
-    );
+    println!("dataset: {} ({} users, {} items)", dataset.name, dataset.num_users(), dataset.num_items);
 
     let config = HamConfig::for_variant(HamVariant::HamSM).with_dimensions(32, 7, 2, 3, 2);
     let train_config = TrainConfig { epochs: 10, batch_size: 64, ..TrainConfig::default() };
@@ -39,7 +34,11 @@ fn main() {
     let mut neighbours_total = 0usize;
     for &probe in by_freq.iter().take(3) {
         let neighbours = most_similar_rows(&embeddings, probe, 5);
-        println!("\nitem {probe} (cluster {}, {} interactions) — nearest neighbours:", probe % num_clusters, frequencies[probe]);
+        println!(
+            "\nitem {probe} (cluster {}, {} interactions) — nearest neighbours:",
+            probe % num_clusters,
+            frequencies[probe]
+        );
         for (item, similarity) in &neighbours {
             println!(
                 "  item {item:>5}  cluster {:>3}  cosine {similarity:.3}  ({} interactions)",
@@ -63,9 +62,6 @@ fn main() {
     // item's two embeddings are generally *not* aligned, which is exactly why
     // the paper learns two matrices (asymmetric item transitions).
     let item = by_freq[0];
-    let sim = cosine_similarity(
-        model.input_item_embeddings().row(item),
-        model.candidate_item_embeddings().row(item),
-    );
+    let sim = cosine_similarity(model.input_item_embeddings().row(item), model.candidate_item_embeddings().row(item));
     println!("cosine between item {item}'s input and candidate embeddings: {sim:.3}");
 }

@@ -43,7 +43,7 @@ fn main() {
             report.mean.recall_at_10,
             report.mean.ndcg_at_10
         );
-        if best.as_ref().map_or(true, |(_, r)| report.mean.recall_at_10 > *r) {
+        if best.as_ref().is_none_or(|(_, r)| report.mean.recall_at_10 > *r) {
             best = Some((variant.name().to_string(), report.mean.recall_at_10));
         }
     }

@@ -44,10 +44,7 @@ fn trained_model_survives_a_serialization_roundtrip() {
             continue;
         }
         assert_eq!(model.score_all(user, history), restored.score_all(user, history));
-        assert_eq!(
-            model.recommend_top_k(user, history, 10, true),
-            restored.recommend_top_k(user, history, 10, true)
-        );
+        assert_eq!(model.recommend_top_k(user, history, 10, true), restored.recommend_top_k(user, history, 10, true));
     }
 }
 

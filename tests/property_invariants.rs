@@ -106,8 +106,8 @@ proptest! {
         for j in 0..rows {
             for k in 0..rows {
                 if j == k { continue; }
-                for c in 0..cols {
-                    expected[c] += m.get(j, c) * m.get(k, c);
+                for (c, e) in expected.iter_mut().enumerate() {
+                    *e += m.get(j, c) * m.get(k, c);
                 }
             }
         }

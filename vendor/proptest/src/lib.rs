@@ -1,0 +1,236 @@
+//! Minimal, dependency-free stand-in for `proptest`.
+//!
+//! Supports the subset used by this workspace's property tests: the
+//! [`proptest!`] macro over functions whose arguments are drawn from range
+//! strategies and the [`collection`] strategies, `prop_assert!` /
+//! `prop_assert_eq!`, and [`ProptestConfig::with_cases`].
+//!
+//! Each test function runs its body for `cases` deterministic pseudo-random
+//! inputs (seeded from the test's name), so failures are reproducible. There
+//! is no shrinking: a failing case panics with the regular assert message.
+
+use std::ops::Range;
+
+/// Per-test configuration (number of random cases).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many random inputs to run the test body with.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic test RNG (SplitMix64), seeded from the test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds an RNG whose stream depends only on `name`.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random values for one test argument.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                assert!(span > 0, "proptest: empty range strategy");
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+/// Collection strategies (`vec`, `hash_set`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy producing a `Vec` of values with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come from
+    /// `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing a `HashSet` with up to `size` elements.
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `HashSet` with up to `size` distinct elements drawn from `elem`.
+    pub fn hash_set<S: Strategy>(elem: S, size: Range<usize>) -> HashSetStrategy<S> {
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.clone().sample(rng);
+            let mut out = HashSet::with_capacity(target);
+            for _ in 0..target {
+                out.insert(self.elem.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestRng};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each function runs its body for every random
+/// sample of its `arg in strategy` arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut __proptest_rng = $crate::TestRng::deterministic(stringify!($name));
+                for __proptest_case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, f in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(0usize..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn hash_set_strategy_bounds_size(s in crate::collection::hash_set(0usize..100, 0..10)) {
+            prop_assert!(s.len() < 10);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = super::TestRng::deterministic("t");
+        let mut b = super::TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = super::TestRng::deterministic("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -1,0 +1,289 @@
+//! Minimal, dependency-free stand-in for `serde`.
+//!
+//! The workspace builds without network access, so this vendored crate
+//! provides just what the reproduction needs: a [`Value`] document model, the
+//! [`Serialize`] / [`Deserialize`] traits expressed over it, impls for the
+//! primitive and container types used by the models, and re-exported derive
+//! macros (from the sibling `serde_derive` stub) covering named-field structs
+//! and unit-variant enums.
+//!
+//! `serde_json` (also vendored) renders [`Value`] to JSON text and parses it
+//! back, so model snapshots and dataset files round-trip exactly like they
+//! would with the real crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dynamically typed document value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number; integers are exact up to 2^53.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered list.
+    Array(Vec<Value>),
+    /// Key/value pairs, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The fields of an object value, or `None`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The string content, or `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a document value.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a document value.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Extracts and deserializes a named field of an object (helper used by the
+/// derive macro).
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => Err(DeError::new(format!("missing field `{name}`"))),
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    _ => Err(DeError::new(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(*n),
+            _ => Err(DeError::new("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(*n as f32),
+            _ => Err(DeError::new("expected number")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => Ok((A::from_value(&items[0])?, B::from_value(&items[1])?)),
+            _ => Err(DeError::new("expected two-element array")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect(),
+            _ => Err(DeError::new("expected object")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(f32::from_value(&0.25f32.to_value()).unwrap(), 0.25);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        let v: Vec<usize> = vec![1, 2, 3];
+        assert_eq!(Vec::<usize>::from_value(&v.to_value()).unwrap(), v);
+        assert_eq!(Option::<usize>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn f32_roundtrip_is_exact_through_f64() {
+        for &x in &[0.1f32, -1.5e-7, 3.4e38, f32::MIN_POSITIVE] {
+            assert_eq!(f32::from_value(&x.to_value()).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_errors() {
+        assert!(usize::from_value(&Value::String("x".into())).is_err());
+        assert!(usize::from_value(&Value::Number(1.5)).is_err());
+        assert!(Vec::<usize>::from_value(&Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let obj = Value::Object(vec![("a".into(), Value::Number(1.0))]);
+        assert_eq!(obj.get("a"), Some(&Value::Number(1.0)));
+        assert_eq!(obj.get("b"), None);
+        let fields = obj.as_object().unwrap();
+        assert_eq!(super::field::<usize>(fields, "a").unwrap(), 1);
+        assert!(super::field::<usize>(fields, "missing").is_err());
+    }
+}

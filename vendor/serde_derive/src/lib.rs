@@ -1,0 +1,209 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! Supports exactly the type shapes used in this workspace:
+//!
+//! * structs with named fields (any visibility, arbitrary field types that
+//!   themselves implement the traits), and
+//! * enums whose variants all carry no data (serialized as their name).
+//!
+//! Generics, tuple structs, payload-carrying enum variants and `#[serde(...)]`
+//! attributes are intentionally unsupported and produce a compile error, so
+//! an unsupported shape fails loudly instead of round-tripping wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (conversion to `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::String(\"{v}\".to_string()),", name = item.name))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (reconstruction from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields.iter().map(|f| format!("{f}: serde::field(obj, \"{f}\")?,")).collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         let obj = v.as_object().ok_or_else(|| serde::DeError::new(\"expected object for {name}\"))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String =
+                variants.iter().map(|v| format!("\"{v}\" => Ok({name}::{v}),", name = item.name)).collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         let s = v.as_str().ok_or_else(|| serde::DeError::new(\"expected string for {name}\"))?;\n\
+                         match s {{\n\
+                             {arms}\n\
+                             other => Err(serde::DeError::new(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+    };
+    code.parse().expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+enum Shape {
+    /// Named fields of a braced struct.
+    Struct(Vec<String>),
+    /// Unit variants of an enum.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Parses `[attrs] [vis] (struct|enum) Name { body }` from the derive input.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group.stream(),
+        other => panic!(
+            "serde_derive: only braced structs and enums are supported for `{name}` (generics, \
+             tuple structs and unit structs are not), found {other:?}"
+        ),
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body, &name)),
+        "enum" => Shape::Enum(parse_unit_variants(body, &name)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream, type_name: &str) -> Vec<String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => fields.push(ident.to_string()),
+            other => panic!("serde_derive: expected field name in `{type_name}`, found {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field in `{type_name}`, found {other:?}"),
+        }
+        // Consume the type up to the next top-level comma. Commas inside
+        // delimiter groups are separate token trees already; commas inside
+        // angle-bracketed generics need explicit depth tracking.
+        let mut angle_depth = 0usize;
+        loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from an enum body, rejecting payload variants.
+fn parse_unit_variants(body: TokenStream, type_name: &str) -> Vec<String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => variants.push(ident.to_string()),
+            other => panic!("serde_derive: expected variant name in `{type_name}`, found {other:?}"),
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!(
+                "serde_derive: only unit enum variants are supported; `{type_name}` has a variant \
+                 with a payload or discriminant ({other:?})"
+            ),
+        }
+    }
+    variants
+}
+
+/// Skips `#[...]` attribute pairs (including doc comments).
+fn skip_attributes(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde_derive: malformed attribute, found {other:?}"),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` and similar visibility prefixes.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(ident)) if ident.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+            tokens.next();
+        }
+    }
+}
