@@ -97,6 +97,12 @@ impl SequentialRecommender for BprMf {
         let queries = self.params.value(self.users).gather_rows(users);
         queries.matmul_transposed(self.params.value(self.items))
     }
+
+    fn linear_head(&self) -> Option<ham_core::LinearHead<'_>> {
+        Some(ham_core::LinearHead::new(self.params.value(self.items), move |u, _s| {
+            self.params.value(self.users).row(u).to_vec()
+        }))
+    }
 }
 
 #[cfg(test)]

@@ -191,6 +191,10 @@ impl SequentialRecommender for Caser {
         let w = self.params.value(self.ids.items_out);
         crate::common::batched_query_scores(users, sequences, w.cols(), w, |u, s| self.query_vector(u, s))
     }
+
+    fn linear_head(&self) -> Option<ham_core::LinearHead<'_>> {
+        Some(ham_core::LinearHead::new(self.params.value(self.ids.items_out), move |u, s| self.query_vector(u, s)))
+    }
 }
 
 #[cfg(test)]

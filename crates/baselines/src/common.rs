@@ -33,6 +33,17 @@ pub trait SequentialRecommender {
     fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> Matrix {
         score_batch_rows(self.num_items(), users, sequences, |u, s| self.score_all(u, s))
     }
+
+    /// The model's linear scoring head (`r = q · Wᵀ`), when it has one.
+    ///
+    /// Every baseline in this crate scores through such a head — even PopRec,
+    /// whose "query" is the constant `[1.0]` against an `n × 1` popularity
+    /// column — so all of them can be served from the sharded catalogue in
+    /// `ham-serve`. The default is `None` for future scorers without a
+    /// factorised head.
+    fn linear_head(&self) -> Option<ham_core::LinearHead<'_>> {
+        None
+    }
 }
 
 /// Assembles a batch score matrix from a per-user scoring closure (the

@@ -192,6 +192,10 @@ impl SequentialRecommender for Gru4Rec {
         let e = self.params.value(self.ids.items);
         crate::common::batched_query_scores(users, sequences, e.cols(), e, |_, s| self.hidden_state(s))
     }
+
+    fn linear_head(&self) -> Option<ham_core::LinearHead<'_>> {
+        Some(ham_core::LinearHead::new(self.params.value(self.ids.items), move |_u, s| self.hidden_state(s)))
+    }
 }
 
 #[cfg(test)]

@@ -233,6 +233,10 @@ impl SequentialRecommender for Hgn {
         let w_out = self.params.value(self.items_out);
         crate::common::batched_query_scores(users, sequences, w_out.cols(), w_out, |u, s| self.query_vector(u, s))
     }
+
+    fn linear_head(&self) -> Option<ham_core::LinearHead<'_>> {
+        Some(ham_core::LinearHead::new(self.params.value(self.items_out), move |u, s| self.query_vector(u, s)))
+    }
 }
 
 #[cfg(test)]

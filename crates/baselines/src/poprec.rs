@@ -8,9 +8,14 @@ use crate::common::SequentialRecommender;
 use ham_data::dataset::ItemId;
 
 /// A non-personalised popularity recommender.
+///
+/// The counts are stored as an `n × 1` matrix so popularity fits the same
+/// linear scoring head as every other model: the "query" is the constant
+/// `[1.0]` and `r_j = 1.0 · count_j` reproduces the counts exactly, which
+/// lets the sharded serving layer treat PopRec like any factorised scorer.
 #[derive(Debug, Clone)]
 pub struct PopRec {
-    scores: Vec<f32>,
+    scores: ham_tensor::Matrix,
 }
 
 impl PopRec {
@@ -22,12 +27,12 @@ impl PopRec {
                 counts[item] += 1.0;
             }
         }
-        Self { scores: counts }
+        Self { scores: ham_tensor::Matrix::from_vec(num_items, 1, counts) }
     }
 
     /// The raw popularity count of an item.
     pub fn popularity(&self, item: ItemId) -> f32 {
-        self.scores[item]
+        self.scores.get(item, 0)
     }
 }
 
@@ -37,11 +42,11 @@ impl SequentialRecommender for PopRec {
     }
 
     fn num_items(&self) -> usize {
-        self.scores.len()
+        self.scores.rows()
     }
 
     fn score_all(&self, _user: usize, _sequence: &[ItemId]) -> Vec<f32> {
-        self.scores.clone()
+        self.scores.as_slice().to_vec()
     }
 
     fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> ham_tensor::Matrix {
@@ -53,11 +58,15 @@ impl SequentialRecommender for PopRec {
             sequences.len()
         );
         // Popularity is user-independent: tile the same score row.
-        let mut out = ham_tensor::Matrix::zeros(users.len(), self.scores.len());
+        let mut out = ham_tensor::Matrix::zeros(users.len(), self.scores.rows());
         for i in 0..users.len() {
-            out.row_mut(i).copy_from_slice(&self.scores);
+            out.row_mut(i).copy_from_slice(self.scores.as_slice());
         }
         out
+    }
+
+    fn linear_head(&self) -> Option<ham_core::LinearHead<'_>> {
+        Some(ham_core::LinearHead::new(&self.scores, |_u, _s| vec![1.0]))
     }
 }
 

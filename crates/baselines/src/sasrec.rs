@@ -206,6 +206,10 @@ impl SequentialRecommender for SasRec {
         let e = self.params.value(self.ids.items);
         crate::common::batched_query_scores(users, sequences, e.cols(), e, |_, s| self.query_vector(s))
     }
+
+    fn linear_head(&self) -> Option<ham_core::LinearHead<'_>> {
+        Some(ham_core::LinearHead::new(self.params.value(self.ids.items), move |_u, s| self.query_vector(s)))
+    }
 }
 
 #[cfg(test)]

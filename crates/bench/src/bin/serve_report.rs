@@ -1,0 +1,272 @@
+//! Generates `BENCH_serving.json`: throughput and latency numbers for the
+//! sharded serving subsystem (`ham-serve`).
+//!
+//! Three sections:
+//!
+//! * **Single-node baseline** — the PR 1 configuration at the same thread
+//!   budget: full-catalogue `score_batch` GEMM over 64-user chunks fanned
+//!   out on the shared worker pool, fused masked top-k per user. This is the
+//!   number sharded serving has to meet or beat.
+//! * **Sharded offline sweep** — `ServingModel::recommend_batch` throughput
+//!   across shard counts × micro-batch sizes, shards scored in parallel on
+//!   the same pool.
+//! * **Online serving** — requests pushed through the [`RecServer`]
+//!   micro-batching queue from concurrent client threads, with per-request
+//!   latency percentiles (p50/p95/p99) and a model hot-swap mid-run.
+//!
+//! Run from the repository root: `cargo run --release -p ham-bench --bin
+//! serve_report` (append `-- --quick` for the CI smoke configuration). The
+//! JSON is written to the current directory.
+
+use ham_core::{HamConfig, HamModel, HamVariant};
+use ham_eval::ranking::top_k_excluding;
+use ham_serve::{LatencyStats, ModelRegistry, RecServer, RecommendRequest, ServerConfig, ServingModel};
+use ham_tensor::pool::global_pool;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const D: usize = 32;
+const K: usize = 10;
+
+struct BenchScale {
+    items: usize,
+    users: usize,
+    offline_reps: usize,
+    online_requests_per_client: usize,
+    clients: usize,
+}
+
+impl BenchScale {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Self { items: 2_000, users: 64, offline_reps: 4, online_requests_per_client: 40, clients: 2 }
+        } else {
+            Self { items: 10_000, users: 200, offline_reps: 9, online_requests_per_client: 250, clients: 4 }
+        }
+    }
+}
+
+fn bench_model(scale: &BenchScale) -> (Arc<HamModel>, Vec<Vec<usize>>) {
+    let config = HamConfig::for_variant(HamVariant::HamSM).with_dimensions(D, 5, 2, 3, 2);
+    let model = Arc::new(HamModel::new(scale.users, scale.items, config, 7));
+    let histories: Vec<Vec<usize>> =
+        (0..scale.users).map(|u| (0..40).map(|t| (u * 131 + t * 17) % scale.items).collect()).collect();
+    (model, histories)
+}
+
+/// One pass of the PR 1 single-node path at the pool's thread budget: users
+/// chunked over the shared pool, each chunk scored against the **full**
+/// catalogue with the batched GEMM and ranked with the fused masked top-k.
+fn single_node_pass(model: &HamModel, histories: &[Vec<usize>], threads: usize) {
+    let users: Vec<usize> = (0..histories.len()).collect();
+    let chunk = users.len().div_ceil(threads);
+    let parts: Vec<&[usize]> = users.chunks(chunk).collect();
+    global_pool().scope(|scope| {
+        for part in parts {
+            scope.spawn(move || {
+                let mut seen = vec![false; model.num_items()];
+                for batch in part.chunks(64) {
+                    let hist: Vec<&[usize]> = batch.iter().map(|&u| histories[u].as_slice()).collect();
+                    let scores = model.score_batch(batch, &hist);
+                    for (i, &u) in batch.iter().enumerate() {
+                        black_box(top_k_excluding(scores.row(i), K, &histories[u], &mut seen));
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// One pass of offline sharded serving: all users served through
+/// `ServingModel::recommend_batch` in micro-batches of `batch`.
+fn sharded_pass(serving: &ServingModel, requests: &[RecommendRequest], batch: usize) {
+    for group in requests.chunks(batch) {
+        black_box(serving.recommend_batch(group, Some(global_pool())));
+    }
+}
+
+struct ShardRow {
+    shards: usize,
+    batch: usize,
+    seconds: f64,
+    users_per_second: f64,
+}
+
+struct OnlineRow {
+    label: String,
+    throughput_rps: f64,
+    stats: LatencyStats,
+    versions_seen: Vec<u64>,
+}
+
+/// Pushes requests through the micro-batching server from concurrent client
+/// threads; publishes a hot-swapped model halfway through.
+fn online_run(model: &Arc<HamModel>, histories: &[Vec<usize>], scale: &BenchScale, shards: usize) -> OnlineRow {
+    let registry = Arc::new(ModelRegistry::new(
+        ServingModel::from_scorer("ham-sm-v1", Arc::clone(model), shards).expect("HAM has a linear head"),
+    ));
+    let server = Arc::new(RecServer::start(Arc::clone(&registry), ServerConfig::default()));
+    let started = Instant::now();
+    let total_requests = scale.clients * scale.online_requests_per_client;
+    let handles: Vec<_> = (0..scale.clients)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let histories = histories.to_vec();
+            let per_client = scale.online_requests_per_client;
+            std::thread::spawn(move || {
+                let mut samples = Vec::with_capacity(per_client);
+                let mut versions = Vec::new();
+                for r in 0..per_client {
+                    let user = (c * 31 + r * 7) % histories.len();
+                    let response = server.submit(RecommendRequest::new(user, histories[user].clone(), K));
+                    samples.push(response.total_micros());
+                    if versions.last() != Some(&response.model_version) {
+                        versions.push(response.model_version);
+                    }
+                }
+                (samples, versions)
+            })
+        })
+        .collect();
+    // Hot-swap a retrained model while the clients are mid-flight.
+    let swap = {
+        let registry = Arc::clone(&registry);
+        let model = Arc::clone(model);
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            registry.publish(ServingModel::from_scorer("ham-sm-v2", model, shards).expect("HAM has a linear head"));
+        })
+    };
+    let mut samples = Vec::with_capacity(total_requests);
+    let mut versions_seen = Vec::new();
+    for handle in handles {
+        let (client_samples, client_versions) = handle.join().expect("client thread panicked");
+        samples.extend(client_samples);
+        for v in client_versions {
+            if !versions_seen.contains(&v) {
+                versions_seen.push(v);
+            }
+        }
+    }
+    swap.join().expect("publisher thread panicked");
+    let elapsed = started.elapsed().as_secs_f64();
+    versions_seen.sort_unstable();
+    OnlineRow {
+        label: format!("{}_shards_{}_clients", shards, scale.clients),
+        throughput_rps: total_requests as f64 / elapsed,
+        stats: LatencyStats::from_micros(samples).expect("at least one sample"),
+        versions_seen,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = BenchScale::new(quick);
+    let threads = global_pool().threads();
+    eprintln!(
+        "serve_report: {} items, {} users, d = {D}, pool threads = {threads}{}",
+        scale.items,
+        scale.users,
+        if quick { " (quick)" } else { "" }
+    );
+
+    let (model, histories) = bench_model(&scale);
+
+    // Paired measurement: the shared VM's throughput drifts over seconds, so
+    // the baseline and every sharded configuration are measured round-robin
+    // inside the same rep loop (best-of per configuration) instead of in
+    // separate blocks minutes apart — ratios then compare like with like.
+    let shard_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let batch_sizes: &[usize] = &[1, 16, 64];
+    let servings: Vec<(usize, ServingModel)> = shard_counts
+        .iter()
+        .map(|&s| (s, ServingModel::from_scorer("ham-sm", Arc::clone(&model), s).expect("HAM has a linear head")))
+        .collect();
+    let requests: Vec<RecommendRequest> =
+        (0..histories.len()).map(|u| RecommendRequest::new(u, histories[u].clone(), K)).collect();
+    eprintln!(
+        "measuring offline throughput, paired round-robin ({} reps): single-node baseline + {} sharded configs...",
+        scale.offline_reps,
+        servings.len() * batch_sizes.len()
+    );
+    // Warm-up pass so first-touch page faults and cold caches hit no one.
+    single_node_pass(&model, &histories, threads);
+    let mut single_seconds = f64::INFINITY;
+    let mut sharded_best = vec![f64::INFINITY; servings.len() * batch_sizes.len()];
+    for _ in 0..scale.offline_reps {
+        let start = Instant::now();
+        single_node_pass(&model, &histories, threads);
+        single_seconds = single_seconds.min(start.elapsed().as_secs_f64());
+        for (si, (_, serving)) in servings.iter().enumerate() {
+            for (bi, &batch) in batch_sizes.iter().enumerate() {
+                let start = Instant::now();
+                sharded_pass(serving, &requests, batch);
+                let slot = &mut sharded_best[si * batch_sizes.len() + bi];
+                *slot = slot.min(start.elapsed().as_secs_f64());
+            }
+        }
+    }
+    let single_ups = scale.users as f64 / single_seconds;
+    let mut rows: Vec<ShardRow> = Vec::new();
+    for (si, (shards, _)) in servings.iter().enumerate() {
+        for (bi, &batch) in batch_sizes.iter().enumerate() {
+            let seconds = sharded_best[si * batch_sizes.len() + bi];
+            rows.push(ShardRow { shards: *shards, batch, seconds, users_per_second: scale.users as f64 / seconds });
+        }
+    }
+    let best_sharded = rows.iter().map(|r| r.users_per_second).fold(0.0f64, f64::max);
+
+    eprintln!("measuring online serving through the micro-batching queue...");
+    let online_shards = if quick { 2 } else { 4 };
+    let online = online_run(&model, &histories, &scale, online_shards);
+
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"description\": \"Sharded serving subsystem: single-node baseline vs sharded offline \
+         throughput (users/s, k=10, seen-items masked) and online micro-batched serving with latency \
+         percentiles. Sharded results are exact (bit-identical ids to the single-node ranking).\",\n",
+    );
+    out.push_str(&format!(
+        "  \"d\": {D},\n  \"k\": {K},\n  \"items\": {},\n  \"users\": {},\n  \"pool_threads\": {threads},\n  \"quick\": {quick},\n",
+        scale.items, scale.users
+    ));
+    out.push_str(&format!(
+        "  \"single_node_baseline\": {{\"threads\": {threads}, \"seconds\": {:.6}, \"users_per_second\": {:.1}}},\n",
+        single_seconds, single_ups
+    ));
+    out.push_str("  \"sharded_offline\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"batch\": {}, \"seconds\": {:.6}, \"users_per_second\": {:.1}, \"vs_single_node\": {:.3}}}{}\n",
+            r.shards,
+            r.batch,
+            r.seconds,
+            r.users_per_second,
+            r.users_per_second / single_ups,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"best_sharded_over_single_node\": {:.3},\n", best_sharded / single_ups));
+    out.push_str(&format!(
+        "  \"online\": {{\"config\": \"{}\", \"throughput_rps\": {:.1}, \"latency_micros\": {{\"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}, \"requests\": {}, \"model_versions_served\": {:?}}}\n",
+        online.label,
+        online.throughput_rps,
+        online.stats.mean_micros,
+        online.stats.p50_micros,
+        online.stats.p95_micros,
+        online.stats.p99_micros,
+        online.stats.max_micros,
+        online.stats.count,
+        online.versions_seen
+    ));
+    out.push_str("}\n");
+
+    std::fs::write("BENCH_serving.json", &out).expect("failed to write BENCH_serving.json");
+    println!("{out}");
+    eprintln!(
+        "wrote BENCH_serving.json (best sharded throughput {:.2}x the single-node baseline)",
+        best_sharded / single_ups
+    );
+}

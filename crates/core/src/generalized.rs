@@ -190,13 +190,17 @@ impl GeneralizedHamModel {
     }
 
     /// Recommends the `k` highest-scoring items, optionally excluding already
-    /// seen items (masked through a catalogue bitmap, not a hash set).
+    /// seen items (skipped during the top-k scan through a catalogue bitmap —
+    /// the fused mask+select path — rather than written as `-inf` scores).
     pub fn recommend_top_k(&self, user: usize, sequence: &[ItemId], k: usize, exclude_seen: bool) -> Vec<ItemId> {
-        let mut scores = self.score_all(user, sequence);
+        let scores = self.score_all(user, sequence);
         if exclude_seen {
-            crate::scorer::SeenMask::new(self.base.num_items()).mask_scores(sequence, &mut scores);
+            let mut mask = crate::scorer::SeenMask::new(self.base.num_items());
+            mask.mark(sequence);
+            ham_tensor::ops::top_k_indices_masked(&scores, k, mask.bits())
+        } else {
+            ham_tensor::ops::top_k_indices(&scores, k)
         }
-        ham_tensor::ops::top_k_indices(&scores, k)
     }
 
     /// The extra inner product added by `w`-sized windows beyond the base

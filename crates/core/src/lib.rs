@@ -59,5 +59,5 @@ pub use config::{HamConfig, HamVariant, TrainConfig};
 pub use generalized::{GeneralizedHamConfig, GeneralizedHamModel};
 pub use model::HamModel;
 pub use scorer::{rank_top_k, score_candidates};
-pub use scorer::{Scorer, SeenMask};
+pub use scorer::{LinearHead, Scorer, SeenMask};
 pub use trainer::{train, train_with_history, EpochStats};

@@ -7,7 +7,7 @@ use crate::synergy::{apply_latent_cross, synergy_terms};
 use ham_data::dataset::ItemId;
 use ham_data::window::recent_window;
 use ham_tensor::matrix::dot;
-use ham_tensor::ops::top_k_indices;
+use ham_tensor::ops::{top_k_indices, top_k_indices_masked};
 use ham_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -183,6 +183,12 @@ impl HamModel {
     /// Like [`Self::recommend_top_k`], reusing a caller-owned [`SeenMask`] so
     /// a serving loop recommending for many users allocates the catalogue
     /// bitmap once instead of per call.
+    ///
+    /// The ranking runs through the fused mask+select kernel
+    /// ([`top_k_indices_masked`]): seen items are skipped during the top-k
+    /// scan via the bitmap instead of being overwritten with `-inf` in the
+    /// score buffer, which keeps the buffer clean and the masking cost at
+    /// O(history) marks plus O(history) clears.
     pub fn recommend_top_k_with(
         &self,
         user: usize,
@@ -191,11 +197,15 @@ impl HamModel {
         exclude_seen: bool,
         mask: &mut SeenMask,
     ) -> Vec<ItemId> {
-        let mut scores = self.score_all(user, sequence);
+        let scores = self.score_all(user, sequence);
         if exclude_seen {
-            mask.mask_scores(sequence, &mut scores);
+            mask.mark(sequence);
+            let top = top_k_indices_masked(&scores, k, mask.bits());
+            mask.clear(sequence);
+            top
+        } else {
+            top_k_indices(&scores, k)
         }
-        top_k_indices(&scores, k)
     }
 
     /// Returns true when every embedding value is finite; used as a training

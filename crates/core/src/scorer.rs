@@ -23,6 +23,17 @@ pub trait Scorer {
     /// Scores every item for `user` given the user's chronological history.
     fn score_all(&self, user: usize, sequence: &[ItemId]) -> Vec<f32>;
 
+    /// The model's linear scoring head, when it has one.
+    ///
+    /// A model whose scores factor as `r = q · Wᵀ` (a per-user query vector
+    /// against a fixed candidate matrix) returns `Some`; the serving layer
+    /// uses the head to shard `W` row-wise and score each shard with the
+    /// GEMV/GEMM kernels. Models without a linear head (none in this
+    /// workspace today) keep the `None` default and cannot be sharded.
+    fn linear_head(&self) -> Option<LinearHead<'_>> {
+        None
+    }
+
     /// Scores every item for a batch of users; row `i` of the result equals
     /// `score_all(users[i], sequences[i])` within float rounding (≤ 1e-5).
     ///
@@ -48,6 +59,10 @@ impl Scorer for crate::model::HamModel {
     fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> Matrix {
         crate::model::HamModel::score_batch(self, users, sequences)
     }
+
+    fn linear_head(&self) -> Option<LinearHead<'_>> {
+        Some(LinearHead::new(self.candidate_item_embeddings(), move |u, h| self.query_vector(u, h)))
+    }
 }
 
 impl Scorer for crate::generalized::GeneralizedHamModel {
@@ -61,6 +76,75 @@ impl Scorer for crate::generalized::GeneralizedHamModel {
 
     fn score_batch(&self, users: &[usize], sequences: &[&[ItemId]]) -> Matrix {
         crate::generalized::GeneralizedHamModel::score_batch(self, users, sequences)
+    }
+
+    fn linear_head(&self) -> Option<LinearHead<'_>> {
+        Some(LinearHead::new(self.base().candidate_item_embeddings(), move |u, h| self.query_vector(u, h)))
+    }
+}
+
+/// The boxed query-builder closure of a [`LinearHead`]: `(user, history)`
+/// to the query vector `q`.
+pub type QueryFn<'m> = Box<dyn Fn(usize, &[ItemId]) -> Vec<f32> + Send + Sync + 'm>;
+
+/// A linear scoring head `r = q · Wᵀ`: the per-user query builder together
+/// with the candidate-embedding matrix it is scored against.
+///
+/// Every model in this workspace — the HAM variants and all baselines —
+/// scores through such a head, which is what makes catalogue sharding
+/// possible: the serving layer (`ham-serve`) splits `W` row-wise, scores
+/// each shard with the same GEMV/GEMM kernels the single-node path uses
+/// (per-row dot products are bit-identical either way), and merges the
+/// per-shard top-k exactly.
+pub struct LinearHead<'m> {
+    candidates: &'m Matrix,
+    query: QueryFn<'m>,
+}
+
+impl<'m> LinearHead<'m> {
+    /// Builds a head from the candidate matrix and a query-vector closure.
+    /// The closure must return `candidates.cols()` values per call.
+    pub fn new(candidates: &'m Matrix, query: impl Fn(usize, &[ItemId]) -> Vec<f32> + Send + Sync + 'm) -> Self {
+        Self { candidates, query: Box::new(query) }
+    }
+
+    /// The candidate-embedding matrix `W` (one row per item).
+    pub fn candidates(&self) -> &'m Matrix {
+        self.candidates
+    }
+
+    /// The embedding dimension `d` shared by queries and candidates.
+    pub fn dim(&self) -> usize {
+        self.candidates.cols()
+    }
+
+    /// Number of items the head can score.
+    pub fn num_items(&self) -> usize {
+        self.candidates.rows()
+    }
+
+    /// The query vector `q` for one user and history.
+    pub fn query_vector(&self, user: usize, history: &[ItemId]) -> Vec<f32> {
+        (self.query)(user, history)
+    }
+
+    /// Builds the query matrix `Q` (one query row per user) for a batch.
+    ///
+    /// # Panics
+    /// Panics if `users` and `histories` differ in length.
+    pub fn batch_queries(&self, users: &[usize], histories: &[&[ItemId]]) -> Matrix {
+        assert_eq!(
+            users.len(),
+            histories.len(),
+            "batch_queries: {} users but {} histories",
+            users.len(),
+            histories.len()
+        );
+        let mut queries = Matrix::zeros(users.len(), self.dim());
+        for (i, (&user, history)) in users.iter().zip(histories).enumerate() {
+            queries.row_mut(i).copy_from_slice(&self.query_vector(user, history));
+        }
+        queries
     }
 }
 
@@ -130,28 +214,32 @@ impl SeenMask {
         self.seen.len()
     }
 
-    /// Sets `scores[item] = -inf` for every item in `seen_items`, leaving the
-    /// bitmap all-clear again on return (so the mask is immediately reusable).
-    ///
-    /// Items outside the catalogue are ignored, matching the behaviour of the
-    /// `HashSet`-based masking this replaced: a history may legitimately
-    /// mention ids beyond the model's (possibly truncated) catalogue.
-    ///
-    /// # Panics
-    /// Panics if `scores` does not match the mask's catalogue size.
-    pub fn mask_scores(&mut self, seen_items: &[ItemId], scores: &mut [f32]) {
-        assert_eq!(scores.len(), self.seen.len(), "SeenMask: score vector does not match catalogue size");
+    /// Marks every in-catalogue item of `seen_items` as seen. Pair with
+    /// [`Self::clear`] after ranking; between the two, [`Self::bits`] is the
+    /// bitmap the fused mask+select kernel
+    /// (`ham_tensor::ops::top_k_indices_masked`) consumes, so the score
+    /// buffer itself never has to be written with `-inf` sentinels.
+    pub fn mark(&mut self, seen_items: &[ItemId]) {
         for &item in seen_items {
-            if item < self.seen.len() && !self.seen[item] {
+            if item < self.seen.len() {
                 self.seen[item] = true;
-                scores[item] = f32::NEG_INFINITY;
             }
         }
+    }
+
+    /// Clears the marks of [`Self::mark`], leaving the bitmap all-clear in
+    /// O(history) instead of O(catalogue).
+    pub fn clear(&mut self, seen_items: &[ItemId]) {
         for &item in seen_items {
             if item < self.seen.len() {
                 self.seen[item] = false;
             }
         }
+    }
+
+    /// The raw seen bitmap (one flag per catalogue item).
+    pub fn bits(&self) -> &[bool] {
+        &self.seen
     }
 }
 
@@ -215,27 +303,25 @@ mod tests {
 
     #[test]
     fn seen_mask_ignores_out_of_catalogue_items() {
-        // Histories may mention ids beyond a truncated catalogue; masking
+        // Histories may mention ids beyond a truncated catalogue; marking
         // must skip them (the HashSet-based masking it replaced did).
         let mut mask = SeenMask::new(3);
-        let mut scores = vec![1.0f32; 3];
-        mask.mask_scores(&[1, 7, 100], &mut scores);
-        assert_eq!(scores, vec![1.0, f32::NEG_INFINITY, 1.0]);
+        mask.mark(&[1, 7, 100]);
+        assert_eq!(mask.bits(), &[false, true, false]);
+        let scores = [1.0f32, 2.0, 3.0];
+        assert_eq!(ham_tensor::ops::top_k_indices_masked(&scores, 2, mask.bits()), vec![2, 0]);
     }
 
     #[test]
-    fn seen_mask_masks_and_resets() {
+    fn seen_mask_marks_duplicates_and_resets() {
         let mut mask = SeenMask::new(5);
-        let mut scores = vec![1.0f32; 5];
-        mask.mask_scores(&[1, 3, 3], &mut scores);
-        assert_eq!(scores[0], 1.0);
-        assert_eq!(scores[1], f32::NEG_INFINITY);
-        assert_eq!(scores[3], f32::NEG_INFINITY);
-        // reusable: a second call with different items starts clean
-        let mut scores2 = vec![1.0f32; 5];
-        mask.mask_scores(&[0], &mut scores2);
-        assert_eq!(scores2[1], 1.0);
-        assert_eq!(scores2[0], f32::NEG_INFINITY);
+        mask.mark(&[1, 3, 3]);
+        assert_eq!(mask.bits(), &[false, true, false, true, false]);
+        // reusable: clearing (duplicates included) leaves the bitmap clean
+        // for the next request in O(history), not O(catalogue).
+        mask.clear(&[1, 3, 3]);
+        mask.mark(&[0]);
+        assert_eq!(mask.bits(), &[true, false, false, false, false]);
     }
 
     #[test]
@@ -254,6 +340,31 @@ mod tests {
                 assert!((b - sgl).abs() < 1e-5, "user {u} item {j}: {b} vs {sgl}");
             }
         }
+    }
+
+    #[test]
+    fn linear_head_reproduces_score_all() {
+        let config = HamConfig::for_variant(HamVariant::HamSX).with_dimensions(8, 4, 2, 2, 2);
+        let model = HamModel::new(3, 15, config, 5);
+        let head = Scorer::linear_head(&model).expect("HAM has a linear head");
+        assert_eq!(head.num_items(), 15);
+        assert_eq!(head.dim(), 8);
+        let seq = vec![1usize, 4, 9];
+        let q = head.query_vector(2, &seq);
+        // Same kernel, same query: the head path is bit-identical to score_all.
+        assert_eq!(head.candidates().matvec_transposed(&q), model.score_all(2, &seq));
+        let queries = head.batch_queries(&[0, 2], &[&seq, &[3usize, 3]]);
+        assert_eq!(queries.shape(), (2, 8));
+        assert_eq!(queries.row(0), q.as_slice().first().map(|_| head.query_vector(0, &seq)).unwrap().as_slice());
+    }
+
+    #[test]
+    fn seen_mask_mark_bits_clear_roundtrip() {
+        let mut mask = SeenMask::new(4);
+        mask.mark(&[1, 3, 99]);
+        assert_eq!(mask.bits(), &[false, true, false, true]);
+        mask.clear(&[1, 3, 99]);
+        assert!(mask.bits().iter().all(|&b| !b));
     }
 
     #[test]

@@ -11,15 +11,27 @@
 //!   models answer with one GEMM (`Q·Wᵀ`) instead of a per-item dot loop.
 //!
 //! Both honor [`EvalConfig::num_threads`]: the evaluated users are split into
-//! `num_threads` contiguous chunks and each chunk is processed by a scoped
-//! worker thread. Workers never share mutable state — each returns its own
-//! ordered result vector and the chunks are concatenated in order — so the
-//! report is **bit-identical for every thread count** (only wall-clock time
-//! changes).
+//! `num_threads` contiguous chunks. With one chunk the work runs inline on
+//! the calling thread (no task submission at all); with more, the chunks run
+//! on the process-wide persistent worker pool
+//! ([`ham_tensor::pool::global_pool`]) — the caller processes the first chunk
+//! itself while the pool's work-stealing workers take the rest, so repeated
+//! evaluations (grid searches run thousands) pay zero thread-spawn overhead.
+//! Workers never share mutable state — each chunk returns its own ordered
+//! result vector and the chunks are concatenated in order — so the report is
+//! **bit-identical for every thread count** (only wall-clock time changes).
+//!
+//! Ranking runs through the fused mask+select path
+//! ([`crate::ranking::top_k_excluding`]): seen items are skipped via a
+//! reusable per-chunk bitmap during the top-k scan instead of being
+//! overwritten with `-inf` in the score buffer, which lets the batched path
+//! rank straight out of the shared `Q·Wᵀ` score block.
 
 use crate::metrics::MetricSet;
+use crate::ranking::top_k_excluding;
 use ham_data::split::DataSplit;
 use ham_tensor::ops::top_k_indices;
+use ham_tensor::pool::global_pool;
 use ham_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -84,23 +96,35 @@ fn eval_inputs(split: &DataSplit, config: &EvalConfig) -> (Vec<Vec<usize>>, Vec<
     (histories, users)
 }
 
-/// Masks, ranks and scores one user's score vector against the test truth.
-fn judge_user(scores: &mut [f32], history: &[usize], truth: &HashSet<usize>, config: &EvalConfig) -> MetricSet {
-    if config.exclude_history_items {
-        for &seen in history {
-            scores[seen] = f32::NEG_INFINITY;
-        }
-    }
-    let ranked = top_k_indices(scores, config.max_rank);
+/// Ranks one user's (immutable) score vector with fused history masking and
+/// judges it against the test truth. `seen_scratch` is the chunk's reusable
+/// catalogue bitmap; it is returned all-clear.
+fn judge_user(
+    scores: &[f32],
+    history: &[usize],
+    truth: &HashSet<usize>,
+    config: &EvalConfig,
+    seen_scratch: &mut [bool],
+) -> MetricSet {
+    let ranked = if config.exclude_history_items {
+        top_k_excluding(scores, config.max_rank, history, seen_scratch)
+    } else {
+        top_k_indices(scores, config.max_rank)
+    };
     MetricSet::from_ranking(&ranked, truth)
 }
 
 /// Splits `users` into `num_threads` contiguous chunks, runs `work` on each
-/// chunk (on scoped worker threads when more than one chunk is useful) and
-/// concatenates the per-chunk results in chunk order.
+/// chunk and concatenates the per-chunk results in chunk order.
 ///
-/// Each worker owns its output vector, so no locking is involved and the
-/// concatenated result is independent of the thread count.
+/// One chunk (or fewer than two users) runs inline on the calling thread —
+/// no task submission, no synchronisation — fixing the old per-call
+/// scoped-spawn overhead for `num_threads == 1`. With more chunks, the
+/// caller keeps the first chunk for itself and the remaining chunks run on
+/// the persistent work-stealing pool; the scope join makes the caller help
+/// drain the pool rather than block. Each chunk owns its output slot, so no
+/// locking is involved and the concatenated result is independent of the
+/// thread count (and of whether a chunk ran on the caller or a worker).
 fn run_user_chunks<W>(users: &[usize], num_threads: usize, work: W) -> Vec<(MetricSet, f64)>
 where
     W: Fn(&[usize]) -> Vec<(MetricSet, f64)> + Sync,
@@ -110,14 +134,17 @@ where
         return work(users);
     }
     let chunk = users.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = users.chunks(chunk).map(|part| scope.spawn(|| work(part))).collect();
-        let mut out = Vec::with_capacity(users.len());
-        for handle in handles {
-            out.extend(handle.join().expect("evaluation worker panicked"));
+    let parts: Vec<&[usize]> = users.chunks(chunk).collect();
+    let mut results: Vec<Option<Vec<(MetricSet, f64)>>> = parts.iter().map(|_| None).collect();
+    global_pool().scope(|scope| {
+        let (first_slot, rest_slots) = results.split_first_mut().expect("at least one chunk");
+        for (slot, &part) in rest_slots.iter_mut().zip(parts.iter().skip(1)) {
+            let work = &work;
+            scope.spawn(move || *slot = Some(work(part)));
         }
-        out
-    })
+        *first_slot = Some(work(parts[0]));
+    });
+    results.into_iter().flat_map(|slot| slot.expect("evaluation chunk never ran")).collect()
 }
 
 fn build_report(split: &DataSplit, results: Vec<(MetricSet, f64)>) -> EvalReport {
@@ -148,12 +175,13 @@ where
 {
     let (histories, users) = eval_inputs(split, config);
     let results = run_user_chunks(&users, config.num_threads, |part| {
+        let mut seen_scratch = vec![false; split.num_items];
         part.iter()
             .map(|&user| {
                 let history = &histories[user];
                 let truth: HashSet<usize> = split.test[user].iter().copied().collect();
                 let start = Instant::now();
-                let mut scores = score_fn(user, history);
+                let scores = score_fn(user, history);
                 assert_eq!(
                     scores.len(),
                     split.num_items,
@@ -161,7 +189,7 @@ where
                     split.num_items,
                     scores.len()
                 );
-                let metrics = judge_user(&mut scores, history, &truth, config);
+                let metrics = judge_user(&scores, history, &truth, config, &mut seen_scratch);
                 (metrics, start.elapsed().as_secs_f64())
             })
             .collect()
@@ -187,11 +215,12 @@ where
 {
     let (histories, users) = eval_inputs(split, config);
     let results = run_user_chunks(&users, config.num_threads, |part| {
+        let mut seen_scratch = vec![false; split.num_items];
         let mut out = Vec::with_capacity(part.len());
         for batch in part.chunks(SCORE_BATCH) {
             let batch_histories: Vec<&[usize]> = batch.iter().map(|&u| histories[u].as_slice()).collect();
             let start = Instant::now();
-            let mut scores = batch_score_fn(batch, &batch_histories);
+            let scores = batch_score_fn(batch, &batch_histories);
             assert_eq!(
                 scores.shape(),
                 (batch.len(), split.num_items),
@@ -201,7 +230,8 @@ where
             for (i, &user) in batch.iter().enumerate() {
                 let truth: HashSet<usize> = split.test[user].iter().copied().collect();
                 let start = Instant::now();
-                let metrics = judge_user(scores.row_mut(i), &histories[user], &truth, config);
+                // Fused masking ranks straight out of the shared score block.
+                let metrics = judge_user(scores.row(i), &histories[user], &truth, config, &mut seen_scratch);
                 let ranking_elapsed = start.elapsed().as_secs_f64();
                 out.push((metrics, scoring_elapsed / batch.len() as f64 + ranking_elapsed));
             }

@@ -52,6 +52,16 @@ impl TrainedMethod {
             TrainedMethod::Baseline(model) => model.score_batch(users, histories),
         }
     }
+
+    /// The method's linear scoring head (`r = q · Wᵀ`), used to package any
+    /// trained method into a sharded `ham-serve` serving snapshot. Every
+    /// method in this enum has one.
+    pub fn linear_head(&self) -> Option<ham_core::LinearHead<'_>> {
+        match self {
+            TrainedMethod::Ham(model) => ham_core::Scorer::linear_head(model),
+            TrainedMethod::Baseline(model) => model.linear_head(),
+        }
+    }
 }
 
 impl Method {

@@ -33,7 +33,9 @@ pub struct ExperimentConfig {
     pub weight_decay: f32,
     /// Base random seed (dataset generation, initialisation, sampling).
     pub seed: u64,
-    /// Worker threads used for per-user evaluation.
+    /// Evaluation chunk count: users are split into this many chunks, run on
+    /// the process-wide persistent worker pool (`ham_tensor::pool`). `1`
+    /// evaluates inline on the calling thread with no task submission.
     pub eval_threads: usize,
 }
 
@@ -121,7 +123,10 @@ pub fn run_methods_on_split(
 }
 
 /// Evaluates an already-trained method on a split, routed through the
-/// batched scorer (`score_batch`, one `Q·Wᵀ` GEMM per user chunk).
+/// batched scorer (`score_batch`, one `Q·Wᵀ` GEMM per user chunk). With
+/// `eval_threads > 1` the user chunks fan out over the shared worker pool —
+/// grid searches evaluating thousands of configurations reuse the same
+/// persistent workers instead of spawning scoped threads per call.
 pub fn evaluate_trained(trained: &TrainedMethod, split: &DataSplit, eval_cfg: &EvalConfig) -> EvalReport {
     evaluate_batch(split, eval_cfg, |users, histories| trained.score_batch(users, histories))
 }

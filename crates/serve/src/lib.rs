@@ -1,0 +1,59 @@
+//! # ham-serve
+//!
+//! The online serving subsystem of the HAM reproduction: everything needed
+//! to turn a trained scorer into a **sharded, pooled, hot-swappable
+//! recommendation service**.
+//!
+//! The offline side of the workspace got fast first — batched `Q·Wᵀ` scoring
+//! kernels, threaded evaluation — but the ROADMAP's north star is a system
+//! that *serves*. This crate adds the serving-shaped layers on top of the
+//! same kernels:
+//!
+//! * [`shard`] — [`ShardedCatalog`]: the candidate matrix `W` split row-wise
+//!   into per-worker shards. Each shard is scored with the existing GEMV /
+//!   packed-panel GEMM kernels, seen items are masked shard-locally through
+//!   the fused mask+select top-k (no `-inf` writes), and the per-shard top-k
+//!   lists are merged by a k-way heap into the **exact** global top-k —
+//!   bit-identical ids, stable tie-break, for every shard count.
+//! * [`model`] — [`ServingModel`]: a frozen serving snapshot (sharded
+//!   catalogue + owned query builder) constructed from any
+//!   [`ham_core::Scorer`] or anything else with a [`ham_core::LinearHead`]
+//!   (all `ham-baselines` recommenders qualify).
+//! * [`registry`] — [`ModelRegistry`]: versioned `Arc` hot-swap, so a
+//!   retrained model is published without pausing traffic; in-flight
+//!   requests finish on the snapshot they started with.
+//! * [`server`] — [`RecServer`]: the request layer. Concurrent
+//!   [`RecommendRequest`]s are coalesced by a micro-batching queue into one
+//!   GEMM per shard (scored in parallel on the process-wide work-stealing
+//!   pool, `ham_tensor::pool`), and every [`RecommendResponse`] carries its
+//!   queue/service latency split.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ham_core::{HamConfig, HamModel, HamVariant};
+//! use ham_serve::{ModelRegistry, RecServer, RecommendRequest, ServerConfig, ServingModel};
+//! use std::sync::Arc;
+//!
+//! let config = HamConfig::for_variant(HamVariant::HamSM).with_dimensions(16, 4, 2, 2, 2);
+//! let model = Arc::new(HamModel::new(10, 100, config, 7));
+//! let serving = ServingModel::from_scorer("ham-sm", model, 4).unwrap();
+//! let registry = Arc::new(ModelRegistry::new(serving));
+//! let server = RecServer::start(Arc::clone(&registry), ServerConfig::default());
+//! let response = server.submit(RecommendRequest::new(3, vec![5, 17, 42], 10));
+//! assert_eq!(response.items.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod registry;
+pub mod request;
+pub mod server;
+pub mod shard;
+
+pub use model::ServingModel;
+pub use registry::{ModelRegistry, PublishedModel};
+pub use request::{LatencyStats, RecommendRequest, RecommendResponse};
+pub use server::{RecServer, ServerConfig};
+pub use shard::{merge_top_k, ScoredItem, Shard, ShardedCatalog};

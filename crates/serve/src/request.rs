@@ -1,0 +1,112 @@
+//! Request/response types of the serving layer and latency accounting.
+
+use crate::shard::ScoredItem;
+use ham_data::dataset::ItemId;
+
+/// One recommendation request: "give me the top `k` items for this user".
+#[derive(Debug, Clone)]
+pub struct RecommendRequest {
+    /// Dense user id (must be known to the serving model).
+    pub user: usize,
+    /// The user's chronological interaction history.
+    pub history: Vec<ItemId>,
+    /// Number of items requested.
+    pub k: usize,
+    /// Mask items already present in `history` (the usual serving protocol).
+    pub exclude_seen: bool,
+}
+
+impl RecommendRequest {
+    /// A request with the default serving protocol (seen items excluded).
+    pub fn new(user: usize, history: Vec<ItemId>, k: usize) -> Self {
+        Self { user, history, k, exclude_seen: true }
+    }
+}
+
+/// The answer to one [`RecommendRequest`], with per-request latency
+/// accounting split into queue time (enqueue → batch pickup) and service
+/// time (scoring + ranking + merging of the batch the request rode in).
+#[derive(Debug, Clone)]
+pub struct RecommendResponse {
+    /// The top-k items, best first, with model scores.
+    pub items: Vec<ScoredItem>,
+    /// Version of the published model that served the request (increments on
+    /// every registry hot-swap).
+    pub model_version: u64,
+    /// Microseconds spent waiting in the micro-batching queue.
+    pub queue_micros: u64,
+    /// Microseconds spent scoring/ranking the batch this request rode in.
+    pub service_micros: u64,
+}
+
+impl RecommendResponse {
+    /// Total request latency in microseconds (queue + service).
+    pub fn total_micros(&self) -> u64 {
+        self.queue_micros + self.service_micros
+    }
+}
+
+/// Latency percentiles over a set of per-request samples, as reported by the
+/// `serve_report` benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean, microseconds.
+    pub mean_micros: f64,
+    /// Median, microseconds.
+    pub p50_micros: u64,
+    /// 95th percentile, microseconds.
+    pub p95_micros: u64,
+    /// 99th percentile, microseconds.
+    pub p99_micros: u64,
+    /// Worst sample, microseconds.
+    pub max_micros: u64,
+}
+
+impl LatencyStats {
+    /// Computes the stats over raw microsecond samples (`None` when empty).
+    /// Percentiles use the nearest-rank method on the sorted samples.
+    pub fn from_micros(mut samples: Vec<u64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let rank = |p: f64| samples[(((p * count as f64).ceil() as usize).max(1) - 1).min(count - 1)];
+        Some(Self {
+            count,
+            mean_micros: samples.iter().sum::<u64>() as f64 / count as f64,
+            p50_micros: rank(0.50),
+            p95_micros: rank(0.95),
+            p99_micros: rank(0.99),
+            max_micros: samples[count - 1],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_defaults_exclude_seen() {
+        let req = RecommendRequest::new(3, vec![1, 2], 10);
+        assert!(req.exclude_seen);
+        assert_eq!(req.k, 10);
+    }
+
+    #[test]
+    fn latency_stats_nearest_rank() {
+        let stats = LatencyStats::from_micros((1..=100).collect()).unwrap();
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.p50_micros, 50);
+        assert_eq!(stats.p95_micros, 95);
+        assert_eq!(stats.p99_micros, 99);
+        assert_eq!(stats.max_micros, 100);
+        assert!((stats.mean_micros - 50.5).abs() < 1e-9);
+        assert!(LatencyStats::from_micros(vec![]).is_none());
+        let single = LatencyStats::from_micros(vec![7]).unwrap();
+        assert_eq!((single.p50_micros, single.p99_micros), (7, 7));
+    }
+}

@@ -1,0 +1,308 @@
+//! The online request layer: a micro-batching queue in front of the sharded
+//! scorer.
+//!
+//! Concurrent single-user requests are individually tiny (one GEMV each) but
+//! collectively leave throughput on the table: a batch of `B` queries against
+//! the catalogue is one packed-panel GEMM that streams `W` once instead of
+//! `B` times. The [`RecServer`] therefore enqueues every request, and a
+//! dispatcher thread drains the queue in batches of up to
+//! [`ServerConfig::max_batch`], optionally lingering for
+//! [`ServerConfig::coalesce_wait`] to let concurrent callers pile on. Each
+//! drained batch is served from the registry's current model snapshot —
+//! hot-swaps between batches never pause traffic — and every response carries
+//! its own queue/service latency split.
+
+use crate::registry::ModelRegistry;
+use crate::request::{RecommendRequest, RecommendResponse};
+use ham_tensor::pool::global_pool;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the micro-batching queue.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Upper bound on requests coalesced into one scoring batch.
+    pub max_batch: usize,
+    /// How long the dispatcher lingers for more arrivals once the queue is
+    /// non-empty but below `max_batch`. Zero drains immediately (lowest
+    /// latency, least coalescing).
+    pub coalesce_wait: Duration,
+    /// Score the shards of a batch in parallel on the process-wide worker
+    /// pool. Disable to dedicate the pool to other work.
+    pub parallel_shards: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { max_batch: 64, coalesce_wait: Duration::from_micros(200), parallel_shards: true }
+    }
+}
+
+/// One queued request and the slot its response will be delivered to.
+struct Pending {
+    request: RecommendRequest,
+    enqueued: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+/// A one-shot rendezvous between the submitting thread and the dispatcher.
+struct ResponseSlot {
+    filled: Mutex<Option<RecommendResponse>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        Self { filled: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    fn deliver(&self, response: RecommendResponse) {
+        *self.filled.lock().expect("response slot poisoned") = Some(response);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> RecommendResponse {
+        let mut filled = self.filled.lock().expect("response slot poisoned");
+        loop {
+            if let Some(response) = filled.take() {
+                return response;
+            }
+            filled = self.ready.wait(filled).expect("response slot poisoned");
+        }
+    }
+}
+
+struct ServerShared {
+    registry: Arc<ModelRegistry>,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Pending>>,
+    arrived: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// An embeddable online recommendation server: micro-batching queue,
+/// sharded scoring, hot-swappable model.
+///
+/// `submit` is called from any number of client threads; one dispatcher
+/// thread owns the draining loop. Dropping the server flushes the queue
+/// (every accepted request is answered) and joins the dispatcher.
+pub struct RecServer {
+    shared: Arc<ServerShared>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RecServer {
+    /// Starts the dispatcher for the models published in `registry`.
+    pub fn start(registry: Arc<ModelRegistry>, config: ServerConfig) -> Self {
+        assert!(config.max_batch > 0, "RecServer: max_batch must be positive");
+        let shared = Arc::new(ServerShared {
+            registry,
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ham-serve-dispatch".to_string())
+                .spawn(move || dispatch_loop(&shared))
+                .expect("failed to spawn dispatcher")
+        };
+        Self { shared, dispatcher: Some(dispatcher) }
+    }
+
+    /// Submits a request and blocks until its response is ready.
+    ///
+    /// Concurrent submitters are coalesced into shared scoring batches; a
+    /// lone submitter is served solo via the exact GEMV path.
+    ///
+    /// A request the model itself rejects (unknown user id, a history the
+    /// query builder panics on) comes back with an **empty** item list
+    /// rather than wedging the server — the dispatcher isolates the panic
+    /// and keeps serving the rest of the batch and all later traffic.
+    ///
+    /// # Panics
+    /// Panics if called after the server started shutting down.
+    pub fn submit(&self, request: RecommendRequest) -> RecommendResponse {
+        assert!(!self.shared.shutdown.load(Ordering::SeqCst), "RecServer: submit after shutdown");
+        let slot = Arc::new(ResponseSlot::new());
+        {
+            let mut queue = self.shared.queue.lock().expect("server queue poisoned");
+            queue.push_back(Pending { request, enqueued: Instant::now(), slot: Arc::clone(&slot) });
+            self.shared.arrived.notify_all();
+        }
+        slot.wait()
+    }
+
+    /// Current number of published model versions (see [`ModelRegistry`]).
+    pub fn model_version(&self) -> u64 {
+        self.shared.registry.version()
+    }
+}
+
+impl Drop for RecServer {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _queue = self.shared.queue.lock().expect("server queue poisoned");
+            self.shared.arrived.notify_all();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _unused = dispatcher.join();
+        }
+    }
+}
+
+fn dispatch_loop(shared: &ServerShared) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().expect("server queue poisoned");
+            // Sleep until work arrives or shutdown (then drain what's left).
+            while queue.is_empty() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.arrived.wait(queue).expect("server queue poisoned");
+            }
+            // Linger once to coalesce concurrent submitters into this batch.
+            if queue.len() < shared.config.max_batch
+                && !shared.config.coalesce_wait.is_zero()
+                && !shared.shutdown.load(Ordering::SeqCst)
+            {
+                let (returned, _timeout) =
+                    shared.arrived.wait_timeout(queue, shared.config.coalesce_wait).expect("server queue poisoned");
+                queue = returned;
+            }
+            let take = queue.len().min(shared.config.max_batch);
+            queue.drain(..take).collect::<Vec<Pending>>()
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        serve_batch(shared, batch);
+    }
+}
+
+fn serve_batch(shared: &ServerShared, batch: Vec<Pending>) {
+    let published = shared.registry.current();
+    let picked_up = Instant::now();
+    // Move the requests out of their queue entries — the batch is scored
+    // from the originals, no per-request clone on the hot path.
+    let mut requests = Vec::with_capacity(batch.len());
+    let mut waiters = Vec::with_capacity(batch.len());
+    for pending in batch {
+        requests.push(pending.request);
+        waiters.push((pending.enqueued, pending.slot));
+    }
+    let pool = shared.config.parallel_shards.then(global_pool);
+    // A malformed request (unknown user, history the model rejects) panics
+    // inside the model's query builder. The dispatcher is the only serving
+    // thread, so a panic here must not unwind it: every waiter in the batch
+    // would block forever and the server would wedge. Catch the batch panic
+    // and retry each request solo so one poisoned request cannot take down
+    // its batch-mates; a request that still panics alone gets an empty
+    // ranking back (and the panic is reported on stderr by the hook).
+    let rankings =
+        catch_unwind(AssertUnwindSafe(|| published.model.recommend_batch(&requests, pool))).unwrap_or_else(|_| {
+            requests
+                .iter()
+                .map(|request| {
+                    catch_unwind(AssertUnwindSafe(|| published.model.recommend(request))).unwrap_or_default()
+                })
+                .collect()
+        });
+    let service_micros = picked_up.elapsed().as_micros() as u64;
+    for ((enqueued, slot), items) in waiters.into_iter().zip(rankings) {
+        let queue_micros = picked_up.duration_since(enqueued).as_micros() as u64;
+        slot.deliver(RecommendResponse { items, model_version: published.version, queue_micros, service_micros });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ServingModel;
+    use ham_tensor::Matrix;
+
+    fn registry(num_items: usize) -> Arc<ModelRegistry> {
+        let w = Matrix::from_vec(num_items, 2, (0..num_items * 2).map(|i| i as f32 * 0.01).collect());
+        let model = ServingModel::from_parts("toy", &w, 3, |user, _| vec![1.0, user as f32 * 0.1]);
+        Arc::new(ModelRegistry::new(model))
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let server = RecServer::start(registry(20), ServerConfig::default());
+        let response = server.submit(RecommendRequest::new(1, vec![19], 5));
+        assert_eq!(response.items.len(), 5);
+        assert!(!response.items.iter().any(|s| s.item == 19), "seen item must be masked");
+        assert_eq!(response.model_version, 1);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_exact_answers() {
+        let registry = registry(50);
+        let reference_model = registry.current();
+        let server = Arc::new(RecServer::start(Arc::clone(&registry), ServerConfig::default()));
+        let handles: Vec<_> = (0..8)
+            .map(|user| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let request = RecommendRequest::new(user, vec![user, user + 10], 7);
+                    (user, server.submit(request))
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (user, response) = handle.join().unwrap();
+            let expected = reference_model.model.recommend(&RecommendRequest::new(user, vec![user, user + 10], 7));
+            let got: Vec<usize> = response.items.iter().map(|s| s.item).collect();
+            let want: Vec<usize> = expected.iter().map(|s| s.item).collect();
+            assert_eq!(got, want, "user {user}");
+            assert!(response.total_micros() >= response.service_micros);
+        }
+    }
+
+    #[test]
+    fn hot_swap_during_traffic_switches_versions_without_pausing() {
+        let registry = registry(30);
+        let server = Arc::new(RecServer::start(Arc::clone(&registry), ServerConfig::default()));
+        let first = server.submit(RecommendRequest::new(0, vec![], 3));
+        assert_eq!(first.model_version, 1);
+        let w = Matrix::from_vec(30, 2, (0..60).map(|i| -(i as f32)).collect());
+        registry.publish(ServingModel::from_parts("toy-v2", &w, 2, |_, _| vec![1.0, 0.0]));
+        let second = server.submit(RecommendRequest::new(0, vec![], 3));
+        assert_eq!(second.model_version, 2);
+        // v2 scores are descending in item id, so item 0 wins.
+        assert_eq!(second.items[0].item, 0);
+    }
+
+    /// A request the model panics on must not wedge the dispatcher: the
+    /// poisoned request gets an empty ranking and later traffic is served.
+    #[test]
+    fn poisoned_request_does_not_wedge_the_server() {
+        let w = Matrix::from_vec(10, 1, (0..10).map(|i| i as f32).collect());
+        let model = ServingModel::from_parts("picky", &w, 2, |user, _| {
+            assert!(user < 5, "unknown user {user}");
+            vec![1.0]
+        });
+        let server = Arc::new(RecServer::start(Arc::new(ModelRegistry::new(model)), ServerConfig::default()));
+        let poisoned = server.submit(RecommendRequest::new(99, vec![], 3));
+        assert!(poisoned.items.is_empty(), "rejected request answers empty, not hangs");
+        let healthy = server.submit(RecommendRequest::new(1, vec![], 3));
+        assert_eq!(healthy.items.len(), 3, "server keeps serving after a poisoned request");
+    }
+
+    #[test]
+    fn shutdown_flushes_accepted_requests() {
+        let server =
+            RecServer::start(registry(10), ServerConfig { coalesce_wait: Duration::ZERO, ..Default::default() });
+        let response = server.submit(RecommendRequest::new(0, vec![], 2));
+        drop(server);
+        assert_eq!(response.items.len(), 2);
+    }
+}

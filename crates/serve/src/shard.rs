@@ -1,0 +1,444 @@
+//! Row-wise sharding of the candidate matrix and exact top-k merging.
+//!
+//! The scoring head of every model in this workspace is `r = q · Wᵀ`: a
+//! per-user query against the rows of the candidate-embedding matrix `W`.
+//! That structure shards trivially — split `W` row-wise into
+//! [`Shard`]s, score each shard independently with the existing GEMV/GEMM
+//! kernels, rank each shard locally, and merge the per-shard top-k lists
+//! into the global top-k with a k-way heap.
+//!
+//! ## Exactness
+//!
+//! The merge is *exact*, not approximate: any item of the global top-k is by
+//! definition among the best `k` of its own shard, so per-shard top-k lists
+//! of length `min(k, shard_len)` are guaranteed to contain every global
+//! winner. The ordering is bit-identical to the single-node path because
+//!
+//! * per-row dot products do not change when the rows move into a shard
+//!   (the GEMV kernel scores each row independently), and the packed-panel
+//!   GEMM accumulates every output element in ascending-`k` order regardless
+//!   of how the rows are grouped into panels — so shard scores equal the
+//!   corresponding single-node scores bit for bit;
+//! * per-shard ranking uses the same fused mask+select kernel as the
+//!   single-node path (seen items participate with an effective `-inf`, so
+//!   even the degenerate "fewer than k unseen items" padding matches); and
+//! * the merge comparator is the same total preference (higher score first,
+//!   ties to the lower global item id) used by `top_k_indices`.
+
+use ham_data::dataset::ItemId;
+use ham_tensor::ops::{top_k_indices, top_k_indices_masked};
+use ham_tensor::pool::ThreadPool;
+use ham_tensor::Matrix;
+
+/// One recommended item with its model score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredItem {
+    /// Global catalogue item id.
+    pub item: ItemId,
+    /// The model score (`-inf` for masked items padding a degenerate tail).
+    pub score: f32,
+}
+
+/// A contiguous row range of the candidate matrix, owned by one shard.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    offset: usize,
+    rows: Matrix,
+}
+
+impl Shard {
+    /// Global item id of the shard's first row.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Number of items in the shard.
+    pub fn len(&self) -> usize {
+        self.rows.rows()
+    }
+
+    /// True when the shard holds no items (more shards than items).
+    pub fn is_empty(&self) -> bool {
+        self.rows.rows() == 0
+    }
+
+    /// The shard's slice of the candidate matrix.
+    pub fn rows(&self) -> &Matrix {
+        &self.rows
+    }
+}
+
+/// The candidate matrix `W` split row-wise into shards.
+#[derive(Debug, Clone)]
+pub struct ShardedCatalog {
+    shards: Vec<Shard>,
+    num_items: usize,
+    dim: usize,
+}
+
+impl ShardedCatalog {
+    /// Splits `w` into `num_shards` near-even contiguous row ranges (the
+    /// first `n % num_shards` shards hold one extra row). Shards beyond the
+    /// item count come out empty and are handled gracefully everywhere.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero.
+    pub fn from_matrix(w: &Matrix, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "ShardedCatalog: need at least one shard");
+        let (n, d) = w.shape();
+        let base = n / num_shards;
+        let extra = n % num_shards;
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut offset = 0;
+        for s in 0..num_shards {
+            let len = base + usize::from(s < extra);
+            let rows = Matrix::from_vec(len, d, w.as_slice()[offset * d..(offset + len) * d].to_vec());
+            shards.push(Shard { offset, rows });
+            offset += len;
+        }
+        Self { shards, num_items: n, dim: d }
+    }
+
+    /// Number of shards (including empty ones).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total catalogue size across shards.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Embedding dimension of the candidate rows.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The shards, in global row order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Scores one query against one shard (fused GEMV over the shard rows).
+    pub fn shard_scores(&self, shard: usize, query: &[f32]) -> Vec<f32> {
+        self.shards[shard].rows.matvec_transposed(query)
+    }
+
+    /// Scores a query batch against one shard (packed-panel GEMM), returning
+    /// a `queries.rows() × shard_len` block.
+    pub fn shard_scores_batch(&self, shard: usize, queries: &Matrix) -> Matrix {
+        queries.matmul_transposed(&self.shards[shard].rows)
+    }
+
+    /// Ranks one shard's score slice locally: top `min(k, len)` items as
+    /// global ids, masking seen items shard-locally through the global
+    /// bitmap (fused mask+select — the score slice is never written).
+    pub fn shard_top_k(&self, shard: usize, shard_scores: &[f32], k: usize, seen: Option<&[bool]>) -> Vec<ScoredItem> {
+        let s = &self.shards[shard];
+        assert_eq!(
+            shard_scores.len(),
+            s.len(),
+            "shard_top_k: {} scores for a {}-item shard",
+            shard_scores.len(),
+            s.len()
+        );
+        let local_seen = seen.map(|bits| &bits[s.offset..s.offset + s.len()]);
+        let local = match local_seen {
+            Some(bits) => top_k_indices_masked(shard_scores, k, bits),
+            None => top_k_indices(shard_scores, k),
+        };
+        local
+            .into_iter()
+            .map(|l| {
+                let masked = local_seen.is_some_and(|bits| bits[l]);
+                let score = if masked { f32::NEG_INFINITY } else { shard_scores[l] };
+                ScoredItem { item: s.offset + l, score }
+            })
+            .collect()
+    }
+
+    /// Index of the only non-empty shard, when there is exactly one — the
+    /// degenerate layout where per-shard ranking already *is* the global
+    /// ranking and the k-way merge (and the parallel fan-out) can be
+    /// bypassed.
+    fn sole_active_shard(&self) -> Option<usize> {
+        let mut active = self.shards.iter().enumerate().filter(|(_, s)| !s.is_empty());
+        match (active.next(), active.next()) {
+            (Some((s, _)), None) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Exact global top-k for one query: per-shard GEMV + local ranking,
+    /// then the k-way merge. `seen` is the global seen-item bitmap (length
+    /// `num_items`) or `None` to rank the full catalogue.
+    ///
+    /// Bit-identical to scoring the unsharded matrix and ranking once, for
+    /// any shard count.
+    pub fn top_k(&self, query: &[f32], k: usize, seen: Option<&[bool]>) -> Vec<ScoredItem> {
+        if let Some(s) = self.sole_active_shard() {
+            let scores = self.shard_scores(s, query);
+            return self.shard_top_k(s, &scores, k, seen);
+        }
+        let per_shard: Vec<Vec<ScoredItem>> = (0..self.shards.len())
+            .map(|s| {
+                let scores = self.shard_scores(s, query);
+                self.shard_top_k(s, &scores, k, seen)
+            })
+            .collect();
+        merge_top_k(&per_shard, k)
+    }
+
+    /// Exact global top-k for a query batch: one packed-panel GEMM per shard
+    /// (shards scored in parallel on `pool` when given), then per-row local
+    /// ranking and merging. `ks[i]` and `seen_items[i]` apply to query row
+    /// `i`; a row's seen items are the item ids to exclude (`None` ranks the
+    /// full catalogue; ids outside the catalogue are ignored).
+    ///
+    /// The ranking stage reuses **one** catalogue bitmap across the whole
+    /// batch, marked and cleared per row in O(history) — no per-request
+    /// bitmap allocation or O(catalogue) zeroing on the serving hot path.
+    ///
+    /// # Panics
+    /// Panics if `ks` or `seen_items` do not have one entry per query row.
+    pub fn top_k_batch(
+        &self,
+        queries: &Matrix,
+        ks: &[usize],
+        seen_items: &[Option<&[ItemId]>],
+        pool: Option<&ThreadPool>,
+    ) -> Vec<Vec<ScoredItem>> {
+        let b = queries.rows();
+        assert_eq!(ks.len(), b, "top_k_batch: {} k values for {} queries", ks.len(), b);
+        assert_eq!(seen_items.len(), b, "top_k_batch: {} seen lists for {} queries", seen_items.len(), b);
+        let mut blocks: Vec<Option<Matrix>> = self.shards.iter().map(|_| None).collect();
+        // A single (or single non-empty) shard has nothing to overlap — skip
+        // the pool handoff and score inline on the caller.
+        let parallel_useful = self.shards.iter().filter(|s| !s.is_empty()).count() > 1;
+        match pool {
+            Some(pool) if parallel_useful => pool.scope(|scope| {
+                for (s, block) in blocks.iter_mut().enumerate() {
+                    scope.spawn(move || *block = Some(self.shard_scores_batch(s, queries)));
+                }
+            }),
+            _ => {
+                for (s, block) in blocks.iter_mut().enumerate() {
+                    *block = Some(self.shard_scores_batch(s, queries));
+                }
+            }
+        }
+        let blocks: Vec<Matrix> = blocks.into_iter().map(|b| b.expect("shard scoring task never ran")).collect();
+        let mut scratch = vec![false; self.num_items];
+        let sole = self.sole_active_shard();
+        let mut out = Vec::with_capacity(b);
+        for i in 0..b {
+            let seen = match seen_items[i] {
+                Some(items) => {
+                    mark_seen(&mut scratch, items);
+                    Some(scratch.as_slice())
+                }
+                None => None,
+            };
+            // With one active shard the local ranking is the global ranking.
+            let merged = match sole {
+                Some(s) => self.shard_top_k(s, blocks[s].row(i), ks[i], seen),
+                None => {
+                    let per_shard: Vec<Vec<ScoredItem>> =
+                        (0..self.shards.len()).map(|s| self.shard_top_k(s, blocks[s].row(i), ks[i], seen)).collect();
+                    merge_top_k(&per_shard, ks[i])
+                }
+            };
+            if let Some(items) = seen_items[i] {
+                clear_seen(&mut scratch, items);
+            }
+            out.push(merged);
+        }
+        out
+    }
+}
+
+/// Marks every in-catalogue id of `items` in the bitmap (O(history)).
+fn mark_seen(bits: &mut [bool], items: &[ItemId]) {
+    for &item in items {
+        if item < bits.len() {
+            bits[item] = true;
+        }
+    }
+}
+
+/// Clears the marks of [`mark_seen`], leaving the bitmap all-clear again.
+fn clear_seen(bits: &mut [bool], items: &[ItemId]) {
+    for &item in items {
+        if item < bits.len() {
+            bits[item] = false;
+        }
+    }
+}
+
+/// "Better recommendation" ordering: higher score wins, ties go to the lower
+/// global item id; NaN compares equal to everything (same convention as
+/// `top_k_indices`).
+fn better(a: &ScoredItem, b: &ScoredItem) -> std::cmp::Ordering {
+    a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal).then(b.item.cmp(&a.item))
+}
+
+/// Head of one per-shard list inside the k-way merge heap.
+struct MergeHead {
+    entry: ScoredItem,
+    list: usize,
+    pos: usize,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        better(&self.entry, &other.entry) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for MergeHead {}
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        better(&self.entry, &other.entry)
+    }
+}
+
+/// Merges per-shard top-k lists (each sorted by descending preference) into
+/// the exact global top-k with a k-way heap: `O(total log s)` for `s` lists.
+///
+/// Returns fewer than `k` items only when the lists hold fewer than `k`
+/// entries in total (k larger than the catalogue).
+pub fn merge_top_k(per_shard: &[Vec<ScoredItem>], k: usize) -> Vec<ScoredItem> {
+    let mut heap: std::collections::BinaryHeap<MergeHead> = per_shard
+        .iter()
+        .enumerate()
+        .filter_map(|(list, items)| items.first().map(|&entry| MergeHead { entry, list, pos: 0 }))
+        .collect();
+    let mut out = Vec::with_capacity(k.min(per_shard.iter().map(Vec::len).sum()));
+    while out.len() < k {
+        let Some(head) = heap.pop() else { break };
+        out.push(head.entry);
+        if let Some(&next) = per_shard[head.list].get(head.pos + 1) {
+            heap.push(MergeHead { entry: next, list: head.list, pos: head.pos + 1 });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalogue(n: usize, d: usize) -> Matrix {
+        Matrix::from_vec(n, d, (0..n * d).map(|i| ((i * 37) % 23) as f32 * 0.5 - 5.0).collect())
+    }
+
+    #[test]
+    fn shards_partition_the_catalogue() {
+        let w = catalogue(10, 4);
+        let cat = ShardedCatalog::from_matrix(&w, 3);
+        assert_eq!(cat.num_shards(), 3);
+        let lens: Vec<usize> = cat.shards().iter().map(Shard::len).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+        let offsets: Vec<usize> = cat.shards().iter().map(Shard::offset).collect();
+        assert_eq!(offsets, vec![0, 4, 7]);
+        // Row 6 of the catalogue is row 2 of shard 1.
+        assert_eq!(cat.shards()[1].rows().row(2), w.row(6));
+    }
+
+    #[test]
+    fn more_shards_than_items_yields_empty_shards() {
+        let w = catalogue(2, 3);
+        let cat = ShardedCatalog::from_matrix(&w, 5);
+        assert_eq!(cat.num_shards(), 5);
+        assert_eq!(cat.shards().iter().filter(|s| s.is_empty()).count(), 3);
+        let q = vec![1.0; 3];
+        let top = cat.top_k(&q, 2, None);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn sharded_top_k_equals_unsharded_for_every_shard_count() {
+        let w = catalogue(57, 8);
+        let q: Vec<f32> = (0..8).map(|i| (i as f32 * 0.3).sin()).collect();
+        let reference: Vec<usize> = top_k_indices(&w.matvec_transposed(&q), 10);
+        for shards in 1..=8 {
+            let cat = ShardedCatalog::from_matrix(&w, shards);
+            let ids: Vec<usize> = cat.top_k(&q, 10, None).iter().map(|s| s.item).collect();
+            assert_eq!(ids, reference, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn merge_breaks_ties_by_lower_item_id() {
+        // Two shards, tied scores at the boundary: the lower global id wins,
+        // exactly like the single-node tie-break.
+        let lists = vec![
+            vec![ScoredItem { item: 0, score: 1.0 }, ScoredItem { item: 1, score: 0.5 }],
+            vec![ScoredItem { item: 5, score: 1.0 }, ScoredItem { item: 6, score: 0.5 }],
+        ];
+        let merged = merge_top_k(&lists, 3);
+        let ids: Vec<usize> = merged.iter().map(|s| s.item).collect();
+        assert_eq!(ids, vec![0, 5, 1]);
+    }
+
+    #[test]
+    fn merge_with_fewer_candidates_than_k_returns_all() {
+        let lists = vec![vec![ScoredItem { item: 2, score: 0.1 }], vec![]];
+        assert_eq!(merge_top_k(&lists, 10).len(), 1);
+        assert!(merge_top_k(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn masking_is_shard_local_but_globally_consistent() {
+        let w = catalogue(20, 4);
+        let q = vec![0.5, -0.25, 1.0, 0.125];
+        let seen: Vec<bool> = (0..20).map(|i| i % 3 == 0).collect();
+        let reference = top_k_indices_masked(&w.matvec_transposed(&q), 6, &seen);
+        for shards in [1, 2, 4, 7] {
+            let cat = ShardedCatalog::from_matrix(&w, shards);
+            let ids: Vec<usize> = cat.top_k(&q, 6, Some(&seen)).iter().map(|s| s.item).collect();
+            assert_eq!(ids, reference, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn batch_path_matches_single_query_gemm_reference() {
+        let w = catalogue(33, 8);
+        let mut queries = Matrix::zeros(3, 8);
+        for i in 0..3 {
+            for j in 0..8 {
+                queries.set(i, j, ((i * 8 + j) as f32 * 0.21).cos());
+            }
+        }
+        // Row 1 excludes its "history" (every 5th item, plus an
+        // out-of-catalogue id that must be ignored); rows 0 and 2 rank all.
+        let history: Vec<usize> = (0..33).step_by(5).chain([999]).collect();
+        let seen_lists = [None, Some(history.as_slice()), None];
+        let cat = ShardedCatalog::from_matrix(&w, 4);
+        let got = cat.top_k_batch(&queries, &[5, 5, 33], &seen_lists, None);
+        // Reference: unsharded GEMM row + the same fused masked ranking.
+        let bits: Vec<bool> = (0..33).map(|i| i % 5 == 0).collect();
+        let full = queries.matmul_transposed(&w);
+        for i in 0..3 {
+            let k = [5, 5, 33][i];
+            let reference = match seen_lists[i] {
+                Some(_) => top_k_indices_masked(full.row(i), k, &bits),
+                None => top_k_indices(full.row(i), k),
+            };
+            let ids: Vec<usize> = got[i].iter().map(|s| s.item).collect();
+            assert_eq!(ids, reference, "row {i}");
+        }
+        // The scratch bitmap is cleared between rows: a second batch with no
+        // exclusions must rank the full catalogue for every row.
+        let unmasked = cat.top_k_batch(&queries, &[5, 5, 5], &[None, None, None], None);
+        assert_eq!(
+            unmasked[1].iter().map(|s| s.item).collect::<Vec<_>>(),
+            top_k_indices(full.row(1), 5),
+            "no residual masking"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! End-to-end parity of the serving subsystem with the single-node paths:
+//! for **every HAM variant and every baseline**, the sharded GEMV serving
+//! path must return bit-identical item ids (stable tie-break) to the
+//! single-node `recommend_top_k` ranking, for shard counts 1..8; and the
+//! coalesced GEMM batch path must be bit-identical to the equivalent
+//! unsharded GEMM ranking.
+
+use ham_baselines::{
+    BaselineTrainConfig, BprMf, BprMfConfig, Caser, CaserConfig, Gru4Rec, Gru4RecConfig, Hgn, HgnConfig, PopRec,
+    SasRec, SasRecConfig, SequentialRecommender,
+};
+use ham_core::{HamConfig, HamModel, HamVariant, Scorer};
+use ham_serve::{RecommendRequest, ServingModel};
+use ham_tensor::ops::top_k_indices_masked;
+use std::sync::Arc;
+
+const NUM_USERS: usize = 6;
+const NUM_ITEMS: usize = 35;
+const K: usize = 10;
+
+fn histories() -> Vec<Vec<usize>> {
+    (0..NUM_USERS).map(|u| (0..8 + u).map(|t| (u * 11 + t * 5) % NUM_ITEMS).collect()).collect()
+}
+
+/// The single-node reference ranking: score everything, mask the history
+/// through the fused bitmap path, rank.
+fn single_node_top_k(scores: &[f32], history: &[usize], k: usize) -> Vec<usize> {
+    let mut seen = vec![false; scores.len()];
+    for &item in history {
+        if item < seen.len() {
+            seen[item] = true;
+        }
+    }
+    top_k_indices_masked(scores, k, &seen)
+}
+
+/// Asserts GEMV-path serving parity for one model across shard counts 1..8,
+/// and GEMM batch parity against the unsharded GEMM reference.
+fn assert_parity<S, F>(label: &str, model: Arc<S>, head_fn: F, score_all: impl Fn(usize, &[usize]) -> Vec<f32>)
+where
+    S: Send + Sync + 'static,
+    F: for<'m> Fn(&'m S) -> Option<ham_core::LinearHead<'m>> + Send + Sync + Clone + 'static,
+{
+    let histories = histories();
+    let requests: Vec<RecommendRequest> =
+        (0..NUM_USERS).map(|u| RecommendRequest::new(u, histories[u].clone(), K)).collect();
+
+    for shards in 1..=8 {
+        let serving = ServingModel::from_head_fn(label, Arc::clone(&model), shards, head_fn.clone())
+            .unwrap_or_else(|| panic!("{label} must expose a linear head"));
+
+        // GEMV path: bit-identical to the single-node ranking.
+        for request in &requests {
+            let served: Vec<usize> = serving.recommend(request).iter().map(|s| s.item).collect();
+            let reference = single_node_top_k(&score_all(request.user, &request.history), &request.history, K);
+            assert_eq!(served, reference, "{label}: GEMV parity, shards = {shards}, user = {}", request.user);
+        }
+
+        // GEMM batch path: bit-identical to the unsharded GEMM ranking.
+        let head = head_fn(&model).unwrap();
+        let history_refs: Vec<&[usize]> = histories.iter().map(|h| h.as_slice()).collect();
+        let users: Vec<usize> = (0..NUM_USERS).collect();
+        let full = head.batch_queries(&users, &history_refs).matmul_transposed(head.candidates());
+        let batched = serving.recommend_batch(&requests, None);
+        for (i, request) in requests.iter().enumerate() {
+            let got: Vec<usize> = batched[i].iter().map(|s| s.item).collect();
+            let want = single_node_top_k(full.row(i), &request.history, K);
+            assert_eq!(got, want, "{label}: GEMM parity, shards = {shards}, user = {}", request.user);
+        }
+    }
+}
+
+fn quick_train_config() -> BaselineTrainConfig {
+    BaselineTrainConfig { epochs: 1, batch_size: 32, ..Default::default() }
+}
+
+#[test]
+fn every_ham_variant_serves_identically_to_recommend_top_k() {
+    for variant in [
+        HamVariant::HamX,
+        HamVariant::HamM,
+        HamVariant::HamSX,
+        HamVariant::HamSM,
+        HamVariant::HamSMNoLowOrder,
+        HamVariant::HamSMNoUser,
+    ] {
+        let base = HamConfig::for_variant(variant);
+        let p = if base.uses_synergies() { 2 } else { 1 };
+        let config = base.with_dimensions(12, 4, base.n_l.min(2), 2, p);
+        let model = Arc::new(HamModel::new(NUM_USERS, NUM_ITEMS, config, 17));
+
+        // recommend_top_k itself is the reference here, double-checking that
+        // the generic single-node helper matches the model's own API.
+        let histories = histories();
+        let serving = ServingModel::from_scorer(variant.name(), Arc::clone(&model), 5).expect("HAM has a linear head");
+        for (u, history) in histories.iter().enumerate() {
+            let served: Vec<usize> =
+                serving.recommend(&RecommendRequest::new(u, history.clone(), K)).iter().map(|s| s.item).collect();
+            assert_eq!(served, model.recommend_top_k(u, history, K, true), "{}: user {u}", variant.name());
+        }
+
+        let m = Arc::clone(&model);
+        assert_parity(variant.name(), Arc::clone(&model), |s| s.linear_head(), move |u, h| m.score_all(u, h));
+    }
+}
+
+#[test]
+fn poprec_and_bprmf_serve_identically() {
+    let histories = histories();
+    let pop = Arc::new(PopRec::fit(&histories, NUM_ITEMS));
+    let p = Arc::clone(&pop);
+    assert_parity("PopRec", pop, SequentialRecommender::linear_head, move |u, h| p.score_all(u, h));
+
+    let mf = Arc::new(BprMf::fit(
+        &histories,
+        NUM_ITEMS,
+        &BprMfConfig { d: 8, ..Default::default() },
+        &quick_train_config(),
+        3,
+    ));
+    let m = Arc::clone(&mf);
+    assert_parity("BPR-MF", mf, SequentialRecommender::linear_head, move |u, h| m.score_all(u, h));
+}
+
+#[test]
+fn deep_baselines_serve_identically() {
+    let histories = histories();
+    let caser = Arc::new(Caser::fit(
+        &histories,
+        NUM_ITEMS,
+        &CaserConfig { d: 8, seq_len: 4, targets: 2, ..Default::default() },
+        &quick_train_config(),
+        5,
+    ));
+    let c = Arc::clone(&caser);
+    assert_parity("Caser", caser, SequentialRecommender::linear_head, move |u, h| c.score_all(u, h));
+
+    let sasrec = Arc::new(SasRec::fit(
+        &histories,
+        NUM_ITEMS,
+        &SasRecConfig { d: 8, seq_len: 4, targets: 2 },
+        &quick_train_config(),
+        7,
+    ));
+    let s = Arc::clone(&sasrec);
+    assert_parity("SASRec", sasrec, SequentialRecommender::linear_head, move |u, h| s.score_all(u, h));
+
+    let gru = Arc::new(Gru4Rec::fit(
+        &histories,
+        NUM_ITEMS,
+        &Gru4RecConfig { d: 8, seq_len: 4, targets: 2 },
+        &quick_train_config(),
+        9,
+    ));
+    let g = Arc::clone(&gru);
+    assert_parity("GRU4Rec", gru, SequentialRecommender::linear_head, move |u, h| g.score_all(u, h));
+
+    let hgn = Arc::new(Hgn::fit(
+        &histories,
+        NUM_ITEMS,
+        &HgnConfig { d: 8, seq_len: 4, targets: 2 },
+        &quick_train_config(),
+        11,
+    ));
+    let h = Arc::clone(&hgn);
+    assert_parity("HGN", hgn, SequentialRecommender::linear_head, move |u, h2| h.score_all(u, h2));
+}

@@ -1,0 +1,136 @@
+//! Shard-merge edge cases and the sharded == unsharded pinning property.
+//!
+//! The serving layer's exactness claim — sharded top-k returns bit-identical
+//! item ids (stable tie-break) to the single-node ranking for every shard
+//! count — is pinned here on deliberately nasty inputs: k larger than a
+//! shard, k larger than the catalogue, empty shards, score ties straddling
+//! shard boundaries (including ties exactly at the k-th position), and
+//! masks that leave fewer than k items unseen.
+
+use ham_serve::{merge_top_k, ScoredItem, ShardedCatalog};
+use ham_tensor::ops::{top_k_indices, top_k_indices_masked};
+use ham_tensor::Matrix;
+use proptest::prelude::*;
+
+/// A catalogue with many duplicate embedding rows, so scores tie heavily and
+/// the lower-index tie-break actually decides the ranking.
+fn tied_catalogue(n: usize, d: usize) -> Matrix {
+    Matrix::from_vec(n, d, (0..n * d).map(|i| ((i / d) % 5) as f32).collect())
+}
+
+fn reference(w: &Matrix, q: &[f32], k: usize, seen: Option<&[bool]>) -> Vec<usize> {
+    let scores = w.matvec_transposed(q);
+    match seen {
+        Some(bits) => top_k_indices_masked(&scores, k, bits),
+        None => top_k_indices(&scores, k),
+    }
+}
+
+fn served(w: &Matrix, shards: usize, q: &[f32], k: usize, seen: Option<&[bool]>) -> Vec<usize> {
+    ShardedCatalog::from_matrix(w, shards).top_k(q, k, seen).iter().map(|s| s.item).collect()
+}
+
+#[test]
+fn k_larger_than_every_shard_still_merges_exactly() {
+    let w = tied_catalogue(12, 3);
+    let q = vec![1.0, 0.5, 0.25];
+    // 6 shards of 2 items each, k = 9 > shard size.
+    assert_eq!(served(&w, 6, &q, 9, None), reference(&w, &q, 9, None));
+}
+
+#[test]
+fn k_larger_than_the_catalogue_returns_everything_in_order() {
+    let w = tied_catalogue(7, 2);
+    let q = vec![1.0, -1.0];
+    for shards in 1..=8 {
+        assert_eq!(served(&w, shards, &q, 50, None), reference(&w, &q, 50, None), "shards = {shards}");
+    }
+}
+
+#[test]
+fn empty_shards_contribute_nothing() {
+    let w = tied_catalogue(3, 2);
+    let q = vec![0.5, 0.5];
+    // 8 shards over 3 items: five shards are empty.
+    let cat = ShardedCatalog::from_matrix(&w, 8);
+    assert_eq!(cat.num_shards(), 8);
+    let ids: Vec<usize> = cat.top_k(&q, 3, None).iter().map(|s| s.item).collect();
+    assert_eq!(ids, reference(&w, &q, 3, None));
+}
+
+#[test]
+fn ties_at_the_kth_score_break_by_lower_global_id_across_shards() {
+    // All rows identical: every item ties. The exact top-k must be the first
+    // k item ids, regardless of how the catalogue is sharded.
+    let w = Matrix::from_vec(20, 4, vec![1.0; 80]);
+    let q = vec![0.25; 4];
+    for shards in 1..=8 {
+        assert_eq!(served(&w, shards, &q, 5, None), vec![0, 1, 2, 3, 4], "shards = {shards}");
+    }
+}
+
+#[test]
+fn mask_leaving_fewer_than_k_unseen_pads_identically() {
+    let w = tied_catalogue(10, 2);
+    let q = vec![1.0, 1.0];
+    // Mask all but items 3 and 8; ask for 6.
+    let seen: Vec<bool> = (0..10).map(|i| i != 3 && i != 8).collect();
+    for shards in [1, 2, 3, 5, 10] {
+        assert_eq!(served(&w, shards, &q, 6, Some(&seen)), reference(&w, &q, 6, Some(&seen)), "shards = {shards}");
+    }
+}
+
+#[test]
+fn fully_masked_catalogue_matches_single_node_padding() {
+    let w = tied_catalogue(9, 2);
+    let q = vec![2.0, 0.0];
+    let seen = vec![true; 9];
+    for shards in [1, 4, 9] {
+        assert_eq!(served(&w, shards, &q, 4, Some(&seen)), reference(&w, &q, 4, Some(&seen)), "shards = {shards}");
+    }
+}
+
+#[test]
+fn merge_handles_all_empty_lists() {
+    assert!(merge_top_k(&[vec![], vec![], vec![]], 5).is_empty());
+}
+
+#[test]
+fn merge_keeps_scores_attached_to_the_right_items() {
+    let lists = vec![
+        vec![ScoredItem { item: 4, score: 9.0 }, ScoredItem { item: 5, score: 1.0 }],
+        vec![ScoredItem { item: 0, score: 5.0 }],
+    ];
+    let merged = merge_top_k(&lists, 3);
+    assert_eq!(merged.len(), 3);
+    assert_eq!((merged[0].item, merged[0].score), (4, 9.0));
+    assert_eq!((merged[1].item, merged[1].score), (0, 5.0));
+    assert_eq!((merged[2].item, merged[2].score), (5, 1.0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded top-k is pinned identical to the unsharded ranking for every
+    /// shard count 1..8, on random tie-heavy catalogues, random queries,
+    /// random k and random seen-masks.
+    #[test]
+    fn sharded_equals_unsharded_for_all_shard_counts(
+        n in 1usize..40,
+        quantised in proptest::collection::vec(0usize..4, 3..6),
+        k in 1usize..20,
+        mask_stride in 0usize..5,
+    ) {
+        // Quantised embeddings produce many exact score ties.
+        let d = quantised.len();
+        let w = Matrix::from_vec(n, d, (0..n * d).map(|i| ((i * 7 + i / d) % 4) as f32 - 1.0).collect());
+        let q: Vec<f32> = quantised.iter().map(|&v| v as f32 * 0.5 - 0.75).collect();
+        let seen: Option<Vec<bool>> =
+            (mask_stride > 0).then(|| (0..n).map(|i| i % (mask_stride + 1) == 0).collect());
+        let want = reference(&w, &q, k, seen.as_deref());
+        for shards in 1..=8usize {
+            let got = served(&w, shards, &q, k, seen.as_deref());
+            prop_assert_eq!(&got, &want, "n = {}, shards = {}, k = {}", n, shards, k);
+        }
+    }
+}

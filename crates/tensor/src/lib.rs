@@ -24,6 +24,14 @@
 //! written against `Matrix` inherits the fast paths. See the [`kernels`]
 //! module docs for when each entry point applies.
 //!
+//! ## The worker pool
+//!
+//! [`pool::workers`] hosts a reusable work-stealing [`pool::ThreadPool`] of
+//! persistent workers with a `std::thread::scope`-style borrowing API and a
+//! process-wide [`pool::global_pool`]. The threaded evaluation protocol
+//! (`ham-eval`) and the sharded serving layer (`ham-serve`) both fan out on
+//! it instead of spawning scoped threads per call.
+//!
 //! ## Conventions
 //!
 //! * All matrices are row-major; an *embedding matrix* stores one embedding

@@ -83,17 +83,51 @@ pub fn relu(m: &Matrix) -> Matrix {
 /// comparator treats NaN as equal to everything, which is not a total
 /// order), but the heap path never lets a NaN displace a real score.
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
-    let k = k.min(scores.len());
+    top_k_by_score(scores.len(), k, |i| scores[i])
+}
+
+/// Fused "mask + select" top-k: ranks `scores` exactly as [`top_k_indices`]
+/// would after setting `scores[i] = -inf` for every `i` with `masked[i]`,
+/// but without writing to (or copying) the score buffer.
+///
+/// Masked items are not skipped outright — they participate with an
+/// effective score of `-inf` — so the result is bit-identical to the
+/// mask-then-select path, including the degenerate cases where fewer than
+/// `k` items are unmasked and masked items pad the tail of the ranking (in
+/// ascending index order, the `-inf` tie-break). Because the buffer stays
+/// immutable, a caller can rank straight out of a shared score matrix (one
+/// row of a batched `Q·Wᵀ` block) without cloning the row first, and a
+/// serving loop can reuse one seen-bitmap across requests with O(history)
+/// mark/clear instead of O(catalogue) restores.
+///
+/// # Panics
+/// Panics if `masked` and `scores` differ in length.
+pub fn top_k_indices_masked(scores: &[f32], k: usize, masked: &[bool]) -> Vec<usize> {
+    assert_eq!(
+        masked.len(),
+        scores.len(),
+        "top_k_indices_masked: {} mask bits for {} scores",
+        masked.len(),
+        scores.len()
+    );
+    top_k_by_score(scores.len(), k, |i| if masked[i] { f32::NEG_INFINITY } else { scores[i] })
+}
+
+/// Shared body of [`top_k_indices`] / [`top_k_indices_masked`]: ranks the
+/// indices `0..n` by the effective score `score(i)` (descending, ties to the
+/// lower index).
+fn top_k_by_score(n: usize, k: usize, score: impl Fn(usize) -> f32) -> Vec<usize> {
+    let k = k.min(n);
     if k == 0 {
         return Vec::new();
     }
-    let cmp =
-        |a: &usize, b: &usize| scores[*b].partial_cmp(&scores[*a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b));
     // Heap-based partial selection: O(n log k) time, O(k) extra space.
-    if k * 8 <= scores.len() {
-        return top_k_by_heap(scores, k);
+    if k * 8 <= n {
+        return top_k_by_heap(n, k, &score);
     }
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    let cmp =
+        |a: &usize, b: &usize| score(*b).partial_cmp(&score(*a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b));
+    let mut idx: Vec<usize> = (0..n).collect();
     if k < idx.len() {
         idx.select_nth_unstable_by(k - 1, cmp);
         idx.truncate(k);
@@ -134,8 +168,8 @@ impl Ord for RankedCandidate {
 }
 
 /// Partial top-k selection with a bounded min-heap (the `k ≪ n` fast path of
-/// [`top_k_indices`]).
-fn top_k_by_heap(scores: &[f32], k: usize) -> Vec<usize> {
+/// [`top_k_by_score`]).
+fn top_k_by_heap(n: usize, k: usize, score: &impl Fn(usize) -> f32) -> Vec<usize> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -150,7 +184,8 @@ fn top_k_by_heap(scores: &[f32], k: usize) -> Vec<usize> {
     // `score > worst_score` filter is exact and keeps the scan
     // branch-predictable.
     let mut worst_score = f32::NEG_INFINITY;
-    for (index, &score) in scores.iter().enumerate() {
+    for index in 0..n {
+        let score = score(index);
         if score.is_nan() {
             continue;
         }
@@ -169,9 +204,9 @@ fn top_k_by_heap(scores: &[f32], k: usize) -> Vec<usize> {
         // Rare: NaNs left fewer than k usable scores. Fall back to the full
         // sort path, which pads the ranking with the NaN indices.
         let cmp = |a: &usize, b: &usize| {
-            scores[*b].partial_cmp(&scores[*a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+            score(*b).partial_cmp(&score(*a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
         };
-        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        let mut idx: Vec<usize> = (0..n).collect();
         idx.select_nth_unstable_by(k - 1, cmp);
         idx.truncate(k);
         idx.sort_by(cmp);
@@ -299,6 +334,50 @@ mod tests {
         // All-NaN input still returns k indices (fallback path).
         let all_nan = vec![f32::NAN; 64];
         assert_eq!(top_k_indices(&all_nan, 4).len(), 4);
+    }
+
+    /// The fused mask+select path must agree with "write -inf, then select"
+    /// bit for bit on both the heap and the quickselect path, including when
+    /// the mask leaves fewer than k items and masked indices pad the tail.
+    #[test]
+    fn masked_top_k_matches_write_then_select() {
+        let scores: Vec<f32> = (0..120).map(|i| ((i * 37) % 41) as f32 * 0.25).collect();
+        for mask_every in [2, 3, 7] {
+            let masked: Vec<bool> = (0..scores.len()).map(|i| i % mask_every == 0).collect();
+            let mut written = scores.clone();
+            for (w, &m) in written.iter_mut().zip(&masked) {
+                if m {
+                    *w = f32::NEG_INFINITY;
+                }
+            }
+            for k in [1, 5, 10, 40, 110, 120] {
+                assert_eq!(
+                    top_k_indices_masked(&scores, k, &masked),
+                    top_k_indices(&written, k),
+                    "mask_every = {mask_every}, k = {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_top_k_pads_with_masked_items_when_k_exceeds_unmasked() {
+        let scores = [5.0f32, 4.0, 3.0, 2.0];
+        let masked = [true, false, true, true];
+        // 1 is the only unmasked item; the rest tie at -inf and break by index.
+        assert_eq!(top_k_indices_masked(&scores, 4, &masked), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn all_masked_still_returns_k_indices() {
+        let scores = [1.0f32, 2.0, 3.0];
+        assert_eq!(top_k_indices_masked(&scores, 2, &[true; 3]), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask bits")]
+    fn masked_top_k_rejects_length_mismatch() {
+        let _ = top_k_indices_masked(&[1.0, 2.0], 1, &[false]);
     }
 
     #[test]

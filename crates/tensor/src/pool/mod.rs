@@ -1,9 +1,20 @@
-//! Pooling over the rows of a matrix.
+//! Pooling over the rows of a matrix, and the shared worker pool.
 //!
 //! Pooling is the core mechanism of HAM (Section 4.2.1 of the paper): the
 //! embeddings of the previous `n_h` (high-order) or `n_l` (low-order) items
 //! are aggregated into a single vector either by mean pooling or by max
 //! pooling, instead of a parameterised attention/gating mechanism.
+//!
+//! The [`workers`] submodule hosts the other kind of pool: a reusable
+//! work-stealing [`ThreadPool`] of persistent worker threads, replacing the
+//! per-call `std::thread::scope` spawns the evaluation protocol used before.
+//! The two share a module because both sit directly under the hot paths —
+//! row pooling inside every query-vector build, the worker pool under every
+//! threaded evaluation and the sharded serving layer.
+
+pub mod workers;
+
+pub use workers::{global_pool, Scope, ThreadPool};
 
 use crate::Matrix;
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,458 @@
+//! A reusable work-stealing thread pool with persistent workers.
+//!
+//! The evaluation protocol and the serving layer both fan work out over user
+//! chunks or catalogue shards many thousands of times per run (grid searches
+//! evaluate every configuration; a serving queue drains continuously). Paying
+//! a `std::thread::spawn` per fan-out is measurable overhead and, worse,
+//! unbounded thread churn under load. This pool spawns its workers once and
+//! keeps them parked until work arrives.
+//!
+//! ## Design
+//!
+//! * One global injector queue for tasks submitted from outside the pool,
+//!   plus one local deque per worker for tasks spawned *from* a worker
+//!   (nested parallelism). Workers pop their own deque LIFO (cache-warm),
+//!   then the injector FIFO, then steal FIFO from siblings — classic
+//!   work-stealing, implemented with `std` primitives only because the build
+//!   environment has no crates.io access.
+//! * [`ThreadPool::scope`] lets tasks borrow from the caller's stack, like
+//!   `std::thread::scope`: the scope joins every spawned task before it
+//!   returns (even on panic, via a wait-guard), which is what makes the
+//!   lifetime erasure inside sound.
+//! * A thread waiting on a scope **helps**: it drains pool tasks while it
+//!   waits instead of blocking, so nested scopes cannot deadlock even on a
+//!   single-worker pool.
+//! * Worker panics are caught per task and re-raised on the thread that owns
+//!   the scope, mirroring `std::thread::scope` semantics.
+//!
+//! ## Example
+//!
+//! ```
+//! use ham_tensor::pool::ThreadPool;
+//!
+//! let pool = ThreadPool::new(2);
+//! let inputs = [1u64, 2, 3, 4];
+//! let mut squares = [0u64; 4];
+//! pool.scope(|scope| {
+//!     for (out, &x) in squares.iter_mut().zip(&inputs) {
+//!         scope.spawn(move || *out = x * x);
+//!     }
+//! });
+//! assert_eq!(squares, [1, 4, 9, 16]);
+//! ```
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A unit of work queued on the pool. Tasks are `'static`; borrowing tasks go
+/// through [`ThreadPool::scope`], which erases the lifetime only after
+/// guaranteeing the join.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Index of the worker the current thread belongs to (`usize::MAX` when
+    /// the thread is not a pool worker). Used to route nested spawns to the
+    /// spawning worker's own deque and to let waiting threads help.
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// State shared between the pool handle and its workers.
+struct PoolShared {
+    /// `queues[0]` is the global injector; `queues[1 + w]` is worker `w`'s
+    /// local deque.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Sleep lock paired with [`Self::work_available`]. Pushers notify under
+    /// this lock so a worker can never miss a wake-up between its re-check
+    /// and its wait.
+    sleep: Mutex<()>,
+    work_available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolShared {
+    /// Pops one task: own deque LIFO first (when called from worker
+    /// `worker`), then the injector, then steals FIFO from the other workers.
+    /// Non-worker threads (helping while they wait on a scope) pass
+    /// `worker == usize::MAX` and have no own deque to pop or skip.
+    fn pop_task(&self, worker: usize) -> Option<Task> {
+        let own_queue = if worker == usize::MAX { usize::MAX } else { 1 + worker };
+        if own_queue != usize::MAX {
+            if let Some(task) = self.queues[own_queue].lock().expect("pool queue poisoned").pop_back() {
+                return Some(task);
+            }
+        }
+        if let Some(task) = self.queues[0].lock().expect("pool queue poisoned").pop_front() {
+            return Some(task);
+        }
+        for (i, queue) in self.queues.iter().enumerate().skip(1) {
+            if i == own_queue {
+                continue;
+            }
+            if let Some(task) = queue.lock().expect("pool queue poisoned").pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Pushes a task to the calling worker's deque (nested spawn) or the
+    /// injector (external submit), then wakes one sleeper.
+    fn push_task(&self, task: Task) {
+        let worker = WORKER_INDEX.with(|w| w.get());
+        let queue = if worker != usize::MAX { 1 + worker } else { 0 };
+        self.queues[queue].lock().expect("pool queue poisoned").push_back(task);
+        let _guard = self.sleep.lock().expect("pool sleep lock poisoned");
+        self.work_available.notify_one();
+    }
+}
+
+/// A fixed-size pool of persistent worker threads with work stealing.
+///
+/// See the [module docs](self) for the design; most callers want either the
+/// process-wide [`global_pool`] or a dedicated pool sized for a benchmark.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool of `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queues: (0..=threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(()),
+            work_available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ham-pool-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a `'static` task for execution (fire-and-forget).
+    ///
+    /// Use [`Self::scope`] when the task needs to borrow from the caller's
+    /// stack or the caller needs to wait for completion.
+    ///
+    /// A panicking detached task is caught by the executing thread (the
+    /// default panic hook still reports it on stderr), so it can neither
+    /// kill a pool worker nor poison the thread that ran it while helping —
+    /// the pool keeps its full worker count for the life of the process.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        // Unlike scope tasks (which re-raise at the scope), a detached task
+        // has no one to re-raise to: swallow the payload after the hook ran.
+        self.shared.push_task(Box::new(move || drop(catch_unwind(AssertUnwindSafe(task)))));
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowing tasks can be spawned, and
+    /// joins every spawned task before returning — the pool-backed equivalent
+    /// of `std::thread::scope`, without the per-call thread spawns.
+    ///
+    /// If any task panics, the panic payload is re-raised here after all
+    /// other tasks of the scope have finished.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let state = Arc::new(ScopeState { pending: Mutex::new(0), done: Condvar::new(), panic: Mutex::new(None) });
+        let scope = Scope { pool: self, state: Arc::clone(&state), _env: std::marker::PhantomData };
+        // The wait-guard joins outstanding tasks even if `f` unwinds, so no
+        // task can outlive the borrows it captured.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        self.help_until_done(&state);
+        if let Some(payload) = state.panic.lock().expect("scope panic slot poisoned").take() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Waits for a scope's tasks to finish, executing queued pool tasks while
+    /// waiting (so a scope opened from inside a worker cannot deadlock the
+    /// pool, and an external caller contributes a core instead of blocking).
+    fn help_until_done(&self, state: &ScopeState) {
+        let worker = WORKER_INDEX.with(|w| w.get());
+        loop {
+            if *state.pending.lock().expect("scope counter poisoned") == 0 {
+                return;
+            }
+            if let Some(task) = self.shared.pop_task(worker) {
+                task();
+                continue;
+            }
+            let pending = state.pending.lock().expect("scope counter poisoned");
+            if *pending == 0 {
+                return;
+            }
+            // The remaining tasks are running on other workers; sleep with a
+            // timeout as a lost-wakeup backstop.
+            let _unused = state.done.wait_timeout(pending, Duration::from_millis(1)).expect("scope counter poisoned");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.sleep.lock().expect("pool sleep lock poisoned");
+            self.shared.work_available.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _unused = worker.join();
+        }
+    }
+}
+
+/// Join state of one [`ThreadPool::scope`] call.
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    fn task_finished(&self) {
+        let mut pending = self.pending.lock().expect("scope counter poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Spawn handle passed to the closure of [`ThreadPool::scope`]; tasks spawned
+/// on it may borrow anything that outlives the scope (`'env`).
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from the environment; the scope joins it
+    /// before returning. The first panicking task's payload is re-raised by
+    /// [`ThreadPool::scope`].
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
+        *self.state.pending.lock().expect("scope counter poisoned") += 1;
+        let state = Arc::clone(&self.state);
+        let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                let mut slot = state.panic.lock().expect("scope panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            state.task_finished();
+        });
+        // SAFETY: the scope's wait-guard (`help_until_done`, run even when the
+        // scope body unwinds) joins this task before `'env` can end, so the
+        // borrows inside remain valid for the task's whole execution. This is
+        // the same argument `std::thread::scope` makes; only the executor
+        // differs (persistent pool workers instead of fresh threads).
+        let erased: Task = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(wrapped) };
+        self.pool.shared.push_task(erased);
+    }
+}
+
+fn worker_loop(shared: &PoolShared, index: usize) {
+    WORKER_INDEX.with(|w| w.set(index));
+    loop {
+        if let Some(task) = shared.pop_task(index) {
+            task();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let guard = shared.sleep.lock().expect("pool sleep lock poisoned");
+        // Re-check under the sleep lock: pushers notify under the same lock,
+        // so a task enqueued after the check cannot be missed.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let has_work = shared.queues.iter().any(|q| !q.lock().expect("pool queue poisoned").is_empty());
+        if !has_work {
+            let _unused = shared.work_available.wait_timeout(guard, Duration::from_millis(50));
+        }
+    }
+}
+
+/// The process-wide shared pool, sized to the machine's available
+/// parallelism. Created on first use; the threaded evaluation protocol and
+/// the serving layer both run on it, so repeated evaluations and concurrent
+/// requests share one set of persistent workers instead of spawning their
+/// own.
+pub fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let threads = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        ThreadPool::new(threads)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_joins_all_tasks_and_preserves_slot_order() {
+        let pool = ThreadPool::new(3);
+        let mut slots = vec![0usize; 64];
+        pool.scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move || *slot = i * i);
+            }
+        });
+        for (i, &v) in slots.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn spawn_runs_detached_tasks() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let counter = Arc::clone(&counter);
+            pool.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Joining through a scope flushes the queues: scope tasks are pushed
+        // behind the detached ones and the scope waits for its own.
+        pool.scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {});
+            }
+        });
+        // The detached tasks may still be mid-flight on another worker for an
+        // instant; poll briefly rather than assuming queue order.
+        for _ in 0..1000 {
+            if counter.load(Ordering::SeqCst) == 16 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock_on_a_single_worker() {
+        let pool = ThreadPool::new(1);
+        let total = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            for _ in 0..4 {
+                let total = &total;
+                let pool = &pool;
+                outer.spawn(move || {
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(move || {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 16);
+    }
+
+    /// A panicking detached task must not kill its worker: the pool keeps
+    /// its full worker count and keeps executing later tasks.
+    #[test]
+    fn detached_panics_do_not_kill_workers() {
+        let pool = ThreadPool::new(1);
+        for _ in 0..3 {
+            pool.spawn(|| panic!("detached boom"));
+        }
+        // If the single worker died, the scope would only complete via the
+        // caller helping — also fine — but the worker must still be alive to
+        // pick up queued work; completing a large fan-out promptly shows it.
+        let total = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for _ in 0..32 {
+                let total = &total;
+                scope.spawn(move || {
+                    total.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 32);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn scope_propagates_worker_panics() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|| panic!("boom in worker"));
+            });
+        }));
+        let payload = result.expect_err("scope must re-raise the worker panic");
+        let message = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(message, "boom in worker");
+        // The pool stays usable after a panic.
+        let mut v = 0;
+        pool.scope(|scope| scope.spawn(|| v = 7));
+        assert_eq!(v, 7);
+    }
+
+    /// Regression: a non-worker thread helping while it waits has no own
+    /// deque; the steal scan must not compute `1 + usize::MAX`. Before the
+    /// fix this overflowed (debug builds) whenever the caller reached the
+    /// steal loop with the injector already drained — i.e. whenever a
+    /// spawned task was still running when the scope began waiting.
+    #[test]
+    fn external_helper_with_drained_queues_does_not_overflow() {
+        let pool = ThreadPool::new(2);
+        pool.scope(|scope| {
+            scope.spawn(|| std::thread::sleep(Duration::from_millis(20)));
+        });
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = global_pool();
+        let b = global_pool();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn heavy_fan_out_completes() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicUsize::new(0);
+        pool.scope(|scope| {
+            for _ in 0..500 {
+                let total = &total;
+                scope.spawn(move || {
+                    total.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 500);
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`baselines`] — Caser, SASRec, HGN, PopRec and BPR-MF.
 //! * [`eval`] — Recall/NDCG metrics, evaluation protocol, significance tests
 //!   and run-time measurement.
+//! * [`serve`] — the online serving subsystem: sharded catalogue scoring,
+//!   micro-batching request queue, hot-swappable model registry.
 //! * [`experiments`] — the harness regenerating every table and figure of the
 //!   paper.
 //!
@@ -37,6 +39,7 @@ pub use ham_core as core;
 pub use ham_data as data;
 pub use ham_eval as eval;
 pub use ham_experiments as experiments;
+pub use ham_serve as serve;
 pub use ham_tensor as tensor;
 
 pub use ham_core::{HamConfig, HamModel, HamVariant, TrainConfig};
