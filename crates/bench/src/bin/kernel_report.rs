@@ -1,0 +1,197 @@
+//! Generates `BENCH_kernels.json`: GFLOP/s of the kernel tiers side by side.
+//!
+//! For each kernel (per-candidate [`dot`] loop, the fused GEMV
+//! [`matvec_transposed_into`], the batched `Q·Wᵀ` GEMM
+//! [`matmul_transposed`]) at d = 32/64 and catalogue sizes n = 10k/100k,
+//! the portable reference tier and the explicit AVX2+FMA tier (when the CPU
+//! has it) are timed on identical inputs via the `*_with_tier` entry points
+//! — no global tier forcing, so the numbers are directly comparable within
+//! one process.
+//!
+//! This is the portability check of the kernel subsystem: on a build
+//! **without** `-C target-cpu=native` the portable tier loses its
+//! auto-vectorization quality while the AVX2 tier is unaffected, and the
+//! reported speedup shows what runtime dispatch buys such a build.
+//!
+//! Run from the repository root (`--quick` shrinks repetitions for CI):
+//! `cargo run --release -p ham-bench --bin kernel_report [-- --quick]`.
+//!
+//! [`dot`]: ham_tensor::kernels::dot
+//! [`matvec_transposed_into`]: ham_tensor::kernels::matvec_transposed_into
+//! [`matmul_transposed`]: ham_tensor::kernels::matmul_transposed
+
+use ham_tensor::kernels::{
+    dot_with_tier, matmul_transposed_into_with_tier, matvec_transposed_into_with_tier, KernelTier,
+};
+use ham_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Rows of the query batch in the GEMM measurement (matches the serving
+/// layer's default max batch).
+const BATCH: usize = 64;
+
+struct Config {
+    d: usize,
+    n: usize,
+}
+
+struct Row {
+    kernel: &'static str,
+    d: usize,
+    n: usize,
+    portable_gflops: f64,
+    avx2_gflops: Option<f64>,
+}
+
+impl Row {
+    fn speedup(&self) -> Option<f64> {
+        self.avx2_gflops.map(|fast| fast / self.portable_gflops)
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// GFLOP/s of `f`, which performs `flops` floating-point operations per call
+/// and is repeated `inner` times per timing sample.
+fn gflops<F: FnMut()>(reps: usize, inner: usize, flops: f64, mut f: F) -> f64 {
+    let seconds = time_best(reps, || {
+        for _ in 0..inner {
+            f();
+        }
+    }) / inner as f64;
+    flops / seconds / 1e9
+}
+
+fn measure(config: &Config, tiers: &[KernelTier], reps: usize, rows: &mut Vec<Row>) {
+    let Config { d, n } = *config;
+    let mut rng = StdRng::seed_from_u64(42 + (d * 1000 + n) as u64);
+    let w = Matrix::xavier_uniform(n, d, &mut rng);
+    let q: Vec<f32> = (0..d).map(|k| (k as f32 * 0.37).sin()).collect();
+    let queries = Matrix::xavier_uniform(BATCH, d, &mut rng);
+    let mut scores = vec![0.0f32; n];
+    let mut gemm_out = Matrix::zeros(BATCH, n);
+    // Keep each timing sample above timer resolution without letting the
+    // 100k-row GEMM dominate the wall clock.
+    let inner = (2_000_000 / n).max(1);
+    let gemm_inner = (inner / 8).max(1);
+
+    let pass_flops = 2.0 * n as f64 * d as f64;
+    for (kernel, flops) in
+        [("dot", pass_flops), ("matvec_transposed", pass_flops), ("matmul_transposed", pass_flops * BATCH as f64)]
+    {
+        let mut row = Row { kernel, d, n, portable_gflops: 0.0, avx2_gflops: None };
+        for &tier in tiers {
+            let value = match kernel {
+                // The per-candidate loop the serving layer replaced: one
+                // dispatched dot per catalogue row.
+                "dot" => gflops(reps, inner, pass_flops, || {
+                    let mut acc = 0.0f32;
+                    for j in 0..n {
+                        acc += dot_with_tier(tier, black_box(w.row(j)), black_box(&q));
+                    }
+                    black_box(acc);
+                }),
+                "matvec_transposed" => gflops(reps, inner, pass_flops, || {
+                    matvec_transposed_into_with_tier(tier, black_box(&w), black_box(&q), black_box(&mut scores));
+                }),
+                _ => gflops(reps, gemm_inner, flops, || {
+                    matmul_transposed_into_with_tier(
+                        tier,
+                        black_box(&queries),
+                        black_box(&w),
+                        black_box(&mut gemm_out),
+                    );
+                }),
+            };
+            match tier {
+                KernelTier::Portable => row.portable_gflops = value,
+                KernelTier::Avx2 => row.avx2_gflops = Some(value),
+            }
+        }
+        rows.push(row);
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 7 };
+    let mut tiers = vec![KernelTier::Portable];
+    if KernelTier::Avx2.supported() {
+        tiers.push(KernelTier::Avx2);
+    }
+    let configs = [
+        Config { d: 32, n: 10_000 },
+        Config { d: 64, n: 10_000 },
+        Config { d: 32, n: 100_000 },
+        Config { d: 64, n: 100_000 },
+    ];
+
+    let mut rows = Vec::new();
+    for config in &configs {
+        eprintln!("measuring d={} n={} ({} tiers)...", config.d, config.n, tiers.len());
+        measure(config, &tiers, reps, &mut rows);
+    }
+
+    // Worst-case speedups over the shapes measured, per kernel — the
+    // headline "what does runtime dispatch buy a portable build" numbers.
+    let min_speedup = |kernel: &str| -> Option<f64> {
+        rows.iter()
+            .filter(|r| r.kernel == kernel)
+            .filter_map(Row::speedup)
+            .min_by(|a, b| a.partial_cmp(b).expect("speedups are finite"))
+    };
+
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"description\": \"Kernel tier comparison: GFLOP/s of the portable reference tier vs the explicit AVX2+FMA tier on identical inputs (dot = per-candidate loop, matvec = fused GEMV, matmul_transposed = 64-row QWt GEMM). Generated by kernel_report; run on a build without -C target-cpu=native to see what runtime dispatch buys portable binaries.\",\n",
+    );
+    out.push_str(&format!(
+        "  \"compiled_with_avx2\": {},\n  \"avx2_tier_available\": {},\n  \"active_tier\": \"{}\",\n  \"batch_rows\": {},\n",
+        cfg!(target_feature = "avx2"),
+        KernelTier::Avx2.supported(),
+        ham_tensor::kernels::active_tier(),
+        BATCH
+    ));
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let avx2 = r.avx2_gflops.map_or("null".to_string(), |v| format!("{v:.3}"));
+        let speedup = r.speedup().map_or("null".to_string(), |v| format!("{v:.3}"));
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"d\": {}, \"n\": {}, \"portable_gflops\": {:.3}, \"avx2_gflops\": {}, \"speedup_avx2\": {}}}{}\n",
+            r.kernel,
+            r.d,
+            r.n,
+            r.portable_gflops,
+            avx2,
+            speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    for (label, kernel) in [
+        ("min_speedup_dot", "dot"),
+        ("min_speedup_matvec", "matvec_transposed"),
+        ("min_speedup_gemm", "matmul_transposed"),
+    ] {
+        let value = min_speedup(kernel).map_or("null".to_string(), |v| format!("{v:.3}"));
+        out.push_str(&format!("  \"{label}\": {value},\n"));
+    }
+    out.push_str(&format!("  \"quick\": {quick}\n"));
+    out.push_str("}\n");
+
+    std::fs::write("BENCH_kernels.json", &out).expect("failed to write BENCH_kernels.json");
+    println!("{out}");
+    eprintln!("wrote BENCH_kernels.json");
+}

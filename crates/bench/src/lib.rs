@@ -18,6 +18,13 @@
 //!   vs fused `matvec_transposed` vs batched `Q·Wᵀ`) at catalogue sizes
 //!   1k / 10k / 50k; the `scoring_report` binary writes the same comparison
 //!   plus end-to-end evaluation numbers to `BENCH_scoring.json`.
+//!
+//! Report binaries under `src/bin/` write JSON artifacts: `scoring_report`
+//! (above), `serve_report` (`BENCH_serving.json`, the sharded online
+//! subsystem) and `kernel_report` (`BENCH_kernels.json`, portable vs
+//! explicit-AVX2 kernel tiers in GFLOP/s — run it on a build without
+//! `-C target-cpu=native` to see what runtime dispatch buys a portable
+//! binary).
 
 use ham_core::{train, HamConfig, HamModel, HamVariant, TrainConfig};
 use ham_data::dataset::SequenceDataset;

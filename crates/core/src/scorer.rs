@@ -237,6 +237,18 @@ impl SeenMask {
         }
     }
 
+    /// Grows or shrinks the mask to a new catalogue size (serving loops keep
+    /// one mask across hot-swapped models); added slots start clear.
+    pub fn resize(&mut self, num_items: usize) {
+        self.seen.resize(num_items, false);
+    }
+
+    /// Clears every mark in O(catalogue) — the recovery path when a panic
+    /// may have unwound between [`Self::mark`] and [`Self::clear`].
+    pub fn reset(&mut self) {
+        self.seen.fill(false);
+    }
+
     /// The raw seen bitmap (one flag per catalogue item).
     pub fn bits(&self) -> &[bool] {
         &self.seen

@@ -26,6 +26,13 @@
 //! reusable per-chunk bitmap during the top-k scan instead of being
 //! overwritten with `-inf` in the score buffer, which lets the batched path
 //! rank straight out of the shared `Q·Wᵀ` score block.
+//!
+//! The scoring closures themselves funnel into the tiered kernel layer
+//! (`ham_tensor::kernels`): the same evaluation binary hits the explicit
+//! AVX2+FMA microkernels on capable hardware and the portable reference
+//! loops elsewhere, chosen once per process at runtime — no
+//! `-C target-cpu=native` required (force a tier with `HAM_KERNEL_TIER` to
+//! compare).
 
 use crate::metrics::MetricSet;
 use crate::ranking::top_k_excluding;

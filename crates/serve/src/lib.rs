@@ -52,7 +52,7 @@ pub mod request;
 pub mod server;
 pub mod shard;
 
-pub use model::ServingModel;
+pub use model::{ServeScratch, ServingModel};
 pub use registry::{ModelRegistry, PublishedModel};
 pub use request::{LatencyStats, RecommendRequest, RecommendResponse};
 pub use server::{RecServer, ServerConfig};

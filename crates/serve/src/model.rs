@@ -2,7 +2,7 @@
 
 use crate::request::RecommendRequest;
 use crate::shard::{ScoredItem, ShardedCatalog};
-use ham_core::{LinearHead, Scorer};
+use ham_core::{LinearHead, Scorer, SeenMask};
 use ham_data::dataset::ItemId;
 use ham_tensor::pool::ThreadPool;
 use ham_tensor::Matrix;
@@ -98,10 +98,35 @@ impl ServingModel {
     /// Serves one request exactly: per-shard GEMV, shard-local fused
     /// masking, k-way merge. Bit-identical to the single-node
     /// `recommend_top_k` for every shard count.
+    ///
+    /// Allocates its own working buffers; a serving loop should hold a
+    /// [`ServeScratch`] and call [`Self::recommend_with`] instead.
     pub fn recommend(&self, request: &RecommendRequest) -> Vec<ScoredItem> {
+        self.recommend_with(request, &mut ServeScratch::new())
+    }
+
+    /// [`Self::recommend`] with reusable working buffers: the shard GEMVs
+    /// write into `scratch`'s score buffer ([`matvec_transposed_into`] — no
+    /// `Vec` per request) and the seen-item bitmap is marked and cleared in
+    /// O(history) instead of being re-allocated per request. Results are
+    /// identical to [`Self::recommend`].
+    ///
+    /// [`matvec_transposed_into`]: ham_tensor::kernels::matvec_transposed_into
+    pub fn recommend_with(&self, request: &RecommendRequest, scratch: &mut ServeScratch) -> Vec<ScoredItem> {
         let q = self.query_vector(request.user, &request.history);
-        let seen = request.exclude_seen.then(|| self.seen_bitmap(&request.history));
-        self.catalog.top_k(&q, request.k, seen.as_deref())
+        let ServeScratch { scores, seen } = scratch;
+        let seen_bits = if request.exclude_seen {
+            seen.resize(self.catalog.num_items());
+            seen.mark(&request.history);
+            Some(seen.bits())
+        } else {
+            None
+        };
+        let out = self.catalog.top_k_with_buf(&q, request.k, seen_bits, scores);
+        if request.exclude_seen {
+            seen.clear(&request.history);
+        }
+        out
     }
 
     /// Serves a coalesced batch: the queries are built once, every shard is
@@ -114,9 +139,23 @@ impl ServingModel {
     /// A batch of one takes the GEMV path of [`Self::recommend`], so a
     /// lonely request gets the same bits whether or not it was queued.
     pub fn recommend_batch(&self, requests: &[RecommendRequest], pool: Option<&ThreadPool>) -> Vec<Vec<ScoredItem>> {
+        self.recommend_batch_with(requests, pool, &mut ServeScratch::new())
+    }
+
+    /// [`Self::recommend_batch`] with reusable working buffers: a batch of
+    /// one takes the allocation-free GEMV path of [`Self::recommend_with`]
+    /// (same bits whether or not the request was queued), larger batches take
+    /// the per-shard GEMM path. The dispatcher thread of `RecServer` holds
+    /// one [`ServeScratch`] across its whole lifetime.
+    pub fn recommend_batch_with(
+        &self,
+        requests: &[RecommendRequest],
+        pool: Option<&ThreadPool>,
+        scratch: &mut ServeScratch,
+    ) -> Vec<Vec<ScoredItem>> {
         match requests {
             [] => Vec::new(),
-            [single] => vec![self.recommend(single)],
+            [single] => vec![self.recommend_with(single, scratch)],
             _ => {
                 let mut queries = Matrix::zeros(requests.len(), self.catalog.dim());
                 for (i, request) in requests.iter().enumerate() {
@@ -129,17 +168,38 @@ impl ServingModel {
             }
         }
     }
+}
 
-    /// Builds the global seen-item bitmap for a history (ids outside the
-    /// catalogue are ignored, as everywhere else in the workspace).
-    fn seen_bitmap(&self, history: &[ItemId]) -> Vec<bool> {
-        let mut bits = vec![false; self.catalog.num_items()];
-        for &item in history {
-            if item < bits.len() {
-                bits[item] = true;
-            }
-        }
-        bits
+/// Reusable working buffers for the single-request serving path: the shard
+/// score buffer (grown once to the largest shard) and a [`SeenMask`]
+/// (marked and cleared per request in O(history), the same bitmap type the
+/// single-node recommend paths use).
+///
+/// Invariant between calls: the mask is all-clear. The recommend paths
+/// restore it on every normal return; after a panic unwound through a
+/// serving call, call [`Self::reset`] before reuse.
+#[derive(Debug)]
+pub struct ServeScratch {
+    scores: Vec<f32>,
+    seen: SeenMask,
+}
+
+impl ServeScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self { scores: Vec::new(), seen: SeenMask::new(0) }
+    }
+
+    /// Restores the all-clear invariant (used after a serving call panicked
+    /// mid-request, when the request's marks may still be set).
+    pub fn reset(&mut self) {
+        self.seen.reset();
+    }
+}
+
+impl Default for ServeScratch {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

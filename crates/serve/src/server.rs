@@ -12,6 +12,7 @@
 //! hot-swaps between batches never pause traffic — and every response carries
 //! its own queue/service latency split.
 
+use crate::model::ServeScratch;
 use crate::registry::ModelRegistry;
 use crate::request::{RecommendRequest, RecommendResponse};
 use ham_tensor::pool::global_pool;
@@ -158,6 +159,10 @@ impl Drop for RecServer {
 }
 
 fn dispatch_loop(shared: &ServerShared) {
+    // One scratch for the dispatcher's lifetime: the batch-of-1 GEMV path
+    // scores every shard into the same reused buffer and marks/clears the
+    // seen bitmap in O(history) — no per-request allocation on the hot path.
+    let mut scratch = ServeScratch::new();
     loop {
         let batch = {
             let mut queue = shared.queue.lock().expect("server queue poisoned");
@@ -183,11 +188,11 @@ fn dispatch_loop(shared: &ServerShared) {
         if batch.is_empty() {
             continue;
         }
-        serve_batch(shared, batch);
+        serve_batch(shared, batch, &mut scratch);
     }
 }
 
-fn serve_batch(shared: &ServerShared, batch: Vec<Pending>) {
+fn serve_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut ServeScratch) {
     let published = shared.registry.current();
     let picked_up = Instant::now();
     // Move the requests out of their queue entries — the batch is scored
@@ -206,8 +211,13 @@ fn serve_batch(shared: &ServerShared, batch: Vec<Pending>) {
     // and retry each request solo so one poisoned request cannot take down
     // its batch-mates; a request that still panics alone gets an empty
     // ranking back (and the panic is reported on stderr by the hook).
-    let rankings =
-        catch_unwind(AssertUnwindSafe(|| published.model.recommend_batch(&requests, pool))).unwrap_or_else(|_| {
+    let rankings = catch_unwind(AssertUnwindSafe(|| published.model.recommend_batch_with(&requests, pool, scratch)))
+        .unwrap_or_else(|_| {
+            // The panic may have unwound between marking and clearing the
+            // scratch's seen bitmap; restore the all-clear invariant before
+            // the solo retries (which take the allocating path on purpose —
+            // this branch is cold and must stay panic-isolated per request).
+            scratch.reset();
             requests
                 .iter()
                 .map(|request| {

@@ -124,6 +124,16 @@ impl ShardedCatalog {
         self.shards[shard].rows.matvec_transposed(query)
     }
 
+    /// [`Self::shard_scores`] into a caller-provided buffer (overwritten) —
+    /// the serving hot path reuses one buffer across shards and requests
+    /// instead of allocating a fresh `Vec` per GEMV.
+    ///
+    /// # Panics
+    /// Panics if `out.len()` is not the shard's length.
+    pub fn shard_scores_into(&self, shard: usize, query: &[f32], out: &mut [f32]) {
+        self.shards[shard].rows.matvec_transposed_into(query, out);
+    }
+
     /// Scores a query batch against one shard (packed-panel GEMM), returning
     /// a `queries.rows() × shard_len` block.
     pub fn shard_scores_batch(&self, shard: usize, queries: &Matrix) -> Matrix {
@@ -176,14 +186,34 @@ impl ShardedCatalog {
     /// Bit-identical to scoring the unsharded matrix and ranking once, for
     /// any shard count.
     pub fn top_k(&self, query: &[f32], k: usize, seen: Option<&[bool]>) -> Vec<ScoredItem> {
+        self.top_k_with_buf(query, k, seen, &mut Vec::new())
+    }
+
+    /// [`Self::top_k`] with a caller-provided score buffer: every shard GEMV
+    /// writes into `scores_buf` (grown once to the largest shard, then
+    /// reused), so a serving loop holding the buffer performs no score
+    /// allocation per request.
+    pub fn top_k_with_buf(
+        &self,
+        query: &[f32],
+        k: usize,
+        seen: Option<&[bool]>,
+        scores_buf: &mut Vec<f32>,
+    ) -> Vec<ScoredItem> {
+        let max_len = self.shards.iter().map(Shard::len).max().unwrap_or(0);
+        if scores_buf.len() < max_len {
+            scores_buf.resize(max_len, 0.0);
+        }
         if let Some(s) = self.sole_active_shard() {
-            let scores = self.shard_scores(s, query);
-            return self.shard_top_k(s, &scores, k, seen);
+            let scores = &mut scores_buf[..self.shards[s].len()];
+            self.shard_scores_into(s, query, scores);
+            return self.shard_top_k(s, scores, k, seen);
         }
         let per_shard: Vec<Vec<ScoredItem>> = (0..self.shards.len())
             .map(|s| {
-                let scores = self.shard_scores(s, query);
-                self.shard_top_k(s, &scores, k, seen)
+                let scores = &mut scores_buf[..self.shards[s].len()];
+                self.shard_scores_into(s, query, scores);
+                self.shard_top_k(s, scores, k, seen)
             })
             .collect();
         merge_top_k(&per_shard, k)

@@ -1,0 +1,258 @@
+//! The explicit x86_64 AVX2+FMA tier: `std::arch` microkernels that do not
+//! depend on auto-vectorization or `-C target-cpu=native`.
+//!
+//! Every function here is compiled with `#[target_feature(enable =
+//! "avx2,fma")]`; the dispatcher in the parent module only routes to this
+//! tier after `is_x86_feature_detected!` confirmed both features at runtime
+//! (or after `force_tier` asserted support), which is what makes the
+//! `unsafe` call sites sound.
+//!
+//! ## Determinism contract
+//!
+//! The sharded serving layer depends on scores being **bit-identical**
+//! regardless of how catalogue rows are grouped into shards, panels or
+//! register tiles. Every kernel here therefore accumulates each output
+//! element as a single fused-multiply-add chain in ascending-`k` order: a
+//! vector lane performing `acc = fma(a, b, acc)` per step is bit-identical
+//! to the scalar `f32::mul_add` chain (IEEE FMA rounds once per step), so
+//! the 16-wide, 8-wide and scalar-tail paths all produce the same bits for
+//! the same row data — an element's value never depends on which path
+//! computed it or where it sat in a tile.
+
+use super::{pack_panel_kmajor, row_is_sparse, GEMM_B_PANEL};
+use crate::Matrix;
+use core::arch::x86_64::*;
+
+/// Rows of `A` per register tile in the GEMM microkernel: 4 rows × two
+/// 8-float accumulators each is 8 of the 16 ymm registers, leaving room for
+/// the panel loads and the broadcast.
+const GEMM_MR: usize = 4;
+
+/// Dot product: four independent 8-wide FMA accumulator chains (32 floats in
+/// flight), one fixed-order horizontal reduction, scalar-FMA tail.
+#[target_feature(enable = "avx2,fma")]
+pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "avx2::dot: length mismatch (the dispatcher asserts this)");
+    let len = a.len().min(b.len());
+    let mut acc = [_mm256_setzero_ps(); 4];
+    let mut k = 0;
+    let mut lane = 0;
+    while k + 8 <= len {
+        // SAFETY: `k + 8 <= len` bounds both 8-float unaligned loads.
+        let (av, bv) = unsafe { (_mm256_loadu_ps(a.as_ptr().add(k)), _mm256_loadu_ps(b.as_ptr().add(k))) };
+        acc[lane] = _mm256_fmadd_ps(av, bv, acc[lane]);
+        lane = (lane + 1) & 3;
+        k += 8;
+    }
+    let mut sum = hsum8(_mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3])));
+    for (x, y) in a[k..len].iter().zip(&b[k..len]) {
+        sum = x.mul_add(*y, sum);
+    }
+    sum
+}
+
+/// Horizontal sum of one 8-float vector in a fixed reduction order:
+/// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+fn hsum8(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps::<1>(v);
+    let q = _mm_add_ps(lo, hi);
+    let h = _mm_add_ps(q, _mm_movehl_ps(q, q));
+    let s = _mm_add_ss(h, _mm_shuffle_ps::<0b01>(h, h));
+    _mm_cvtss_f32(s)
+}
+
+/// `out[j] = w.row(j) · q`: the one-user/whole-catalogue GEMV. Each row is an
+/// independent [`dot`], so a row's score never depends on which shard or
+/// position it occupies.
+#[target_feature(enable = "avx2,fma")]
+pub(super) fn matvec_transposed_into(w: &Matrix, q: &[f32], out: &mut [f32]) {
+    let d = w.cols();
+    let data = w.as_slice();
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = dot(&data[j * d..(j + 1) * d], q);
+    }
+}
+
+/// Register-blocked `a · bᵀ` into `out` (overwrites): the packed-panel
+/// layout of the portable tier with an explicit [`GEMM_MR`]-row × 16-column
+/// FMA register tile over the panel.
+#[target_feature(enable = "avx2,fma")]
+pub(super) fn matmul_transposed_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let (m, d) = a.shape();
+    let n = b.rows();
+    if d == 0 {
+        out.as_mut_slice().fill(0.0);
+        return;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let out_data = out.as_mut_slice();
+
+    let mut packed = vec![0.0f32; GEMM_B_PANEL * d];
+    let mut j0 = 0;
+    while j0 < n {
+        let jw = (n - j0).min(GEMM_B_PANEL);
+        pack_panel_kmajor(b_data, d, j0, jw, &mut packed);
+        let mut i0 = 0;
+        while i0 + GEMM_MR <= m {
+            gemm_panel_rows::<GEMM_MR>(&a_data[i0 * d..], d, &packed, jw, out_data, n, i0 * n + j0);
+            i0 += GEMM_MR;
+        }
+        while i0 < m {
+            gemm_panel_rows::<1>(&a_data[i0 * d..], d, &packed, jw, out_data, n, i0 * n + j0);
+            i0 += 1;
+        }
+        j0 += jw;
+    }
+}
+
+/// Scores `R` consecutive rows of `A` against one packed k-major panel,
+/// writing `R × jw` output elements. Every element is one FMA chain in
+/// ascending `k`, whichever of the 16-wide / 8-wide / scalar paths covers
+/// its column.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+fn gemm_panel_rows<const R: usize>(
+    a_rows: &[f32], // at least R*d floats, row-major
+    d: usize,
+    packed: &[f32], // jw*d floats, k-major panel
+    jw: usize,
+    out: &mut [f32], // full output buffer
+    out_stride: usize,
+    out_base: usize, // index of this tile's (row 0, column 0) in `out`
+) {
+    let mut j = 0;
+    while j + 16 <= jw {
+        let mut acc = [[_mm256_setzero_ps(); 2]; R];
+        for k in 0..d {
+            // SAFETY: `j + 16 <= jw` and `k < d` bound both loads within the
+            // `jw * d`-float packed panel.
+            let (p0, p1) = unsafe {
+                (_mm256_loadu_ps(packed.as_ptr().add(k * jw + j)), _mm256_loadu_ps(packed.as_ptr().add(k * jw + j + 8)))
+            };
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(a_rows[r * d + k]);
+                acc_r[0] = _mm256_fmadd_ps(av, p0, acc_r[0]);
+                acc_r[1] = _mm256_fmadd_ps(av, p1, acc_r[1]);
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate() {
+            let dst = out_base + r * out_stride + j;
+            // SAFETY: `dst + 16 <= out.len()`: the tile's rows and columns
+            // are in range by the caller's i0/j0 loop bounds.
+            unsafe {
+                _mm256_storeu_ps(out.as_mut_ptr().add(dst), acc_r[0]);
+                _mm256_storeu_ps(out.as_mut_ptr().add(dst + 8), acc_r[1]);
+            }
+        }
+        j += 16;
+    }
+    while j + 8 <= jw {
+        let mut acc = [_mm256_setzero_ps(); R];
+        for k in 0..d {
+            // SAFETY: `j + 8 <= jw` and `k < d` bound the panel load.
+            let p0 = unsafe { _mm256_loadu_ps(packed.as_ptr().add(k * jw + j)) };
+            for (r, acc_r) in acc.iter_mut().enumerate() {
+                *acc_r = _mm256_fmadd_ps(_mm256_set1_ps(a_rows[r * d + k]), p0, *acc_r);
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate() {
+            // SAFETY: same bounds argument as the 16-wide store above.
+            unsafe { _mm256_storeu_ps(out.as_mut_ptr().add(out_base + r * out_stride + j), *acc_r) };
+        }
+        j += 8;
+    }
+    while j < jw {
+        for r in 0..R {
+            let mut acc = 0.0f32;
+            for k in 0..d {
+                // Scalar mul_add compiles to a hardware FMA here (the `fma`
+                // target feature is enabled), so the tail chain is
+                // bit-identical to a vector lane's chain.
+                acc = a_rows[r * d + k].mul_add(packed[k * jw + j], acc);
+            }
+            out[out_base + r * out_stride + j] = acc;
+        }
+        j += 1;
+    }
+}
+
+/// `a · b` into `out` (overwrites): per-row 32-wide FMA register tiles over
+/// the output, with the same dense/sparse row split as the portable tier —
+/// the dense inner loop has no zero test, sparse (one-hot / masked) rows
+/// skip their zero entries, and the two are bit-identical for finite inputs.
+#[target_feature(enable = "avx2,fma")]
+pub(super) fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let (m, p) = a.shape();
+    let n = b.cols();
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let out_data = out.as_mut_slice();
+    for i in 0..m {
+        let a_row = &a_data[i * p..(i + 1) * p];
+        let out_row = &mut out_data[i * n..(i + 1) * n];
+        if row_is_sparse(a_row) {
+            matmul_row::<true>(a_row, b_data, n, out_row);
+        } else {
+            matmul_row::<false>(a_row, b_data, n, out_row);
+        }
+    }
+}
+
+/// One output row of [`matmul_into`]: `out_row[j] = Σ_k a_row[k] · b[k][j]`,
+/// register-tiled 32 columns at a time. `SKIP_ZEROS` compiles the one-hot
+/// fast path (skip `a_row[k] == 0.0`) without putting a branch in the dense
+/// loop.
+#[inline]
+#[target_feature(enable = "avx2,fma")]
+fn matmul_row<const SKIP_ZEROS: bool>(a_row: &[f32], b_data: &[f32], n: usize, out_row: &mut [f32]) {
+    let mut j = 0;
+    while j + 32 <= n {
+        let mut acc = [_mm256_setzero_ps(); 4];
+        for (k, &av) in a_row.iter().enumerate() {
+            if SKIP_ZEROS && av == 0.0 {
+                continue;
+            }
+            let avv = _mm256_set1_ps(av);
+            for (l, acc_l) in acc.iter_mut().enumerate() {
+                // SAFETY: `j + 32 <= n` and `k < p` bound the load within the
+                // `p * n`-float `b`.
+                let bv = unsafe { _mm256_loadu_ps(b_data.as_ptr().add(k * n + j + 8 * l)) };
+                *acc_l = _mm256_fmadd_ps(avv, bv, *acc_l);
+            }
+        }
+        for (l, acc_l) in acc.iter().enumerate() {
+            // SAFETY: `j + 32 <= n == out_row.len()` bounds the four stores.
+            unsafe { _mm256_storeu_ps(out_row.as_mut_ptr().add(j + 8 * l), *acc_l) };
+        }
+        j += 32;
+    }
+    while j + 8 <= n {
+        let mut acc = _mm256_setzero_ps();
+        for (k, &av) in a_row.iter().enumerate() {
+            if SKIP_ZEROS && av == 0.0 {
+                continue;
+            }
+            // SAFETY: `j + 8 <= n` and `k < p` bound the load.
+            let bv = unsafe { _mm256_loadu_ps(b_data.as_ptr().add(k * n + j)) };
+            acc = _mm256_fmadd_ps(_mm256_set1_ps(av), bv, acc);
+        }
+        // SAFETY: `j + 8 <= n == out_row.len()` bounds the store.
+        unsafe { _mm256_storeu_ps(out_row.as_mut_ptr().add(j), acc) };
+        j += 8;
+    }
+    while j < n {
+        let mut acc = 0.0f32;
+        for (k, &av) in a_row.iter().enumerate() {
+            if SKIP_ZEROS && av == 0.0 {
+                continue;
+            }
+            acc = av.mul_add(b_data[k * n + j], acc);
+        }
+        out_row[j] = acc;
+        j += 1;
+    }
+}

@@ -16,13 +16,19 @@
 //! ## The kernel layer
 //!
 //! Everything hot funnels through the batched kernels in [`kernels`] — a
-//! vectorizing multi-accumulator [`kernels::dot`], the fused one-user
-//! catalogue pass [`kernels::matvec_transposed`], the packed-panel batched
-//! GEMM [`kernels::matmul_transposed`] (`Q·Wᵀ`, the scorer behind
-//! `evaluate_batch`) and the cache-blocked [`kernels::matmul`]. The
-//! [`Matrix`] methods of the same names delegate to them, so model code
-//! written against `Matrix` inherits the fast paths. See the [`kernels`]
-//! module docs for when each entry point applies.
+//! multi-accumulator [`kernels::dot`], the fused one-user catalogue pass
+//! [`kernels::matvec_transposed`] (and its allocation-free
+//! [`kernels::matvec_transposed_into`]), the packed-panel batched GEMM
+//! [`kernels::matmul_transposed`] (`Q·Wᵀ`, the scorer behind
+//! `evaluate_batch`) and the cache-blocked [`kernels::matmul`]. The kernel
+//! layer is **tiered**: a portable safe reference tier and an explicit
+//! AVX2+FMA tier, selected once per process by runtime feature detection
+//! (overridable via the `HAM_KERNEL_TIER` environment variable), so vector
+//! speed no longer depends on `-C target-cpu=native`. The [`Matrix`]
+//! methods of the same names delegate to the dispatched kernels, so model
+//! code written against `Matrix` inherits the fast paths. See the
+//! [`kernels`] module docs for the tier table and when each entry point
+//! applies.
 //!
 //! ## The worker pool
 //!

@@ -224,6 +224,28 @@ impl Matrix {
         crate::kernels::matvec_transposed(self, q)
     }
 
+    /// [`Self::matvec_transposed`] into a caller-provided buffer
+    /// (overwritten), so serving loops can reuse one scratch allocation
+    /// across requests; see
+    /// [`kernels::matvec_transposed_into`](crate::kernels::matvec_transposed_into).
+    ///
+    /// # Panics
+    /// Panics if `q.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn matvec_transposed_into(&self, q: &[f32], out: &mut [f32]) {
+        crate::kernels::matvec_transposed_into(self, q, out)
+    }
+
+    /// [`Self::matmul_transposed`] into a caller-provided matrix
+    /// (overwritten); see
+    /// [`kernels::matmul_transposed_into`](crate::kernels::matmul_transposed_into).
+    ///
+    /// # Panics
+    /// Panics if the column dimensions do not agree or `out` is not
+    /// `self.rows() × other.rows()`.
+    pub fn matmul_transposed_into(&self, other: &Matrix, out: &mut Matrix) {
+        crate::kernels::matmul_transposed_into(self, other, out)
+    }
+
     /// Element-wise (Hadamard) product.
     ///
     /// # Panics
