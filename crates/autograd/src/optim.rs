@@ -105,16 +105,17 @@ impl Optimizer for Adam {
             }
         }
 
-        // Sparse (row-wise) updates.
+        // Sparse (row-wise) updates. `grads`, the moments and the parameter
+        // values live in three distinct structures, so the row gradients are
+        // read in place — no per-row clone on the per-batch hot path.
         let sparse_ids: Vec<ParamId> = grads.sparse_ids().collect();
         for id in sparse_ids {
             let shape = params.value(id).shape();
             let sparse = grads.sparse(id).expect("sparse id must have a sparse grad");
-            let rows: Vec<(usize, Vec<f32>)> = sparse.iter().map(|(r, g)| (r, g.to_vec())).collect();
             let (m, v) = self.moments(id, shape);
             let value = params.value_mut(id);
             let cols = shape.1;
-            for (row, grad_row) in rows {
+            for (row, grad_row) in sparse.iter() {
                 for (col, &raw_g) in grad_row.iter().enumerate() {
                     let i = row * cols + col;
                     let g = raw_g + c.weight_decay * value.as_slice()[i];
@@ -162,10 +163,9 @@ impl Optimizer for Sgd {
         let sparse_ids: Vec<ParamId> = grads.sparse_ids().collect();
         for id in sparse_ids {
             let sparse = grads.sparse(id).expect("sparse id must have a sparse grad");
-            let rows: Vec<(usize, Vec<f32>)> = sparse.iter().map(|(r, g)| (r, g.to_vec())).collect();
             let cols = params.value(id).cols();
             let value = params.value_mut(id);
-            for (row, grad_row) in rows {
+            for (row, grad_row) in sparse.iter() {
                 for (col, &raw_g) in grad_row.iter().enumerate() {
                     let i = row * cols + col;
                     let g = raw_g + self.weight_decay * value.as_slice()[i];

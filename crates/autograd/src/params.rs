@@ -153,6 +153,26 @@ impl SparseGrad {
         self.rows.iter().map(|(&r, g)| (r, g.as_slice()))
     }
 
+    /// Folds another sparse gradient into this one, row by row.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn merge(&mut self, other: SparseGrad) {
+        assert_eq!(self.cols, other.cols, "SparseGrad::merge: width mismatch {} vs {}", self.cols, other.cols);
+        for (row, grad) in other.rows {
+            match self.rows.get_mut(&row) {
+                Some(entry) => {
+                    for (e, g) in entry.iter_mut().zip(&grad) {
+                        *e += g;
+                    }
+                }
+                None => {
+                    self.rows.insert(row, grad);
+                }
+            }
+        }
+    }
+
     /// Materialises the sparse gradient as a dense matrix of the given number
     /// of rows (used by gradient checking and tests).
     pub fn to_dense(&self, rows: usize) -> Matrix {
@@ -205,6 +225,32 @@ impl GradStore {
     pub fn accumulate_scaled_row(&mut self, id: ParamId, row: usize, grad: &[f32], scale: f32) {
         let entry = self.sparse.entry(id.0).or_insert_with(|| SparseGrad::new(grad.len()));
         entry.add_scaled_row(row, grad, scale);
+    }
+
+    /// Folds another gradient store into this one (dense gradients add
+    /// element-wise, sparse gradients merge row-wise).
+    ///
+    /// The mini-batched trainer computes per-block gradients — possibly in
+    /// parallel on the worker pool — and merges them **in block order**, so
+    /// the result is deterministic and independent of how many threads ran
+    /// the blocks.
+    pub fn merge(&mut self, other: GradStore) {
+        for (id, grad) in other.dense {
+            match self.dense.get_mut(&id) {
+                Some(existing) => existing.add_assign(&grad),
+                None => {
+                    self.dense.insert(id, grad);
+                }
+            }
+        }
+        for (id, grad) in other.sparse {
+            match self.sparse.get_mut(&id) {
+                Some(existing) => existing.merge(grad),
+                None => {
+                    self.sparse.insert(id, grad);
+                }
+            }
+        }
     }
 
     /// Dense gradient for `id`, if any was accumulated.
@@ -289,6 +335,29 @@ mod tests {
         assert_eq!(total.row(0), &[1.0, 1.0]);
         assert_eq!(total.row(2), &[4.0, 4.0]);
         assert!(grads.contains(v));
+    }
+
+    #[test]
+    fn grad_store_merge_combines_blocks() {
+        let mut params = ParamStore::new();
+        let w = params.add_dense("w", Matrix::zeros(1, 2));
+        let v = params.add_embedding("V", Matrix::zeros(4, 2));
+
+        let mut a = GradStore::new();
+        a.accumulate_dense(w, &Matrix::row_vector(&[1.0, 2.0]));
+        a.accumulate_scaled_row(v, 1, &[1.0, 1.0], 2.0);
+
+        let mut b = GradStore::new();
+        b.accumulate_dense(w, &Matrix::row_vector(&[0.5, -1.0]));
+        b.accumulate_scaled_row(v, 1, &[1.0, 0.0], 1.0);
+        b.accumulate_scaled_row(v, 3, &[0.0, 4.0], 1.0);
+
+        a.merge(b);
+        assert_eq!(a.dense(w).unwrap().as_slice(), &[1.5, 1.0]);
+        let dense = a.sparse(v).unwrap().to_dense(4);
+        assert_eq!(dense.row(1), &[3.0, 2.0]);
+        assert_eq!(dense.row(3), &[0.0, 4.0]);
+        assert_eq!(dense.row(0), &[0.0, 0.0]);
     }
 
     #[test]

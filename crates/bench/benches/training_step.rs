@@ -1,6 +1,8 @@
-//! Cost of one mini-batch BPR training step per method, plus the manual vs
-//! autograd gradient paths for HAM (the fast-path ablation called out in
-//! DESIGN.md §5).
+//! Cost of one epoch of mini-batched BPR training per method, across the
+//! batch sizes the pipeline is designed around (1 = the bit-exact legacy
+//! per-instance path, 32 = one GEMM block per batch, 256 = multi-block
+//! batches), plus the manual vs autograd gradient paths for HAM (the
+//! fast-path ablation called out in DESIGN.md §5).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ham_bench::bench_dataset;
@@ -8,8 +10,8 @@ use ham_core::{train_with_history, HamConfig, HamVariant, TrainConfig};
 use ham_data::dataset::SequenceDataset;
 use std::hint::black_box;
 
-fn one_epoch(data: &SequenceDataset, config: &HamConfig, force_autograd: bool) {
-    let tc = TrainConfig { epochs: 1, batch_size: 256, force_autograd, ..TrainConfig::default() };
+fn one_epoch(data: &SequenceDataset, config: &HamConfig, batch_size: usize, force_autograd: bool) {
+    let tc = TrainConfig { epochs: 1, batch_size, force_autograd, ..TrainConfig::default() };
     let (_, history) = train_with_history(&data.sequences, data.num_items, config, &tc, 3);
     black_box(history);
 }
@@ -24,11 +26,18 @@ fn training_benchmarks(c: &mut Criterion) {
     group.sample_size(10);
 
     let plain = HamConfig::for_variant(HamVariant::HamM).with_dimensions(32, 5, 2, 3, 1);
-    group.bench_function("HAMm_manual_gradients", |b| b.iter(|| one_epoch(&data, &plain, false)));
-    group.bench_function("HAMm_autograd_reference", |b| b.iter(|| one_epoch(&data, &plain, true)));
-
     let synergy = HamConfig::for_variant(HamVariant::HamSM).with_dimensions(32, 5, 2, 3, 3);
-    group.bench_function("HAMs_m_autograd", |b| b.iter(|| one_epoch(&data, &synergy, true)));
+    for batch_size in [1usize, 32, 256] {
+        group.bench_function(format!("HAMm_manual_gradients_b{batch_size}"), |b| {
+            b.iter(|| one_epoch(&data, &plain, batch_size, false))
+        });
+        group.bench_function(format!("HAMm_autograd_reference_b{batch_size}"), |b| {
+            b.iter(|| one_epoch(&data, &plain, batch_size, true))
+        });
+        group.bench_function(format!("HAMs_m_autograd_b{batch_size}"), |b| {
+            b.iter(|| one_epoch(&data, &synergy, batch_size, true))
+        });
+    }
 
     group.bench_function("HGN_autograd", |b| {
         b.iter(|| {

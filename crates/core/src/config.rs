@@ -149,7 +149,10 @@ impl HamConfig {
 pub struct TrainConfig {
     /// Number of passes over all sliding windows.
     pub epochs: usize,
-    /// Number of training windows per parameter update.
+    /// Number of training windows per parameter update (one sparse-row Adam
+    /// step per batch). `1` reproduces instance-at-a-time training bit for
+    /// bit; larger batches route the BPR forward/backward through the
+    /// `Q·Wᵀ` GEMM and rank-1 `axpy_rows` kernels.
     pub batch_size: usize,
     /// Adam learning rate.
     pub learning_rate: f32,
@@ -159,11 +162,26 @@ pub struct TrainConfig {
     /// fast path (the manual path only supports `synergy_order == 1`; with
     /// synergies the autograd path is always used).
     pub force_autograd: bool,
+    /// Upper bound on concurrent gradient tasks per batch: gradient blocks
+    /// are grouped into this many contiguous spans and chunked onto the
+    /// shared work-stealing pool. `1` (the default) computes every block
+    /// inline. Blocks are fixed-size (256 instances on the manual path, 32
+    /// on the autograd path) and merge in batch order, so any thread count
+    /// is bit-identical — and threading only takes effect when `batch_size`
+    /// exceeds the block size (one-block batches always run inline).
+    pub num_threads: usize,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 10, batch_size: 256, learning_rate: 1e-3, weight_decay: 1e-3, force_autograd: false }
+        Self {
+            epochs: 10,
+            batch_size: 256,
+            learning_rate: 1e-3,
+            weight_decay: 1e-3,
+            force_autograd: false,
+            num_threads: 1,
+        }
     }
 }
 

@@ -1,31 +1,65 @@
-//! BPR training of HAM models (Section 4.4 of the paper).
+//! Mini-batched BPR training of HAM models (Section 4.4 of the paper).
 //!
-//! Two training paths produce identical gradients (verified by tests in
+//! The training pipeline is batched end to end: a
+//! [`ham_data::batch::BatchSampler`] shuffles the sliding windows and packs
+//! them — negatives included — into fixed-size mini-batches from one seeded
+//! RNG stream (the instance stream is independent of the batch size), each
+//! batch is split into fixed gradient blocks ([`MANUAL_BLOCK`] /
+//! [`TRAIN_BLOCK`] instances) whose
+//! gradients route through the `Q·Wᵀ` GEMM and rank-1 `axpy_rows` kernels,
+//! and one sparse-row Adam step applies the merged, duplicate-row-coalesced
+//! gradients per batch. With `TrainConfig::num_threads > 1` the blocks of a
+//! batch are computed in parallel on the shared work-stealing pool and merged
+//! in block order, so the result is bit-identical to the single-threaded run.
+//!
+//! Two gradient paths produce identical gradients (verified by tests in
 //! [`manual`]):
 //!
 //! * [`manual`] — analytic gradients of the BPR objective, the fast path used
 //!   for the pooling-only variants (`synergy_order == 1`);
 //! * [`autograd_ref`] — the same objective expressed on the
-//!   [`ham_autograd::Graph`] tape; required for the synergy variants and used
-//!   as the reference implementation in tests.
+//!   [`ham_autograd::Graph`] tape (one batched tape per block); required for
+//!   the synergy variants and used as the reference implementation in tests.
 //!
-//! Both paths share the Adam optimizer (with sparse row updates for the
-//! embedding matrices) and the sliding-window / negative-sampling pipeline
-//! from `ham-data`.
+//! A batch of **one** instance takes the exact legacy per-instance path in
+//! both, so `batch_size = 1` reproduces instance-at-a-time training bit for
+//! bit — pinned, together with GEMM-vs-reference agreement at every batch
+//! size, by the batch-size-invariance proptests below.
 
 pub mod autograd_ref;
 pub mod manual;
 
 use crate::config::{HamConfig, TrainConfig};
 use crate::model::HamModel;
-use ham_autograd::{Adam, AdamConfig, Optimizer, ParamId, ParamStore};
+use ham_autograd::{Adam, AdamConfig, GradStore, Optimizer, ParamId, ParamStore};
+use ham_data::batch::BatchSampler;
+pub(crate) use ham_data::batch::PreparedInstance;
 use ham_data::dataset::ItemId;
-use ham_data::negative::NegativeSampler;
-use ham_data::window::sliding_windows;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Instances per autograd gradient block: the span of one batched tape and
+/// the unit of work the threaded trainer schedules for the synergy variants.
+/// Fixed (rather than derived from the batch or thread count) so results
+/// never depend on either.
+pub(crate) const TRAIN_BLOCK: usize = 32;
+
+/// Instances per manual-path GEMM block. The score GEMM is `block × unique
+/// candidates`, and the unique-candidate count grows with the block, so the
+/// wasted rectangle grows quadratically — a smaller block keeps the
+/// `Q·Cᵀ` product tight while gradient coalescing still happens batch-wide
+/// in the merged `GradStore`. Fixed for the same determinism reason as
+/// [`TRAIN_BLOCK`].
+pub(crate) const MANUAL_BLOCK: usize = 256;
+
+/// The block length a batch is partitioned into for the given gradient path.
+pub(crate) fn block_len(use_autograd: bool) -> usize {
+    if use_autograd {
+        TRAIN_BLOCK
+    } else {
+        MANUAL_BLOCK
+    }
+}
 
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,6 +70,11 @@ pub struct EpochStats {
     pub mean_loss: f32,
     /// Number of sliding-window instances processed.
     pub num_instances: usize,
+    /// The mini-batch size the epoch trained with.
+    pub batch_size: usize,
+    /// Training throughput: (positive, negative) BPR pairs per second over
+    /// the epoch's wall time.
+    pub pairs_per_sec: f64,
 }
 
 /// The model parameters registered in a [`ParamStore`] for training.
@@ -62,19 +101,18 @@ impl HamParams {
     }
 }
 
-/// One sliding-window instance with its low-order sub-window and sampled
-/// negatives, ready for a gradient step.
-#[derive(Debug, Clone)]
-pub(crate) struct PreparedInstance {
-    pub(crate) user: usize,
-    /// The `n_h` input items.
-    pub(crate) input: Vec<ItemId>,
-    /// The last `n_l` input items (empty when the low-order term is ablated).
-    pub(crate) low: Vec<ItemId>,
-    /// The `n_p` positive target items.
-    pub(crate) targets: Vec<ItemId>,
-    /// One sampled negative per target.
-    pub(crate) negatives: Vec<ItemId>,
+/// Whether every instance of the batch has the same window/target widths (the
+/// precondition of the blocked GEMM and batched-tape paths; always true for
+/// batches from [`BatchSampler`]).
+pub(crate) fn uniform_shapes(batch: &[PreparedInstance]) -> bool {
+    let Some(first) = batch.first() else { return false };
+    batch.iter().all(|i| {
+        i.input.len() == first.input.len()
+            && i.low.len() == first.low.len()
+            && i.targets.len() == first.targets.len()
+            && i.negatives.len() == i.targets.len()
+            && !i.targets.is_empty()
+    })
 }
 
 /// Trains a HAM model on per-user training sequences and returns it.
@@ -100,24 +138,38 @@ pub fn train_with_history(
     train_config: &TrainConfig,
     seed: u64,
 ) -> (HamModel, Vec<EpochStats>) {
+    train_impl(train_sequences, num_items, config, train_config, seed, false)
+}
+
+/// The training pipeline; `force_reference` swaps the blocked GEMM /
+/// batched-tape gradients for the legacy per-instance paths (the batch-size-
+/// invariance tests train both ways and compare the resulting models).
+pub(crate) fn train_impl(
+    train_sequences: &[Vec<ItemId>],
+    num_items: usize,
+    config: &HamConfig,
+    train_config: &TrainConfig,
+    seed: u64,
+    force_reference: bool,
+) -> (HamModel, Vec<EpochStats>) {
     config.validate();
     assert!(!train_sequences.is_empty(), "train: need at least one user sequence");
     let num_users = train_sequences.len();
     let mut model = HamModel::new(num_users, num_items, *config, seed);
     let mut params = HamParams::from_model(&model);
 
-    let windows = sliding_windows(train_sequences, config.n_h, config.n_p);
-    let samplers: Vec<Option<NegativeSampler>> = train_sequences
-        .iter()
-        .map(|seq| {
-            let distinct: std::collections::HashSet<ItemId> = seq.iter().copied().collect();
-            if distinct.len() < num_items {
-                Some(NegativeSampler::new(num_items, distinct))
-            } else {
-                None
-            }
-        })
-        .collect();
+    let batch_size = train_config.batch_size.max(1);
+    // Mix a fixed marker into the seed so training noise (shuffling, negative
+    // sampling) is decoupled from the model-initialisation noise.
+    let mut sampler = BatchSampler::new(
+        train_sequences,
+        num_items,
+        config.n_h,
+        config.n_p,
+        config.n_l,
+        batch_size,
+        seed ^ 0x7A21_55ED,
+    );
 
     let use_autograd = config.uses_synergies() || train_config.force_autograd;
     let mut adam = Adam::new(AdamConfig {
@@ -125,53 +177,29 @@ pub fn train_with_history(
         weight_decay: train_config.weight_decay,
         ..AdamConfig::default()
     });
-    // Mix a fixed marker into the seed so training noise (shuffling, negative
-    // sampling) is decoupled from the model-initialisation noise.
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7A21_55ED);
     let mut history = Vec::with_capacity(train_config.epochs);
 
-    let mut order: Vec<usize> = (0..windows.len()).collect();
     for epoch in 1..=train_config.epochs {
-        order.shuffle(&mut rng);
+        let started = Instant::now();
+        sampler.start_epoch();
         let mut epoch_loss = 0.0f64;
+        let mut instances = 0usize;
         let mut pairs = 0usize;
-        for chunk in order.chunks(train_config.batch_size.max(1)) {
-            let batch: Vec<PreparedInstance> = chunk
-                .iter()
-                .filter_map(|&idx| {
-                    let w = &windows[idx];
-                    let sampler = samplers[w.user].as_ref()?;
-                    let negatives = sampler.sample_many(w.targets.len(), &mut rng);
-                    let low = if config.n_l > 0 {
-                        w.input[w.input.len().saturating_sub(config.n_l)..].to_vec()
-                    } else {
-                        Vec::new()
-                    };
-                    Some(PreparedInstance {
-                        user: w.user,
-                        input: w.input.clone(),
-                        low,
-                        targets: w.targets.clone(),
-                        negatives,
-                    })
-                })
-                .collect();
-            if batch.is_empty() {
-                continue;
-            }
-            let (grads, loss) = if use_autograd {
-                autograd_ref::batch_gradients(&params, &batch, config)
-            } else {
-                manual::batch_gradients(&params, &batch, config)
-            };
+        while let Some(batch) = sampler.next_batch() {
+            let (grads, loss) =
+                compute_batch_gradients(&params, batch, config, train_config, use_autograd, force_reference);
             adam.step(&mut params.store, &grads);
             epoch_loss += loss as f64 * batch.len() as f64;
-            pairs += batch.len();
+            instances += batch.len();
+            pairs += batch.iter().map(|i| i.targets.len()).sum::<usize>();
         }
+        let seconds = started.elapsed().as_secs_f64();
         history.push(EpochStats {
             epoch,
-            mean_loss: if pairs > 0 { (epoch_loss / pairs as f64) as f32 } else { 0.0 },
-            num_instances: pairs,
+            mean_loss: if instances > 0 { (epoch_loss / instances as f64) as f32 } else { 0.0 },
+            num_instances: instances,
+            batch_size,
+            pairs_per_sec: if seconds > 0.0 { pairs as f64 / seconds } else { 0.0 },
         });
     }
 
@@ -179,15 +207,112 @@ pub fn train_with_history(
     (model, history)
 }
 
+/// Gradients and mean loss of one batch, optionally chunking the gradient
+/// blocks onto the shared worker pool. Blocks are always [`block_len`]
+/// instances and always merge in block order, so the thread count never
+/// changes the result; at most `num_threads` tasks run concurrently (blocks
+/// are grouped into `num_threads` contiguous spans, one pool task each).
+fn compute_batch_gradients(
+    params: &HamParams,
+    batch: &[PreparedInstance],
+    config: &HamConfig,
+    train_config: &TrainConfig,
+    use_autograd: bool,
+    force_reference: bool,
+) -> (GradStore, f32) {
+    if force_reference {
+        return if use_autograd {
+            autograd_ref::batch_gradients_reference(params, batch, config)
+        } else {
+            manual::batch_gradients_reference(params, batch, config)
+        };
+    }
+    let threads = train_config.num_threads.max(1);
+    let block = block_len(use_autograd);
+    if threads > 1 && batch.len() > block && uniform_shapes(batch) {
+        let batch_scale = 1.0f32 / batch.len() as f32;
+        let blocks: Vec<&[PreparedInstance]> = batch.chunks(block).collect();
+        let mut results: Vec<Option<(GradStore, f64)>> = blocks.iter().map(|_| None).collect();
+        // One pool task per contiguous group of blocks bounds concurrency at
+        // `num_threads`; the grouping cannot affect results because every
+        // block is computed independently and merged by batch position.
+        let group = blocks.len().div_ceil(threads);
+        ham_tensor::pool::global_pool().scope(|scope| {
+            for (slots, group_blocks) in results.chunks_mut(group).zip(blocks.chunks(group)) {
+                scope.spawn(move || {
+                    for (slot, &block) in slots.iter_mut().zip(group_blocks) {
+                        *slot = Some(if use_autograd {
+                            autograd_ref::block_gradients(params, block, config, batch_scale)
+                        } else {
+                            manual::block_gradients(params, block, config, batch_scale)
+                        });
+                    }
+                });
+            }
+        });
+        let mut grads = GradStore::new();
+        let mut loss = 0.0f64;
+        for result in results {
+            let (block_grads, block_loss) = result.expect("every block task writes its slot");
+            grads.merge(block_grads);
+            loss += block_loss;
+        }
+        (grads, loss as f32)
+    } else if use_autograd {
+        autograd_ref::batch_gradients(params, batch, config)
+    } else {
+        manual::batch_gradients(params, batch, config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::HamVariant;
     use ham_data::synthetic::DatasetProfile;
+    use proptest::prelude::*;
 
     fn tiny_training_setup() -> (Vec<Vec<ItemId>>, usize) {
         let data = DatasetProfile::tiny("train-test").generate(5);
         (data.sequences.clone(), data.num_items)
+    }
+
+    fn all_variants() -> [HamVariant; 6] {
+        [
+            HamVariant::HamX,
+            HamVariant::HamM,
+            HamVariant::HamSX,
+            HamVariant::HamSM,
+            HamVariant::HamSMNoLowOrder,
+            HamVariant::HamSMNoUser,
+        ]
+    }
+
+    fn variant_config(variant: HamVariant) -> HamConfig {
+        let base = HamConfig::for_variant(variant);
+        let order = base.synergy_order.min(2);
+        let mut config = base.with_dimensions(8, 4, base.n_l.min(2), 2, order);
+        if matches!(variant, HamVariant::HamSMNoLowOrder) {
+            config.n_l = 0;
+        }
+        config
+    }
+
+    fn max_model_diff(a: &HamModel, b: &HamModel) -> f32 {
+        let mut diff = 0.0f32;
+        for (x, y) in [(&a.user_emb, &b.user_emb), (&a.item_emb_in, &b.item_emb_in), (&a.item_emb_out, &b.item_emb_out)]
+        {
+            for (p, q) in x.as_slice().iter().zip(y.as_slice()) {
+                diff = diff.max((p - q).abs());
+            }
+        }
+        diff
+    }
+
+    fn models_bit_identical(a: &HamModel, b: &HamModel) -> bool {
+        [(&a.user_emb, &b.user_emb), (&a.item_emb_in, &b.item_emb_in), (&a.item_emb_out, &b.item_emb_out)]
+            .iter()
+            .all(|(x, y)| x.as_slice().iter().zip(y.as_slice()).all(|(p, q)| p.to_bits() == q.to_bits()))
     }
 
     #[test]
@@ -200,6 +325,30 @@ mod tests {
         let first = history.first().unwrap().mean_loss;
         let last = history.last().unwrap().mean_loss;
         assert!(last < first, "loss should decrease: first {first}, last {last}");
+    }
+
+    #[test]
+    fn epoch_stats_report_throughput_and_batch_size() {
+        let (seqs, num_items) = tiny_training_setup();
+        let config = HamConfig::for_variant(HamVariant::HamM).with_dimensions(8, 4, 2, 2, 1);
+        let tc = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+        let (_, history) = train_with_history(&seqs, num_items, &config, &tc, 7);
+        let stats = history[0];
+        assert_eq!(stats.batch_size, 32);
+        assert!(stats.num_instances > 0);
+        assert!(stats.pairs_per_sec > 0.0, "throughput must be positive: {stats:?}");
+    }
+
+    #[test]
+    fn epoch_stats_serde_round_trip() {
+        let stats =
+            EpochStats { epoch: 3, mean_loss: 0.451, num_instances: 1234, batch_size: 64, pairs_per_sec: 98765.4321 };
+        let json = serde_json::to_string(&stats).expect("serialize EpochStats");
+        for field in ["epoch", "mean_loss", "num_instances", "batch_size", "pairs_per_sec"] {
+            assert!(json.contains(field), "serialized stats must contain {field}: {json}");
+        }
+        let back: EpochStats = serde_json::from_str(&json).expect("deserialize EpochStats");
+        assert_eq!(stats, back);
     }
 
     #[test]
@@ -231,6 +380,65 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max);
         assert!(diff < 1e-3, "manual and autograd training diverged: max diff {diff}");
+    }
+
+    #[test]
+    fn batch_size_one_training_bit_matches_the_reference_pipeline() {
+        let (seqs, num_items) = tiny_training_setup();
+        for variant in [HamVariant::HamM, HamVariant::HamSM] {
+            let config = variant_config(variant);
+            let tc = TrainConfig { epochs: 1, batch_size: 1, ..TrainConfig::default() };
+            let (fast, _) = train_impl(&seqs, num_items, &config, &tc, 13, false);
+            let (reference, _) = train_impl(&seqs, num_items, &config, &tc, 13, true);
+            assert!(
+                models_bit_identical(&fast, &reference),
+                "{variant:?}: batch_size=1 must reproduce the per-instance path bit for bit"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_trained_model() {
+        let (seqs, num_items) = tiny_training_setup();
+        for variant in [HamVariant::HamM, HamVariant::HamSM] {
+            let config = variant_config(variant);
+            // The batch must span several gradient blocks on *both* paths
+            // (manual blocks are MANUAL_BLOCK instances, autograd blocks
+            // TRAIN_BLOCK) or the threaded branch silently runs inline.
+            let batch_size = MANUAL_BLOCK + 44;
+            let windows = BatchSampler::new(&seqs, num_items, config.n_h, config.n_p, config.n_l, 1, 0).num_instances();
+            assert!(windows > batch_size, "dataset too small to exercise the threaded path");
+            let single = TrainConfig { epochs: 1, batch_size, ..TrainConfig::default() };
+            let threaded = TrainConfig { num_threads: 3, ..single };
+            let (a, _) = train_with_history(&seqs, num_items, &config, &single, 5);
+            let (b, _) = train_with_history(&seqs, num_items, &config, &threaded, 5);
+            assert!(models_bit_identical(&a, &b), "{variant:?}: threading must be bit-deterministic");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Batch-size invariance: for any batch size, one epoch through the
+        /// batched GEMM / batched-tape pipeline lands within 1e-5 of one
+        /// epoch through the legacy per-instance reference paths, for every
+        /// HAM variant (identical instance stream by the sampler's
+        /// determinism contract; batch_size = 1 is additionally bit-exact —
+        /// see `batch_size_one_training_bit_matches_the_reference_pipeline`).
+        #[test]
+        fn any_batch_size_matches_the_reference_pipeline(batch_size in 1usize..80, variant_idx in 0usize..6, seed in 0u64..32) {
+            let (seqs, num_items) = tiny_training_setup();
+            let variant = all_variants()[variant_idx];
+            let config = variant_config(variant);
+            let tc = TrainConfig { epochs: 1, batch_size, ..TrainConfig::default() };
+            let (fast, _) = train_impl(&seqs, num_items, &config, &tc, seed, false);
+            let (reference, _) = train_impl(&seqs, num_items, &config, &tc, seed, true);
+            let diff = max_model_diff(&fast, &reference);
+            prop_assert!(diff <= 1e-5, "{variant:?} batch_size={batch_size} seed={seed}: diff {diff}");
+            if batch_size == 1 {
+                prop_assert!(models_bit_identical(&fast, &reference), "{variant:?}: batch_size=1 must be bit-exact");
+            }
+        }
     }
 
     #[test]

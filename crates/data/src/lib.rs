@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod dataset;
 pub mod interaction;
 pub mod loader;
@@ -44,6 +45,7 @@ pub mod stats;
 pub mod synthetic;
 pub mod window;
 
+pub use batch::{BatchSampler, PreparedInstance};
 pub use dataset::SequenceDataset;
 pub use interaction::Interaction;
 pub use negative::NegativeSampler;

@@ -54,6 +54,20 @@ impl NegativeSampler {
         (0..k).map(|_| self.sample(rng)).collect()
     }
 
+    /// Fills a caller-provided buffer with one negative per slot (with
+    /// replacement across draws). The allocation-free form of
+    /// [`Self::sample_many`]: batch assembly reuses one buffer per instance
+    /// slot instead of allocating a fresh `Vec` per training window.
+    ///
+    /// Draws items from the same stream as [`Self::sample`], so filling a
+    /// buffer of `k` slots consumes exactly the randomness of `k` single
+    /// draws.
+    pub fn sample_batch(&self, out: &mut [ItemId], rng: &mut impl Rng) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+
     /// Whether the user has interacted with `item`.
     pub fn is_seen(&self, item: ItemId) -> bool {
         self.seen.contains(&item)
@@ -83,6 +97,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(sampler.sample_many(7, &mut rng).len(), 7);
         assert_eq!(sampler.num_candidates(), 9);
+    }
+
+    #[test]
+    fn sample_batch_fills_buffer_from_the_same_stream() {
+        let sampler = NegativeSampler::new(50, vec![1, 2, 3, 4, 5]);
+        let mut buf = [0usize; 7];
+        let mut rng = StdRng::seed_from_u64(3);
+        sampler.sample_batch(&mut buf, &mut rng);
+        assert!(buf.iter().all(|&s| !sampler.is_seen(s) && s < 50));
+        // identical stream to sample_many under the same seed
+        let mut rng2 = StdRng::seed_from_u64(3);
+        assert_eq!(buf.to_vec(), sampler.sample_many(7, &mut rng2));
     }
 
     #[test]

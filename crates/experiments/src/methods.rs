@@ -175,7 +175,7 @@ impl Method {
                     batch_size: config.batch_size,
                     learning_rate: config.learning_rate,
                     weight_decay: config.weight_decay,
-                    force_autograd: false,
+                    ..TrainConfig::default()
                 };
                 TrainedMethod::Ham(train_ham(train_sequences, num_items, &ham_cfg, &train_cfg, config.seed))
             }

@@ -51,7 +51,7 @@ pub fn run_param_study(profile: &DatasetProfile, config: &ExperimentConfig) -> V
             batch_size: config.batch_size,
             learning_rate: config.learning_rate,
             weight_decay: config.weight_decay,
-            force_autograd: false,
+            ..TrainConfig::default()
         };
         let model = train(&train_sequences, split.num_items, &ham_cfg, &train_cfg, config.seed);
         let report = evaluate_trained(&crate::methods::TrainedMethod::Ham(model), &split, &eval_cfg);

@@ -71,7 +71,7 @@ pub fn grid_search(split: &DataSplit, grid: &[HamConfig], config: &ExperimentCon
         batch_size: config.batch_size,
         learning_rate: config.learning_rate,
         weight_decay: config.weight_decay,
-        force_autograd: false,
+        ..TrainConfig::default()
     };
     let selection_eval =
         EvalConfig { include_validation_in_history: false, num_threads: config.eval_threads, ..EvalConfig::default() };

@@ -180,6 +180,41 @@ fn gemm_panel_rows<const R: usize>(
     }
 }
 
+/// `out += alpha * x`: one FMA per 8-float lane with a scalar-FMA tail. Each
+/// output element is a single `fma(alpha, x, out)` — there is no accumulation
+/// chain to reassociate, so the update is position-independent by
+/// construction.
+#[target_feature(enable = "avx2,fma")]
+pub(super) fn axpy(out: &mut [f32], alpha: f32, x: &[f32]) {
+    let len = out.len().min(x.len());
+    let av = _mm256_set1_ps(alpha);
+    let mut k = 0;
+    while k + 8 <= len {
+        // SAFETY: `k + 8 <= len` bounds the two unaligned loads and the store.
+        unsafe {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(k));
+            let ov = _mm256_loadu_ps(out.as_ptr().add(k));
+            _mm256_storeu_ps(out.as_mut_ptr().add(k), _mm256_fmadd_ps(av, xv, ov));
+        }
+        k += 8;
+    }
+    for (o, &xv) in out[k..len].iter_mut().zip(&x[k..len]) {
+        *o = alpha.mul_add(xv, *o);
+    }
+}
+
+/// Batched scatter of rank-1 row updates (see the portable tier); every row
+/// update is one [`axpy`] over `d` columns.
+#[target_feature(enable = "avx2,fma")]
+pub(super) fn axpy_rows(dst: &mut Matrix, dst_rows: &[usize], scales: &[f32], src: &Matrix, src_rows: &[usize]) {
+    let d = src.cols();
+    let src_data = src.as_slice();
+    let dst_data = dst.as_mut_slice();
+    for ((&dr, &scale), &sr) in dst_rows.iter().zip(scales).zip(src_rows) {
+        axpy(&mut dst_data[dr * d..(dr + 1) * d], scale, &src_data[sr * d..(sr + 1) * d]);
+    }
+}
+
 /// `a · b` into `out` (overwrites): per-row 32-wide FMA register tiles over
 /// the output, with the same dense/sparse row split as the portable tier —
 /// the dense inner loop has no zero test, sparse (one-hot / masked) rows

@@ -131,10 +131,24 @@ pub(super) fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     }
 }
 
-/// `out += alpha * b`, the branch-free inner row update of [`matmul_into`].
+/// `out += alpha * b` — the branch-free inner row update of [`matmul_into`]
+/// and, as a public kernel through the dispatcher, the rank-1 row update the
+/// batched BPR trainer accumulates its gradients with.
 #[inline]
-fn axpy(out: &mut [f32], alpha: f32, b: &[f32]) {
+pub(super) fn axpy(out: &mut [f32], alpha: f32, b: &[f32]) {
     for (o, &bv) in out.iter_mut().zip(b) {
         *o += alpha * bv;
+    }
+}
+
+/// Batched scatter of rank-1 row updates:
+/// `dst.row(dst_rows[p]) += scales[p] * src.row(src_rows[p])` for every `p`.
+/// The shapes were validated by the dispatcher.
+pub(super) fn axpy_rows(dst: &mut Matrix, dst_rows: &[usize], scales: &[f32], src: &Matrix, src_rows: &[usize]) {
+    let d = src.cols();
+    let src_data = src.as_slice();
+    let dst_data = dst.as_mut_slice();
+    for ((&dr, &scale), &sr) in dst_rows.iter().zip(scales).zip(src_rows) {
+        axpy(&mut dst_data[dr * d..(dr + 1) * d], scale, &src_data[sr * d..(sr + 1) * d]);
     }
 }

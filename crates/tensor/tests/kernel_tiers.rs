@@ -8,8 +8,8 @@
 //! under the variable) and `force_tier` overrides in-process.
 
 use ham_tensor::kernels::{
-    active_tier, dot_with_tier, matmul_transposed_with_tier, matmul_with_tier, matvec_transposed_into_with_tier,
-    KernelTier,
+    active_tier, axpy_rows_with_tier, axpy_with_tier, dot_with_tier, matmul_transposed_with_tier, matmul_with_tier,
+    matvec_transposed_into_with_tier, KernelTier,
 };
 use ham_tensor::Matrix;
 use proptest::prelude::*;
@@ -108,6 +108,39 @@ proptest! {
         let fast = matmul_with_tier(simd, &a, &b);
         prop_assert_eq!(reference.as_slice(), fast.as_slice());
     }
+
+    #[test]
+    fn axpy_tiers_agree_on_floats(values in proptest::collection::vec(-4.0f32..4.0, 0..40), alpha in -2.0f32..2.0) {
+        let Some(simd) = simd_tier() else { return };
+        let x = values.clone();
+        let base: Vec<f32> = values.iter().rev().map(|v| v * 0.5 - 0.25).collect();
+        let mut reference = base.clone();
+        let mut fast = base;
+        axpy_with_tier(KernelTier::Portable, &mut reference, alpha, &x);
+        axpy_with_tier(simd, &mut fast, alpha, &x);
+        for j in 0..x.len() {
+            prop_assert!(close(reference[j], fast[j]), "len {} j={j}: {} vs {}", x.len(), reference[j], fast[j]);
+        }
+    }
+
+    #[test]
+    fn axpy_rows_tiers_agree_on_floats(rows in 1usize..12, d in 1usize..40, pairs in 1usize..24, seed in 0usize..64) {
+        let Some(simd) = simd_tier() else { return };
+        let src = float_matrix(rows, d, &[0.6, -0.4, 1.2]);
+        // pseudo-random scatter pattern with deliberate duplicate destinations
+        let dst_rows: Vec<usize> = (0..pairs).map(|p| (p * 7 + seed) % rows).collect();
+        let src_rows: Vec<usize> = (0..pairs).map(|p| (p * 5 + seed / 2) % rows).collect();
+        let scales: Vec<f32> = (0..pairs).map(|p| ((p + seed) as f32 * 0.37).sin()).collect();
+        let mut reference = float_matrix(rows, d, &[0.2, 0.9, -0.7]);
+        let mut fast = reference.clone();
+        axpy_rows_with_tier(KernelTier::Portable, &mut reference, &dst_rows, &scales, &src, &src_rows);
+        axpy_rows_with_tier(simd, &mut fast, &dst_rows, &scales, &src, &src_rows);
+        for i in 0..rows {
+            for c in 0..d {
+                prop_assert!(close(reference.get(i, c), fast.get(i, c)), "({rows},{d},{pairs}) at ({i},{c})");
+            }
+        }
+    }
 }
 
 /// Bit-exactness on integer-valued inputs, all four kernels, every tail
@@ -121,6 +154,12 @@ fn tiers_are_bit_exact_on_integer_values() {
         let portable = dot_with_tier(KernelTier::Portable, &a, &b);
         let fast = dot_with_tier(simd, &a, &b);
         assert_eq!(portable.to_bits(), fast.to_bits(), "dot len {len}");
+
+        let mut axpy_ref = b.clone();
+        let mut axpy_fast = b.clone();
+        axpy_with_tier(KernelTier::Portable, &mut axpy_ref, 3.0, &a);
+        axpy_with_tier(simd, &mut axpy_fast, 3.0, &a);
+        assert_eq!(axpy_ref, axpy_fast, "axpy len {len}");
     }
     for (m, n, d) in [(1, 1, 1), (3, 17, 5), (4, 33, 39), (5, 130, 8), (7, 40, 32), (2, 16, 16)] {
         let a = integer_matrix(m, d, 1);
