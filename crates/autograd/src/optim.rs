@@ -27,11 +27,33 @@ pub struct AdamConfig {
     pub epsilon: f32,
     /// Decoupled L2 weight decay (the paper's `λ‖Θ‖²` regularizer).
     pub weight_decay: f32,
+    /// Bias-correct each sparse row by its **own** update count instead of
+    /// the optimizer's global step count.
+    ///
+    /// With the default global correction, a row whose moments are lazily
+    /// created at global step `t` is divided by `1 - βᵗ ≈ 1`, so a cold row
+    /// warm-started late (an item first seen mid-stream in online training)
+    /// gets an effectively *uncorrected* — i.e. several times oversized —
+    /// first update. Per-row correction gives every row the same damped
+    /// first-step magnitude it would have had at step 1.
+    ///
+    /// `false` by default: offline training from scratch touches hot rows
+    /// within the first few steps, where the two schemes are numerically
+    /// close, and the batched-trainer bit-exactness pins rely on the global
+    /// behaviour. The online trainer turns this on.
+    pub per_row_bias_correction: bool,
 }
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        Self { learning_rate: 1e-3, beta1: 0.9, beta2: 0.999, epsilon: 1e-8, weight_decay: 1e-3 }
+        Self {
+            learning_rate: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            weight_decay: 1e-3,
+            per_row_bias_correction: false,
+        }
     }
 }
 
@@ -48,17 +70,50 @@ pub struct Adam {
     /// First / second moment estimates, keyed by parameter index.
     m: HashMap<usize, Matrix>,
     v: HashMap<usize, Matrix>,
+    /// Per-row update counts of sparse tables, keyed by parameter index;
+    /// only maintained when [`AdamConfig::per_row_bias_correction`] is on.
+    row_steps: HashMap<usize, Vec<u64>>,
+}
+
+/// A snapshot of an [`Adam`] optimizer's mutable state (step counter, moment
+/// estimates, per-row step counts), used to warm-start a later training run
+/// — e.g. the next incremental round of an online trainer, or the same
+/// stream resumed in a fresh process.
+#[derive(Debug, Clone, Default)]
+pub struct AdamState {
+    step: u64,
+    m: HashMap<usize, Matrix>,
+    v: HashMap<usize, Matrix>,
+    row_steps: HashMap<usize, Vec<u64>>,
+}
+
+impl AdamState {
+    /// The global step count recorded in this snapshot.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
 }
 
 impl Adam {
     /// Creates an Adam optimizer with the given configuration.
     pub fn new(config: AdamConfig) -> Self {
-        Self { config, step: 0, m: HashMap::new(), v: HashMap::new() }
+        Self { config, step: 0, m: HashMap::new(), v: HashMap::new(), row_steps: HashMap::new() }
     }
 
     /// Creates an Adam optimizer with [`AdamConfig::default`].
     pub fn with_defaults() -> Self {
         Self::new(AdamConfig::default())
+    }
+
+    /// Recreates an optimizer from a state snapshot: stepping the resumed
+    /// optimizer is bit-identical to stepping the one that exported `state`.
+    pub fn resume(config: AdamConfig, state: AdamState) -> Self {
+        Self { config, step: state.step, m: state.m, v: state.v, row_steps: state.row_steps }
+    }
+
+    /// Snapshots the optimizer's mutable state for a later [`Adam::resume`].
+    pub fn export_state(&self) -> AdamState {
+        AdamState { step: self.step, m: self.m.clone(), v: self.v.clone(), row_steps: self.row_steps.clone() }
     }
 
     /// The number of steps taken so far.
@@ -71,9 +126,17 @@ impl Adam {
         &self.config
     }
 
+    /// The moment matrices of `id`, created on first touch and grown row-wise
+    /// (zero-filled, like a fresh lazy row) when the parameter gained rows
+    /// since the last step — embedding tables grow when unseen users/items
+    /// arrive in an online stream.
     fn moments(&mut self, id: ParamId, shape: (usize, usize)) -> (&mut Matrix, &mut Matrix) {
         let m = self.m.entry(id.index()).or_insert_with(|| Matrix::zeros(shape.0, shape.1));
         let v = self.v.entry(id.index()).or_insert_with(|| Matrix::zeros(shape.0, shape.1));
+        if m.rows() < shape.0 {
+            m.resize_rows(shape.0);
+            v.resize_rows(shape.0);
+        }
         (m, v)
     }
 }
@@ -112,10 +175,35 @@ impl Optimizer for Adam {
         for id in sparse_ids {
             let shape = params.value(id).shape();
             let sparse = grads.sparse(id).expect("sparse id must have a sparse grad");
-            let (m, v) = self.moments(id, shape);
+            // Disjoint field borrows (the `moments` method would tie up all
+            // of `self`, and the per-row step counts live in a third map).
+            let m = self.m.entry(id.index()).or_insert_with(|| Matrix::zeros(shape.0, shape.1));
+            let v = self.v.entry(id.index()).or_insert_with(|| Matrix::zeros(shape.0, shape.1));
+            if m.rows() < shape.0 {
+                m.resize_rows(shape.0);
+                v.resize_rows(shape.0);
+            }
+            let mut row_steps = c.per_row_bias_correction.then(|| {
+                let steps = self.row_steps.entry(id.index()).or_default();
+                if steps.len() < shape.0 {
+                    steps.resize(shape.0, 0);
+                }
+                steps
+            });
             let value = params.value_mut(id);
             let cols = shape.1;
             for (row, grad_row) in sparse.iter() {
+                // Each row appears at most once per gradient store, so the
+                // per-row counts are independent of the (unspecified) sparse
+                // iteration order.
+                let (bias1, bias2) = match row_steps.as_mut() {
+                    Some(steps) => {
+                        steps[row] += 1;
+                        let rt = steps[row] as f32;
+                        (1.0 - c.beta1.powf(rt), 1.0 - c.beta2.powf(rt))
+                    }
+                    None => (bias1, bias2),
+                };
                 for (col, &raw_g) in grad_row.iter().enumerate() {
                     let i = row * cols + col;
                     let g = raw_g + c.weight_decay * value.as_slice()[i];
@@ -228,6 +316,95 @@ mod tests {
         // the touched row moved opposite to the gradient sign
         assert!(value.get(1, 0) < 1.0);
         assert!(value.get(1, 1) > 1.0);
+    }
+
+    /// Trains row 0 for `steps - 1` steps, then touches row 1 for the first
+    /// time on the final global step (same gradient as row 0's first step).
+    /// Returns the first-update magnitudes of (row 0 at step 1, row 1 at
+    /// step `steps`).
+    fn cold_row_first_updates(steps: usize, per_row: bool) -> (f32, f32) {
+        let mut params = ParamStore::new();
+        let v = params.add_embedding("V", Matrix::zeros(2, 1));
+        let config = AdamConfig { weight_decay: 0.0, per_row_bias_correction: per_row, ..Default::default() };
+        let mut adam = Adam::new(config);
+        let g = Matrix::row_vector(&[0.5]);
+        let mut first_update_row0 = 0.0;
+        for step in 1..=steps {
+            let mut grads = GradStore::new();
+            grads.accumulate_sparse(v, &[0], &g);
+            if step == steps {
+                grads.accumulate_sparse(v, &[1], &g);
+            }
+            adam.step(&mut params, &grads);
+            if step == 1 {
+                first_update_row0 = params.value(v).get(0, 0).abs();
+            }
+        }
+        (first_update_row0, params.value(v).get(1, 0).abs())
+    }
+
+    /// The cold-row bugfix: with per-row bias correction, a row first touched
+    /// at a late global step gets exactly the damped first update a row
+    /// touched at step 1 gets; with the global correction its first update is
+    /// oversized by up to `(1-β₁)/√(1-β₂) ≈ 3.16x`.
+    #[test]
+    fn per_row_correction_equalises_cold_row_first_updates() {
+        for steps in [100, 2000] {
+            let (warm, cold) = cold_row_first_updates(steps, true);
+            assert_eq!(warm.to_bits(), cold.to_bits(), "per-row: cold row at step {steps} must match step 1 exactly");
+        }
+        // Contrast: under the global correction the same cold row's first
+        // update is several times too large once `1 - β₂ᵗ` has saturated.
+        let (warm, cold) = cold_row_first_updates(2000, false);
+        assert!(cold > 2.0 * warm, "global correction should overshoot cold rows: warm {warm}, cold {cold}");
+    }
+
+    /// Resuming from an exported state is bit-identical to never pausing.
+    #[test]
+    fn export_and_resume_match_uninterrupted_training() {
+        let grad = Matrix::row_vector(&[0.3, -0.7]);
+        let run = |resume_at: Option<usize>| {
+            let mut params = ParamStore::new();
+            let v = params.add_embedding("V", Matrix::full(3, 2, 1.0));
+            let config = AdamConfig { per_row_bias_correction: true, ..Default::default() };
+            let mut adam = Adam::new(config);
+            for step in 0..20 {
+                if resume_at == Some(step) {
+                    adam = Adam::resume(config, adam.export_state());
+                }
+                let mut grads = GradStore::new();
+                grads.accumulate_sparse(v, &[step % 3], &grad);
+                adam.step(&mut params, &grads);
+            }
+            (adam.steps(), params.value(v).clone())
+        };
+        let (steps_a, a) = run(None);
+        let (steps_b, b) = run(Some(11));
+        assert_eq!(steps_a, steps_b);
+        assert!(a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    /// Growing an embedding table between steps grows the moment matrices
+    /// too; the new rows behave like freshly lazy-created ones.
+    #[test]
+    fn moments_grow_with_the_parameter_table() {
+        let mut params = ParamStore::new();
+        let v = params.add_embedding("V", Matrix::zeros(2, 2));
+        let config = AdamConfig { weight_decay: 0.0, per_row_bias_correction: true, ..Default::default() };
+        let mut adam = Adam::new(config);
+        let g = Matrix::row_vector(&[1.0, -1.0]);
+        let mut grads = GradStore::new();
+        grads.accumulate_sparse(v, &[0], &g);
+        adam.step(&mut params, &grads);
+        let first_update = params.value(v).get(0, 0).abs();
+        // the table gains two rows mid-stream
+        params.append_rows(v, &Matrix::zeros(2, 2));
+        let mut grads = GradStore::new();
+        grads.accumulate_sparse(v, &[3], &g);
+        adam.step(&mut params, &grads);
+        let grown_update = params.value(v).get(3, 0).abs();
+        assert_eq!(first_update.to_bits(), grown_update.to_bits(), "a grown row's first update matches a cold start");
+        assert_eq!(params.value(v).row(2), &[0.0, 0.0], "untouched grown row stays zero");
     }
 
     #[test]

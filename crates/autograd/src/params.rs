@@ -88,6 +88,17 @@ impl ParamStore {
         &mut self.params[id.0].value
     }
 
+    /// Appends rows to a parameter's value matrix. Embedding tables grow
+    /// row-wise when unseen users/items arrive in an online-training stream;
+    /// existing rows (and any sparse gradients indexed against them) are
+    /// unaffected.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn append_rows(&mut self, id: ParamId, rows: &Matrix) {
+        self.params[id.0].value.append_rows(rows);
+    }
+
     /// The registered name of a parameter.
     pub fn name(&self, id: ParamId) -> &str {
         &self.params[id.0].name
@@ -309,6 +320,16 @@ mod tests {
         store.value_mut(a).set(0, 0, 5.0);
         assert_eq!(store.value(a).get(0, 0), 5.0);
         assert_eq!(store.ids().count(), 2);
+    }
+
+    #[test]
+    fn append_rows_grows_an_embedding_table() {
+        let mut store = ParamStore::new();
+        let v = store.add_embedding("V", Matrix::full(2, 3, 1.0));
+        store.append_rows(v, &Matrix::full(2, 3, 5.0));
+        assert_eq!(store.value(v).shape(), (4, 3));
+        assert_eq!(store.value(v).row(1), &[1.0, 1.0, 1.0]);
+        assert_eq!(store.value(v).row(3), &[5.0, 5.0, 5.0]);
     }
 
     #[test]

@@ -119,7 +119,9 @@ fn online_run(model: &Arc<HamModel>, histories: &[Vec<usize>], scale: &BenchScal
                 let mut versions = Vec::new();
                 for r in 0..per_client {
                     let user = (c * 31 + r * 7) % histories.len();
-                    let response = server.submit(RecommendRequest::new(user, histories[user].clone(), K));
+                    let response = server
+                        .submit(RecommendRequest::new(user, histories[user].clone(), K))
+                        .expect("bench requests stay within the queue bound");
                     samples.push(response.total_micros());
                     if versions.last() != Some(&response.model_version) {
                         versions.push(response.model_version);

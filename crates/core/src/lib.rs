@@ -60,4 +60,4 @@ pub use generalized::{GeneralizedHamConfig, GeneralizedHamModel};
 pub use model::HamModel;
 pub use scorer::{rank_top_k, score_candidates};
 pub use scorer::{LinearHead, Scorer, SeenMask};
-pub use trainer::{train, train_with_history, EpochStats};
+pub use trainer::{train, train_with_history, EpochStats, TrainerState};

@@ -54,6 +54,29 @@ impl HamModel {
         }
     }
 
+    /// Assembles a model directly from its embedding matrices (the resumable
+    /// trainer's snapshot path; user/item counts are implied by the shapes).
+    ///
+    /// # Panics
+    /// Panics if the matrices are empty, their widths differ from `config.d`,
+    /// or the two item tables disagree on the item count.
+    pub(crate) fn from_embeddings(
+        config: HamConfig,
+        user_emb: Matrix,
+        item_emb_in: Matrix,
+        item_emb_out: Matrix,
+    ) -> Self {
+        config.validate();
+        let (num_users, num_items) = (user_emb.rows(), item_emb_in.rows());
+        assert!(num_users > 0, "HamModel: num_users must be positive");
+        assert!(num_items > 0, "HamModel: num_items must be positive");
+        assert_eq!(item_emb_out.rows(), num_items, "HamModel: item tables must have the same row count");
+        for table in [&user_emb, &item_emb_in, &item_emb_out] {
+            assert_eq!(table.cols(), config.d, "HamModel: embedding width must equal config.d");
+        }
+        Self { config, num_users, num_items, user_emb, item_emb_in, item_emb_out }
+    }
+
     /// The model's hyper-parameters.
     pub fn config(&self) -> &HamConfig {
         &self.config

@@ -21,6 +21,10 @@
 //!   [`ham_autograd::Graph`] tape (one batched tape per block); required for
 //!   the synergy variants and used as the reference implementation in tests.
 //!
+//! [`resume::TrainerState`] wraps the same pipeline in a resumable handle —
+//! parameters and Adam moments kept alive across training rounds, tables
+//! grown row-wise — for the online trainer (`ham-online`).
+//!
 //! A batch of **one** instance takes the exact legacy per-instance path in
 //! both, so `batch_size = 1` reproduces instance-at-a-time training bit for
 //! bit — pinned, together with GEMM-vs-reference agreement at every batch
@@ -28,6 +32,9 @@
 
 pub mod autograd_ref;
 pub mod manual;
+pub mod resume;
+
+pub use resume::TrainerState;
 
 use crate::config::{HamConfig, TrainConfig};
 use crate::model::HamModel;

@@ -1,0 +1,256 @@
+//! An appendable dataset view for online/incremental training.
+//!
+//! A serving process that retrains periodically does not want to revisit the
+//! whole interaction log every round: almost all sliding windows were already
+//! trained in earlier rounds. [`AppendableDataset`] wraps the per-user
+//! sequences with a **trained watermark** — the sequence prefix length the
+//! trainer has already consumed — and exposes the *delta* between the
+//! watermark and the current log as a [`DeltaView`]: the minimal per-user
+//! sub-sequences whose sliding windows are exactly the windows not yet
+//! trained. Feeding the delta to
+//! [`BatchSampler::over_delta`](crate::batch::BatchSampler::over_delta)
+//! makes an incremental round cost proportional to the *fresh* data, not the
+//! cumulative stream.
+//!
+//! Appends may reference brand-new users (any `user >= num_users` grows the
+//! user space) and brand-new items (`item >= num_items` grows the item
+//! space); the online trainer grows the embedding tables to match before the
+//! round starts.
+
+use crate::dataset::{ItemId, SequenceDataset, UserId};
+
+/// Per-user interaction sequences that grow over time, with a per-user
+/// watermark separating already-trained prefixes from fresh interactions.
+#[derive(Debug, Clone, Default)]
+pub struct AppendableDataset {
+    sequences: Vec<Vec<ItemId>>,
+    /// `trained_len[u]`: prefix of user `u`'s sequence already consumed by
+    /// training (see [`Self::mark_trained`]).
+    trained_len: Vec<usize>,
+    num_items: usize,
+}
+
+/// The untrained slice of an [`AppendableDataset`], compacted to the users
+/// with fresh windows. Index `i` of every field refers to the same user.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaView {
+    /// The minimal sub-sequence of each affected user whose sliding windows
+    /// are exactly that user's untrained windows.
+    pub sequences: Vec<Vec<ItemId>>,
+    /// Each affected user's **full** sequence — the seen-item sets negative
+    /// sampling must exclude (a sub-sequence alone would let negatives
+    /// collide with items the user interacted with outside the delta).
+    pub seen: Vec<Vec<ItemId>>,
+    /// The real (global) user id behind each compact index.
+    pub users: Vec<UserId>,
+}
+
+impl DeltaView {
+    /// Whether no user has fresh windows.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+impl AppendableDataset {
+    /// An empty log over a catalogue of `num_items` items (may be `0`; the
+    /// item space grows with appends).
+    pub fn new(num_items: usize) -> Self {
+        Self { sequences: Vec::new(), trained_len: Vec::new(), num_items }
+    }
+
+    /// Wraps existing per-user sequences; everything counts as fresh (the
+    /// watermark is zero), so the first round trains the full history.
+    ///
+    /// # Panics
+    /// Panics if any item id is `>= num_items`.
+    pub fn from_sequences(sequences: Vec<Vec<ItemId>>, num_items: usize) -> Self {
+        for (u, seq) in sequences.iter().enumerate() {
+            for &item in seq {
+                assert!(item < num_items, "AppendableDataset: item {item} of user {u} is >= num_items {num_items}");
+            }
+        }
+        let trained_len = vec![0; sequences.len()];
+        Self { sequences, trained_len, num_items }
+    }
+
+    /// Wraps a [`SequenceDataset`] (everything fresh, as in
+    /// [`Self::from_sequences`]).
+    pub fn from_dataset(dataset: &SequenceDataset) -> Self {
+        Self::from_sequences(dataset.sequences.clone(), dataset.num_items)
+    }
+
+    /// Appends one interaction to `user`'s sequence. Unknown users and items
+    /// grow the respective id spaces (intermediate users get empty
+    /// sequences).
+    pub fn append(&mut self, user: UserId, item: ItemId) {
+        if user >= self.sequences.len() {
+            self.sequences.resize_with(user + 1, Vec::new);
+            self.trained_len.resize(user + 1, 0);
+        }
+        self.num_items = self.num_items.max(item + 1);
+        self.sequences[user].push(item);
+    }
+
+    /// Number of users (including appended ones).
+    pub fn num_users(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Number of items (grown by appends of unseen item ids).
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Total interactions across all users.
+    pub fn num_interactions(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+
+    /// Interactions appended since the last [`Self::mark_trained`].
+    pub fn fresh_interactions(&self) -> usize {
+        self.sequences.iter().zip(&self.trained_len).map(|(seq, &t)| seq.len() - t).sum()
+    }
+
+    /// The full per-user sequences (training watermark not applied).
+    pub fn sequences(&self) -> &[Vec<ItemId>] {
+        &self.sequences
+    }
+
+    /// The minimal per-user sub-sequences whose sliding windows (window
+    /// sizes `n_h` input / `n_p` target items) are exactly the windows not
+    /// yet covered by a [`Self::mark_trained`] round.
+    ///
+    /// For a user whose trained prefix `L₀` already spans a full window
+    /// (`L₀ >= n_h + n_p`), the delta is the suffix starting at position
+    /// `L₀ + 1 - (n_h + n_p)`: its windows are precisely the windows ending
+    /// beyond the watermark. A shorter trained prefix means the user's
+    /// earlier windows were formed under front-padding (or didn't exist at
+    /// all), so the full sequence is emitted and those windows are revisited
+    /// — deterministic, and bounded by the padded window count.
+    pub fn delta_view(&self, n_h: usize, n_p: usize) -> DeltaView {
+        assert!(n_h > 0, "delta_view: n_h must be positive");
+        assert!(n_p > 0, "delta_view: n_p must be positive");
+        let window = n_h + n_p;
+        let mut delta = DeltaView::default();
+        for (user, (seq, &trained)) in self.sequences.iter().zip(&self.trained_len).enumerate() {
+            if seq.len() == trained || seq.len() < n_p + 1 {
+                // Nothing fresh, or still too short to form any window.
+                continue;
+            }
+            let sub = if trained < window { seq.clone() } else { seq[trained + 1 - window..].to_vec() };
+            delta.sequences.push(sub);
+            delta.seen.push(seq.clone());
+            delta.users.push(user);
+        }
+        delta
+    }
+
+    /// Advances every user's watermark to the current sequence end: the next
+    /// [`Self::delta_view`] only covers interactions appended after this
+    /// call. The trainer calls this once per completed round.
+    pub fn mark_trained(&mut self) {
+        for (t, seq) in self.trained_len.iter_mut().zip(&self.sequences) {
+            *t = seq.len();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{sliding_windows, user_windows, TrainingInstance};
+
+    /// The delta view's windows, mapped back to global user ids.
+    fn delta_windows(data: &AppendableDataset, n_h: usize, n_p: usize) -> Vec<TrainingInstance> {
+        let delta = data.delta_view(n_h, n_p);
+        let mut out = Vec::new();
+        for (i, seq) in delta.sequences.iter().enumerate() {
+            for mut w in user_windows(0, seq, n_h, n_p) {
+                w.user = delta.users[i];
+                out.push(w);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn first_delta_is_the_full_window_set() {
+        let seqs = vec![(0..9).collect::<Vec<_>>(), (2..7).collect(), vec![1]];
+        let data = AppendableDataset::from_sequences(seqs.clone(), 9);
+        assert_eq!(delta_windows(&data, 3, 2), sliding_windows(&seqs, 3, 2));
+    }
+
+    #[test]
+    fn delta_after_mark_trained_is_exactly_the_new_windows() {
+        let mut data = AppendableDataset::from_sequences(vec![(0..10).collect(), (0..8).collect()], 16);
+        data.mark_trained();
+        assert!(data.delta_view(3, 2).is_empty());
+        // user 0 gains three interactions, user 1 none
+        for item in [10, 11, 12] {
+            data.append(0, item);
+        }
+        let full: Vec<_> = sliding_windows(data.sequences(), 3, 2).into_iter().filter(|w| w.user == 0).collect();
+        let fresh = delta_windows(&data, 3, 2);
+        // the delta must be exactly the windows of user 0 that end beyond
+        // the old sequence length (10): one new window per fresh interaction
+        assert_eq!(fresh.len(), 3);
+        assert_eq!(fresh, full[full.len() - 3..].to_vec());
+        assert_eq!(data.fresh_interactions(), 3);
+    }
+
+    #[test]
+    fn short_trained_prefix_revisits_padded_windows() {
+        // trained at length 3 with window 3+2: the old windows were padded,
+        // so the whole sequence comes back once it grows
+        let mut data = AppendableDataset::from_sequences(vec![vec![5, 6, 7]], 12);
+        data.mark_trained();
+        data.append(0, 8);
+        data.append(0, 9);
+        let delta = data.delta_view(3, 2);
+        assert_eq!(delta.sequences, vec![vec![5, 6, 7, 8, 9]]);
+        assert_eq!(delta_windows(&data, 3, 2), sliding_windows(data.sequences(), 3, 2));
+    }
+
+    #[test]
+    fn appends_grow_users_and_items() {
+        let mut data = AppendableDataset::from_sequences(vec![vec![0, 1]], 2);
+        data.append(3, 7);
+        assert_eq!(data.num_users(), 4);
+        assert_eq!(data.num_items(), 8);
+        assert_eq!(data.sequences()[2], Vec::<ItemId>::new());
+        assert_eq!(data.sequences()[3], vec![7]);
+        assert_eq!(data.num_interactions(), 3);
+    }
+
+    #[test]
+    fn too_short_users_are_left_out_of_the_delta() {
+        let mut data = AppendableDataset::new(4);
+        data.append(0, 1); // length 1 < n_p + 1
+        let delta = data.delta_view(2, 1);
+        assert!(delta.is_empty());
+        // once long enough, the full (previously windowless) sequence shows up
+        data.mark_trained();
+        data.append(0, 2);
+        let delta = data.delta_view(2, 1);
+        assert_eq!(delta.sequences, vec![vec![1, 2]]);
+        assert_eq!(delta.seen, vec![vec![1, 2]]);
+        assert_eq!(delta.users, vec![0]);
+    }
+
+    #[test]
+    fn seen_sets_cover_the_full_history_not_just_the_delta() {
+        let mut data = AppendableDataset::from_sequences(vec![(0..10).collect()], 12);
+        data.mark_trained();
+        data.append(0, 11);
+        let delta = data.delta_view(3, 2);
+        assert_eq!(delta.sequences[0].len(), 3 + 2); // minimal suffix
+        assert_eq!(delta.seen[0].len(), 11); // full history
+    }
+
+    #[test]
+    #[should_panic(expected = "num_items")]
+    fn out_of_range_initial_item_panics() {
+        let _ = AppendableDataset::from_sequences(vec![vec![5]], 3);
+    }
+}

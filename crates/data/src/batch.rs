@@ -17,6 +17,7 @@
 //! — `batch_size = 1` and `batch_size = 256` train on identical
 //! (window, negatives) sequences.
 
+use crate::append::DeltaView;
 use crate::dataset::ItemId;
 use crate::negative::NegativeSampler;
 use crate::window::{sliding_windows, TrainingInstance};
@@ -60,6 +61,11 @@ pub struct BatchSampler {
     cursor: usize,
     /// Reused instance buffers (capacity `batch_size`).
     batch: Vec<PreparedInstance>,
+    /// Maps the (possibly compacted) window user index to the user id the
+    /// emitted instances carry. `None` = identity (the common full-dataset
+    /// case); `Some` for delta views, whose sequences are compacted to the
+    /// users with fresh windows.
+    user_ids: Option<Vec<usize>>,
 }
 
 impl BatchSampler {
@@ -79,10 +85,58 @@ impl BatchSampler {
         batch_size: usize,
         seed: u64,
     ) -> Self {
+        Self::with_parts(train_sequences, None, None, num_items, n_h, n_p, n_l, batch_size, seed)
+    }
+
+    /// Creates a sampler over the fresh windows of a
+    /// [`DeltaView`](crate::append::DeltaView): windows come from the
+    /// compacted delta sub-sequences, negatives are drawn against each
+    /// user's **full** seen set, and the emitted instances carry the real
+    /// (global) user ids — so an incremental trainer indexes the same
+    /// embedding rows a full retrain would.
+    ///
+    /// # Panics
+    /// As [`Self::new`].
+    pub fn over_delta(
+        delta: &DeltaView,
+        num_items: usize,
+        n_h: usize,
+        n_p: usize,
+        n_l: usize,
+        batch_size: usize,
+        seed: u64,
+    ) -> Self {
+        Self::with_parts(
+            &delta.sequences,
+            Some(&delta.seen),
+            Some(delta.users.clone()),
+            num_items,
+            n_h,
+            n_p,
+            n_l,
+            batch_size,
+            seed,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn with_parts(
+        train_sequences: &[Vec<ItemId>],
+        seen_override: Option<&[Vec<ItemId>]>,
+        user_ids: Option<Vec<usize>>,
+        num_items: usize,
+        n_h: usize,
+        n_p: usize,
+        n_l: usize,
+        batch_size: usize,
+        seed: u64,
+    ) -> Self {
         assert!(batch_size > 0, "BatchSampler: batch_size must be positive");
         assert!(n_l <= n_h, "BatchSampler: n_l ({n_l}) must not exceed n_h ({n_h})");
         assert!(num_items > 0, "BatchSampler: num_items must be positive");
-        let samplers: Vec<Option<NegativeSampler>> = train_sequences
+        let seen_sequences = seen_override.unwrap_or(train_sequences);
+        assert_eq!(seen_sequences.len(), train_sequences.len(), "BatchSampler: one seen set per sequence");
+        let samplers: Vec<Option<NegativeSampler>> = seen_sequences
             .iter()
             .map(|seq| {
                 let distinct: HashSet<ItemId> = seq.iter().copied().collect();
@@ -101,6 +155,7 @@ impl BatchSampler {
             order,
             cursor: 0,
             batch: Vec::new(),
+            user_ids,
         }
     }
 
@@ -138,7 +193,7 @@ impl BatchSampler {
         for (slot, &idx) in self.batch.iter_mut().zip(&self.order[self.cursor..self.cursor + take]) {
             let window = &self.windows[idx];
             let sampler = self.samplers[window.user].as_ref().expect("samplerless windows are filtered out");
-            slot.user = window.user;
+            slot.user = self.user_ids.as_ref().map_or(window.user, |ids| ids[window.user]);
             slot.input.clear();
             slot.input.extend_from_slice(&window.input);
             slot.low.clear();
@@ -240,5 +295,35 @@ mod tests {
     #[should_panic(expected = "batch_size must be positive")]
     fn zero_batch_size_panics() {
         let _ = BatchSampler::new(&sequences(), 12, 4, 2, 2, 0, 1);
+    }
+
+    #[test]
+    fn delta_sampler_emits_global_user_ids_and_only_fresh_windows() {
+        let mut data = crate::append::AppendableDataset::from_sequences(sequences(), 12);
+        data.mark_trained();
+        // user 2 gains two fresh interactions; everyone else is untouched
+        data.append(2, 10);
+        data.append(2, 11);
+        let delta = data.delta_view(4, 2);
+        let mut sampler = BatchSampler::over_delta(&delta, data.num_items(), 4, 2, 2, 3, 17);
+        assert_eq!(sampler.num_instances(), 2, "one fresh window per appended interaction");
+        let all = collect_epoch(&mut sampler);
+        let seen: HashSet<ItemId> = data.sequences()[2].iter().copied().collect();
+        for inst in &all {
+            assert_eq!(inst.user, 2, "compact indices must map back to the global user id");
+            assert!(inst.targets.iter().any(|t| *t >= 10), "every fresh window ends past the watermark");
+            for n in &inst.negatives {
+                assert!(!seen.contains(n), "negatives must respect the FULL history, not just the delta");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_sampler_over_everything_fresh_matches_the_full_sampler() {
+        let data = crate::append::AppendableDataset::from_sequences(sequences(), 12);
+        let delta = data.delta_view(4, 2);
+        let mut full = BatchSampler::new(&sequences(), 12, 4, 2, 2, 5, 9);
+        let mut fresh = BatchSampler::over_delta(&delta, 12, 4, 2, 2, 5, 9);
+        assert_eq!(collect_epoch(&mut full), collect_epoch(&mut fresh));
     }
 }

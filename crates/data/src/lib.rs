@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod append;
 pub mod batch;
 pub mod dataset;
 pub mod interaction;
@@ -45,6 +46,7 @@ pub mod stats;
 pub mod synthetic;
 pub mod window;
 
+pub use append::{AppendableDataset, DeltaView};
 pub use batch::{BatchSampler, PreparedInstance};
 pub use dataset::SequenceDataset;
 pub use interaction::Interaction;

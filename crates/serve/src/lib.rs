@@ -40,9 +40,15 @@
 //! let serving = ServingModel::from_scorer("ham-sm", model, 4).unwrap();
 //! let registry = Arc::new(ModelRegistry::new(serving));
 //! let server = RecServer::start(Arc::clone(&registry), ServerConfig::default());
-//! let response = server.submit(RecommendRequest::new(3, vec![5, 17, 42], 10));
+//! let response = server.submit(RecommendRequest::new(3, vec![5, 17, 42], 10)).expect("request admitted");
 //! assert_eq!(response.items.len(), 10);
 //! ```
+//!
+//! `submit` applies admission control: past [`ServerConfig::max_queue`]
+//! queued requests it sheds with [`server::SubmitError::QueueFull`] instead
+//! of queueing unboundedly, and during shutdown it rejects with
+//! [`server::SubmitError::ShuttingDown`] while every admitted request is
+//! still answered.
 
 #![warn(missing_docs)]
 
@@ -55,5 +61,5 @@ pub mod shard;
 pub use model::{ServeScratch, ServingModel};
 pub use registry::{ModelRegistry, PublishedModel};
 pub use request::{LatencyStats, RecommendRequest, RecommendResponse};
-pub use server::{RecServer, ServerConfig};
+pub use server::{RecServer, ServerConfig, SubmitError};
 pub use shard::{merge_top_k, ScoredItem, Shard, ShardedCatalog};

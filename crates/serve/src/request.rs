@@ -66,20 +66,28 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     /// Computes the stats over raw microsecond samples (`None` when empty).
-    /// Percentiles use the nearest-rank method on the sorted samples.
+    /// Percentiles use the nearest-rank method on the sorted samples: the
+    /// P-th percentile is the `⌈count · P/100⌉`-th smallest sample.
+    ///
+    /// The rank is computed in integer arithmetic. The float formulation
+    /// (`(p * count as f64).ceil()`) happens to land on the right index for
+    /// 50/95/99 at every count, but only by luck of rounding — e.g.
+    /// `0.29 * 100.0` is `28.999…96`, so other percentiles would be off by
+    /// one — and clamping hid any error instead of surfacing it. Exact index
+    /// math needs no clamps; pinned by the small-count tests below.
     pub fn from_micros(mut samples: Vec<u64>) -> Option<Self> {
         if samples.is_empty() {
             return None;
         }
         samples.sort_unstable();
         let count = samples.len();
-        let rank = |p: f64| samples[(((p * count as f64).ceil() as usize).max(1) - 1).min(count - 1)];
+        let nearest_rank = |percent: usize| samples[(count * percent).div_ceil(100) - 1];
         Some(Self {
             count,
             mean_micros: samples.iter().sum::<u64>() as f64 / count as f64,
-            p50_micros: rank(0.50),
-            p95_micros: rank(0.95),
-            p99_micros: rank(0.99),
+            p50_micros: nearest_rank(50),
+            p95_micros: nearest_rank(95),
+            p99_micros: nearest_rank(99),
             max_micros: samples[count - 1],
         })
     }
@@ -106,7 +114,41 @@ mod tests {
         assert_eq!(stats.max_micros, 100);
         assert!((stats.mean_micros - 50.5).abs() < 1e-9);
         assert!(LatencyStats::from_micros(vec![]).is_none());
+    }
+
+    /// Exact nearest-rank values at small sample counts, where off-by-one
+    /// index math would show: with fewer than 100 samples `⌈0.99·n⌉ = n`,
+    /// so p99 must be the maximum, and one/two-sample inputs must hit the
+    /// first sample for p50.
+    #[test]
+    fn latency_stats_small_count_percentiles_are_exact() {
         let single = LatencyStats::from_micros(vec![7]).unwrap();
-        assert_eq!((single.p50_micros, single.p99_micros), (7, 7));
+        assert_eq!((single.p50_micros, single.p95_micros, single.p99_micros, single.max_micros), (7, 7, 7, 7));
+
+        // two samples: rank(50) = ceil(1.0) = 1st, rank(95/99) = 2nd
+        let two = LatencyStats::from_micros(vec![30, 10]).unwrap();
+        assert_eq!((two.p50_micros, two.p95_micros, two.p99_micros), (10, 30, 30));
+
+        // three samples: rank(50) = ceil(1.5) = 2nd
+        let three = LatencyStats::from_micros(vec![30, 10, 20]).unwrap();
+        assert_eq!((three.p50_micros, three.p99_micros), (20, 30));
+
+        // 20 samples: rank(95) = ceil(19.0) = 19th — NOT the 20th; this is
+        // where a float formulation is one ULP from overshooting
+        let twenty = LatencyStats::from_micros((1..=20).collect()).unwrap();
+        assert_eq!((twenty.p50_micros, twenty.p95_micros, twenty.p99_micros), (10, 19, 20));
+
+        // 40 samples: rank(95) = ceil(38.0) = 38th
+        let forty = LatencyStats::from_micros((1..=40).collect()).unwrap();
+        assert_eq!((forty.p50_micros, forty.p95_micros, forty.p99_micros), (20, 38, 40));
+
+        // p99 below 100 samples is always the worst sample
+        for n in [5u64, 17, 63, 99] {
+            let stats = LatencyStats::from_micros((1..=n).collect()).unwrap();
+            assert_eq!(stats.p99_micros, n, "p99 of {n} samples");
+        }
+        // ...and at exactly 101 samples it stops being the maximum
+        let s101 = LatencyStats::from_micros((1..=101).collect()).unwrap();
+        assert_eq!(s101.p99_micros, 100);
     }
 }

@@ -34,13 +34,46 @@ pub struct ServerConfig {
     /// Score the shards of a batch in parallel on the process-wide worker
     /// pool. Disable to dedicate the pool to other work.
     pub parallel_shards: bool,
+    /// Admission control: requests arriving while the queue already holds
+    /// this many are **shed** — [`RecServer::submit`] returns
+    /// [`SubmitError::QueueFull`] immediately instead of letting the queue
+    /// (and every queued request's latency) grow without bound when load
+    /// exceeds what the dispatcher can drain.
+    pub max_queue: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { max_batch: 64, coalesce_wait: Duration::from_micros(200), parallel_shards: true }
+        Self { max_batch: 64, coalesce_wait: Duration::from_micros(200), parallel_shards: true, max_queue: 1024 }
     }
 }
+
+/// Why [`RecServer::submit`] rejected a request without serving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue already held [`ServerConfig::max_queue`] requests; the
+    /// request was shed to protect the latency of the admitted ones. The
+    /// caller may retry (ideally with backoff).
+    QueueFull {
+        /// The configured bound the queue was at.
+        max_queue: usize,
+    },
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { max_queue } => {
+                write!(f, "request shed: queue at capacity ({max_queue})")
+            }
+            SubmitError::ShuttingDown => write!(f, "request rejected: server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// One queued request and the slot its response will be delivered to.
 struct Pending {
@@ -99,6 +132,7 @@ impl RecServer {
     /// Starts the dispatcher for the models published in `registry`.
     pub fn start(registry: Arc<ModelRegistry>, config: ServerConfig) -> Self {
         assert!(config.max_batch > 0, "RecServer: max_batch must be positive");
+        assert!(config.max_queue > 0, "RecServer: max_queue must be positive");
         let shared = Arc::new(ServerShared {
             registry,
             config,
@@ -116,7 +150,12 @@ impl RecServer {
         Self { shared, dispatcher: Some(dispatcher) }
     }
 
-    /// Submits a request and blocks until its response is ready.
+    /// Submits a request and blocks until its response is ready, or returns
+    /// a [`SubmitError`] **immediately** when the request cannot be
+    /// admitted — the queue is at [`ServerConfig::max_queue`] (shed) or the
+    /// server is shutting down. Every admitted request is guaranteed a
+    /// response: admission and shutdown are decided under the queue lock,
+    /// so a request can never slip in behind the dispatcher's final drain.
     ///
     /// Concurrent submitters are coalesced into shared scoring batches; a
     /// lone submitter is served solo via the exact GEMV path.
@@ -125,18 +164,34 @@ impl RecServer {
     /// query builder panics on) comes back with an **empty** item list
     /// rather than wedging the server — the dispatcher isolates the panic
     /// and keeps serving the rest of the batch and all later traffic.
-    ///
-    /// # Panics
-    /// Panics if called after the server started shutting down.
-    pub fn submit(&self, request: RecommendRequest) -> RecommendResponse {
-        assert!(!self.shared.shutdown.load(Ordering::SeqCst), "RecServer: submit after shutdown");
+    pub fn submit(&self, request: RecommendRequest) -> Result<RecommendResponse, SubmitError> {
         let slot = Arc::new(ResponseSlot::new());
         {
             let mut queue = self.shared.queue.lock().expect("server queue poisoned");
+            // Both checks must happen under the lock: shutdown is flipped
+            // while holding it (see `shutdown`), so an admitted request is
+            // visible to the dispatcher's exit check, which only fires on an
+            // empty queue — enqueue-then-never-answered cannot happen.
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if queue.len() >= self.shared.config.max_queue {
+                return Err(SubmitError::QueueFull { max_queue: self.shared.config.max_queue });
+            }
             queue.push_back(Pending { request, enqueued: Instant::now(), slot: Arc::clone(&slot) });
             self.shared.arrived.notify_all();
         }
-        slot.wait()
+        Ok(slot.wait())
+    }
+
+    /// Begins shutdown: subsequent [`Self::submit`] calls return
+    /// [`SubmitError::ShuttingDown`], while every already-admitted request
+    /// is still drained and answered. Dropping the server joins the
+    /// dispatcher (and shuts down first if this was never called).
+    pub fn shutdown(&self) {
+        let _queue = self.shared.queue.lock().expect("server queue poisoned");
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.arrived.notify_all();
     }
 
     /// Current number of published model versions (see [`ModelRegistry`]).
@@ -147,11 +202,7 @@ impl RecServer {
 
 impl Drop for RecServer {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        {
-            let _queue = self.shared.queue.lock().expect("server queue poisoned");
-            self.shared.arrived.notify_all();
-        }
+        self.shutdown();
         if let Some(dispatcher) = self.dispatcher.take() {
             let _unused = dispatcher.join();
         }
@@ -247,7 +298,7 @@ mod tests {
     #[test]
     fn single_request_round_trip() {
         let server = RecServer::start(registry(20), ServerConfig::default());
-        let response = server.submit(RecommendRequest::new(1, vec![19], 5));
+        let response = server.submit(RecommendRequest::new(1, vec![19], 5)).expect("request admitted");
         assert_eq!(response.items.len(), 5);
         assert!(!response.items.iter().any(|s| s.item == 19), "seen item must be masked");
         assert_eq!(response.model_version, 1);
@@ -263,7 +314,7 @@ mod tests {
                 let server = Arc::clone(&server);
                 std::thread::spawn(move || {
                     let request = RecommendRequest::new(user, vec![user, user + 10], 7);
-                    (user, server.submit(request))
+                    (user, server.submit(request).expect("request admitted"))
                 })
             })
             .collect();
@@ -281,11 +332,11 @@ mod tests {
     fn hot_swap_during_traffic_switches_versions_without_pausing() {
         let registry = registry(30);
         let server = Arc::new(RecServer::start(Arc::clone(&registry), ServerConfig::default()));
-        let first = server.submit(RecommendRequest::new(0, vec![], 3));
+        let first = server.submit(RecommendRequest::new(0, vec![], 3)).expect("request admitted");
         assert_eq!(first.model_version, 1);
         let w = Matrix::from_vec(30, 2, (0..60).map(|i| -(i as f32)).collect());
         registry.publish(ServingModel::from_parts("toy-v2", &w, 2, |_, _| vec![1.0, 0.0]));
-        let second = server.submit(RecommendRequest::new(0, vec![], 3));
+        let second = server.submit(RecommendRequest::new(0, vec![], 3)).expect("request admitted");
         assert_eq!(second.model_version, 2);
         // v2 scores are descending in item id, so item 0 wins.
         assert_eq!(second.items[0].item, 0);
@@ -301,9 +352,9 @@ mod tests {
             vec![1.0]
         });
         let server = Arc::new(RecServer::start(Arc::new(ModelRegistry::new(model)), ServerConfig::default()));
-        let poisoned = server.submit(RecommendRequest::new(99, vec![], 3));
+        let poisoned = server.submit(RecommendRequest::new(99, vec![], 3)).expect("request admitted");
         assert!(poisoned.items.is_empty(), "rejected request answers empty, not hangs");
-        let healthy = server.submit(RecommendRequest::new(1, vec![], 3));
+        let healthy = server.submit(RecommendRequest::new(1, vec![], 3)).expect("request admitted");
         assert_eq!(healthy.items.len(), 3, "server keeps serving after a poisoned request");
     }
 
@@ -311,8 +362,100 @@ mod tests {
     fn shutdown_flushes_accepted_requests() {
         let server =
             RecServer::start(registry(10), ServerConfig { coalesce_wait: Duration::ZERO, ..Default::default() });
-        let response = server.submit(RecommendRequest::new(0, vec![], 2));
+        let response = server.submit(RecommendRequest::new(0, vec![], 2)).expect("request admitted");
         drop(server);
         assert_eq!(response.items.len(), 2);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected_with_reason() {
+        let server = RecServer::start(registry(10), ServerConfig::default());
+        server.shutdown();
+        let rejected = server.submit(RecommendRequest::new(0, vec![], 2));
+        assert_eq!(rejected.err(), Some(SubmitError::ShuttingDown));
+    }
+
+    /// Flooding past `max_queue` sheds with an explicit reason while every
+    /// admitted request completes with a full ranking.
+    #[test]
+    fn flood_past_capacity_sheds_and_answers_the_admitted() {
+        // A deliberately slow model (1ms per query) with a tiny queue, so a
+        // burst of 24 concurrent submitters reliably overflows it.
+        let w = Matrix::from_vec(16, 1, (0..16).map(|i| i as f32).collect());
+        let model = ServingModel::from_parts("slow", &w, 1, |_, _| {
+            std::thread::sleep(Duration::from_millis(1));
+            vec![1.0]
+        });
+        let config =
+            ServerConfig { max_batch: 1, coalesce_wait: Duration::ZERO, max_queue: 4, ..ServerConfig::default() };
+        let server = Arc::new(RecServer::start(Arc::new(ModelRegistry::new(model)), config));
+        let barrier = Arc::new(std::sync::Barrier::new(24));
+        let handles: Vec<_> = (0..24)
+            .map(|user| {
+                let server = Arc::clone(&server);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    server.submit(RecommendRequest::new(user % 8, vec![], 3))
+                })
+            })
+            .collect();
+        let mut admitted = 0usize;
+        let mut shed = 0usize;
+        for handle in handles {
+            match handle.join().expect("submitter panicked") {
+                Ok(response) => {
+                    assert_eq!(response.items.len(), 3, "admitted requests must complete fully");
+                    admitted += 1;
+                }
+                Err(SubmitError::QueueFull { max_queue }) => {
+                    assert_eq!(max_queue, 4, "the shed reason names the configured bound");
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected rejection: {other}"),
+            }
+        }
+        assert_eq!(admitted + shed, 24);
+        assert!(shed > 0, "a 24-request burst into a 4-slot queue must shed");
+        assert!(admitted > 0, "some requests must be admitted");
+    }
+
+    /// The shutdown race: a request admitted concurrently with shutdown must
+    /// still receive a response (admission and the shutdown flag share the
+    /// queue lock, so the dispatcher's final drain cannot miss it). Repeated
+    /// loom-style: many iterations of submitters racing `shutdown()`.
+    #[test]
+    fn racing_shutdown_never_strands_an_admitted_request() {
+        for round in 0u64..200 {
+            let server = RecServer::start(
+                registry(12),
+                ServerConfig { coalesce_wait: Duration::ZERO, max_batch: 2, ..Default::default() },
+            );
+            std::thread::scope(|scope| {
+                for submitter in 0..2 {
+                    let server = &server;
+                    scope.spawn(move || {
+                        for user in 0..20 {
+                            match server.submit(RecommendRequest::new((submitter + user) % 5, vec![], 2)) {
+                                // every admitted request must come back whole
+                                Ok(response) => assert_eq!(response.items.len(), 2),
+                                Err(SubmitError::ShuttingDown) => return,
+                                Err(other) => panic!("unexpected rejection: {other}"),
+                            }
+                        }
+                    });
+                }
+                let server = &server;
+                scope.spawn(move || {
+                    // vary the interleaving between instant and late shutdown
+                    if round % 3 != 0 {
+                        std::thread::sleep(Duration::from_micros((round % 7) * 13));
+                    }
+                    server.shutdown();
+                });
+            });
+            // drop joins the dispatcher; reaching the next iteration proves
+            // no submitter hung on a stranded slot
+        }
     }
 }

@@ -167,6 +167,31 @@ impl Matrix {
         out
     }
 
+    /// Grows the matrix to `new_rows` rows, zero-filling the new rows.
+    /// A no-op when the matrix already has `new_rows` rows.
+    ///
+    /// Embedding tables (and their optimizer moment matrices) grow row-wise
+    /// when unseen users/items arrive in an online-training stream; existing
+    /// rows keep their values and layout.
+    ///
+    /// # Panics
+    /// Panics if `new_rows` is smaller than the current row count.
+    pub fn resize_rows(&mut self, new_rows: usize) {
+        assert!(new_rows >= self.rows, "Matrix::resize_rows: cannot shrink from {} to {new_rows} rows", self.rows);
+        self.data.resize(new_rows * self.cols, 0.0);
+        self.rows = new_rows;
+    }
+
+    /// Appends the rows of `other` below the rows of `self`.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn append_rows(&mut self, other: &Matrix) {
+        assert_eq!(self.cols, other.cols, "Matrix::append_rows: column mismatch ({} vs {})", self.cols, other.cols);
+        self.data.extend_from_slice(other.as_slice());
+        self.rows += other.rows;
+    }
+
     /// Adds each row of `updates` into the row of `self` given by `indices`
     /// (the scatter-add primitive used by embedding gradients).
     ///
@@ -491,5 +516,39 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn resize_rows_keeps_old_rows_and_zero_fills() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        a.resize_rows(4);
+        assert_eq!(a.shape(), (4, 2));
+        assert_eq!(a.row(0), &[1.0, 2.0]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.row(2), &[0.0, 0.0]);
+        assert_eq!(a.row(3), &[0.0, 0.0]);
+        // growing to the current size is a no-op
+        a.resize_rows(4);
+        assert_eq!(a.shape(), (4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn resize_rows_refuses_to_shrink() {
+        Matrix::zeros(3, 2).resize_rows(2);
+    }
+
+    #[test]
+    fn append_rows_stacks_matrices() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        a.append_rows(&Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]));
+        assert_eq!(a.shape(), (3, 2));
+        assert_eq!(a.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn append_rows_rejects_width_mismatch() {
+        Matrix::zeros(1, 2).append_rows(&Matrix::zeros(1, 3));
     }
 }

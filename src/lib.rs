@@ -13,6 +13,9 @@
 //!   and run-time measurement.
 //! * [`serve`] — the online serving subsystem: sharded catalogue scoring,
 //!   micro-batching request queue, hot-swappable model registry.
+//! * [`online`] — the incremental training loop closing train → publish →
+//!   serve: delta-window retraining with warm-started Adam, published through
+//!   the registry while a live server keeps answering.
 //! * [`experiments`] — the harness regenerating every table and figure of the
 //!   paper.
 //!
@@ -39,6 +42,7 @@ pub use ham_core as core;
 pub use ham_data as data;
 pub use ham_eval as eval;
 pub use ham_experiments as experiments;
+pub use ham_online as online;
 pub use ham_serve as serve;
 pub use ham_tensor as tensor;
 
