@@ -1,17 +1,31 @@
-//! Generates `BENCH_kernels.json`: GFLOP/s of the kernel tiers side by side.
+//! Generates `BENCH_kernels.json`: GFLOP/s **and** memory bandwidth of the
+//! kernel tiers side by side.
 //!
-//! For each kernel (per-candidate [`dot`] loop, the fused GEMV
+//! For each f32 kernel (per-candidate [`dot`] loop, the fused GEMV
 //! [`matvec_transposed_into`], the batched `Q·Wᵀ` GEMM
-//! [`matmul_transposed`]) at d = 32/64 and catalogue sizes n = 10k/100k,
-//! the portable reference tier and the explicit AVX2+FMA tier (when the CPU
-//! has it) are timed on identical inputs via the `*_with_tier` entry points
-//! — no global tier forcing, so the numbers are directly comparable within
-//! one process.
+//! [`matmul_transposed`]) and each quantized kernel (int8 GEMV
+//! [`quantized_matvec_into`], int8 GEMM [`quantized_matmul_transposed_into`])
+//! at d = 32/64 and catalogue sizes n = 10k/100k, every tier the CPU
+//! supports — portable, AVX2+FMA, AVX-512 — is timed on identical inputs via
+//! the `*_with_tier` entry points, so the numbers are directly comparable
+//! within one process.
 //!
-//! This is the portability check of the kernel subsystem: on a build
-//! **without** `-C target-cpu=native` the portable tier loses its
-//! auto-vectorization quality while the AVX2 tier is unaffected, and the
-//! reported speedup shows what runtime dispatch buys such a build.
+//! Two throughput views per measurement:
+//!
+//! * **GFLOP/s** — arithmetic throughput (multiply-accumulates, counting
+//!   integer MACs for the quantized kernels).
+//! * **Effective GB/s** — the f32-equivalent catalogue bytes (`n·d·4`)
+//!   divided by wall time. Candidate scoring is memory-bound at serving
+//!   sizes, so this is the number that predicts latency; the quantized
+//!   kernels stream 1 byte per element instead of 4, which shows up here as
+//!   effective bandwidth beyond what the memory system can physically move.
+//!   `*_gbps` is the *actual* traffic (1 byte/element + per-row
+//!   scale/zero-point for the quantized panels).
+//!
+//! The acceptance headline is `quantized_*_effective_bandwidth_ratio`: the
+//! quantized GEMV/GEMM effective GB/s on the active tier over the f32
+//! portable tier at n = 100k (worst case over d) — the speedup the serving
+//! layer's int8 pre-selection gets from quartering the catalogue traffic.
 //!
 //! Run from the repository root (`--quick` shrinks repetitions for CI):
 //! `cargo run --release -p ham-bench --bin kernel_report [-- --quick]`.
@@ -19,36 +33,81 @@
 //! [`dot`]: ham_tensor::kernels::dot
 //! [`matvec_transposed_into`]: ham_tensor::kernels::matvec_transposed_into
 //! [`matmul_transposed`]: ham_tensor::kernels::matmul_transposed
+//! [`quantized_matvec_into`]: ham_tensor::kernels::quantized_matvec_into
+//! [`quantized_matmul_transposed_into`]: ham_tensor::kernels::quantized_matmul_transposed_into
 
 use ham_tensor::kernels::{
-    dot_with_tier, matmul_transposed_into_with_tier, matvec_transposed_into_with_tier, KernelTier,
+    dot_with_tier, matmul_transposed_into_with_tier, matvec_transposed_into_with_tier,
+    quantized_matmul_transposed_into_with_tier, quantized_matvec_into_with_tier, KernelTier,
 };
-use ham_tensor::Matrix;
+use ham_tensor::{Matrix, QuantizedMatrix, QuantizedQuery};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Rows of the query batch in the GEMM measurement (matches the serving
+/// Rows of the query batch in the GEMM measurements (matches the serving
 /// layer's default max batch).
 const BATCH: usize = 64;
+
+const KERNELS: [&str; 5] = ["dot", "matvec_transposed", "matmul_transposed", "quantized_matvec", "quantized_matmul"];
 
 struct Config {
     d: usize,
     n: usize,
 }
 
+/// One (kernel, shape) measurement: best wall time per pass, per tier.
 struct Row {
     kernel: &'static str,
+    quantized: bool,
     d: usize,
     n: usize,
-    portable_gflops: f64,
-    avx2_gflops: Option<f64>,
+    /// Seconds per pass, indexed like `tiers` in `main` (portable first).
+    seconds: Vec<f64>,
 }
 
 impl Row {
-    fn speedup(&self) -> Option<f64> {
-        self.avx2_gflops.map(|fast| fast / self.portable_gflops)
+    fn flops(&self) -> f64 {
+        let pass = 2.0 * self.n as f64 * self.d as f64;
+        if self.kernel.contains("matmul") {
+            pass * BATCH as f64
+        } else {
+            pass
+        }
+    }
+
+    /// Actual catalogue bytes streamed per pass. A GEMM streams the
+    /// catalogue once for the whole batch, so its per-pass traffic equals
+    /// the GEMV's — that is exactly why the batch path wins.
+    fn bytes(&self) -> f64 {
+        let elements = (self.n * self.d) as f64;
+        if self.quantized {
+            elements + self.n as f64 * 8.0 // u8 payload + f32 scale + i32 zero-point per row
+        } else {
+            elements * 4.0
+        }
+    }
+
+    /// f32-equivalent catalogue bytes per pass — the serving-latency view.
+    fn effective_bytes(&self) -> f64 {
+        (self.n * self.d) as f64 * 4.0
+    }
+
+    fn gflops(&self, tier: usize) -> f64 {
+        self.flops() / self.seconds[tier] / 1e9
+    }
+
+    fn gbps(&self, tier: usize) -> f64 {
+        self.bytes() / self.seconds[tier] / 1e9
+    }
+
+    fn effective_gbps(&self, tier: usize) -> f64 {
+        self.effective_bytes() / self.seconds[tier] / 1e9
+    }
+
+    fn speedup(&self, tier: usize) -> f64 {
+        self.seconds[0] / self.seconds[tier]
     }
 }
 
@@ -63,23 +122,25 @@ fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
-/// GFLOP/s of `f`, which performs `flops` floating-point operations per call
-/// and is repeated `inner` times per timing sample.
-fn gflops<F: FnMut()>(reps: usize, inner: usize, flops: f64, mut f: F) -> f64 {
-    let seconds = time_best(reps, || {
+/// Best seconds per single pass of `f`, with `inner` passes per sample to
+/// stay above timer resolution.
+fn seconds_per_pass<F: FnMut()>(reps: usize, inner: usize, mut f: F) -> f64 {
+    time_best(reps, || {
         for _ in 0..inner {
             f();
         }
-    }) / inner as f64;
-    flops / seconds / 1e9
+    }) / inner as f64
 }
 
 fn measure(config: &Config, tiers: &[KernelTier], reps: usize, rows: &mut Vec<Row>) {
     let Config { d, n } = *config;
     let mut rng = StdRng::seed_from_u64(42 + (d * 1000 + n) as u64);
     let w = Matrix::xavier_uniform(n, d, &mut rng);
+    let qw = QuantizedMatrix::quantize(&w);
     let q: Vec<f32> = (0..d).map(|k| (k as f32 * 0.37).sin()).collect();
+    let qq = QuantizedQuery::quantize(&q);
     let queries = Matrix::xavier_uniform(BATCH, d, &mut rng);
+    let qqueries: Vec<QuantizedQuery> = (0..BATCH).map(|b| QuantizedQuery::quantize(queries.row(b))).collect();
     let mut scores = vec![0.0f32; n];
     let mut gemm_out = Matrix::zeros(BATCH, n);
     // Keep each timing sample above timer resolution without letting the
@@ -87,26 +148,23 @@ fn measure(config: &Config, tiers: &[KernelTier], reps: usize, rows: &mut Vec<Ro
     let inner = (2_000_000 / n).max(1);
     let gemm_inner = (inner / 8).max(1);
 
-    let pass_flops = 2.0 * n as f64 * d as f64;
-    for (kernel, flops) in
-        [("dot", pass_flops), ("matvec_transposed", pass_flops), ("matmul_transposed", pass_flops * BATCH as f64)]
-    {
-        let mut row = Row { kernel, d, n, portable_gflops: 0.0, avx2_gflops: None };
+    for kernel in KERNELS {
+        let mut row = Row { kernel, quantized: kernel.starts_with("quantized"), d, n, seconds: Vec::new() };
         for &tier in tiers {
-            let value = match kernel {
+            let secs = match kernel {
                 // The per-candidate loop the serving layer replaced: one
                 // dispatched dot per catalogue row.
-                "dot" => gflops(reps, inner, pass_flops, || {
+                "dot" => seconds_per_pass(reps, inner, || {
                     let mut acc = 0.0f32;
                     for j in 0..n {
                         acc += dot_with_tier(tier, black_box(w.row(j)), black_box(&q));
                     }
                     black_box(acc);
                 }),
-                "matvec_transposed" => gflops(reps, inner, pass_flops, || {
+                "matvec_transposed" => seconds_per_pass(reps, inner, || {
                     matvec_transposed_into_with_tier(tier, black_box(&w), black_box(&q), black_box(&mut scores));
                 }),
-                _ => gflops(reps, gemm_inner, flops, || {
+                "matmul_transposed" => seconds_per_pass(reps, gemm_inner, || {
                     matmul_transposed_into_with_tier(
                         tier,
                         black_box(&queries),
@@ -114,11 +172,19 @@ fn measure(config: &Config, tiers: &[KernelTier], reps: usize, rows: &mut Vec<Ro
                         black_box(&mut gemm_out),
                     );
                 }),
+                "quantized_matvec" => seconds_per_pass(reps, inner, || {
+                    quantized_matvec_into_with_tier(tier, black_box(&qw), black_box(&qq), black_box(&mut scores));
+                }),
+                _ => seconds_per_pass(reps, gemm_inner, || {
+                    quantized_matmul_transposed_into_with_tier(
+                        tier,
+                        black_box(&qqueries),
+                        black_box(&qw),
+                        black_box(&mut gemm_out),
+                    );
+                }),
             };
-            match tier {
-                KernelTier::Portable => row.portable_gflops = value,
-                KernelTier::Avx2 => row.avx2_gflops = Some(value),
-            }
+            row.seconds.push(secs);
         }
         rows.push(row);
     }
@@ -128,8 +194,10 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let reps = if quick { 3 } else { 7 };
     let mut tiers = vec![KernelTier::Portable];
-    if KernelTier::Avx2.supported() {
-        tiers.push(KernelTier::Avx2);
+    for simd in [KernelTier::Avx2, KernelTier::Avx512] {
+        if simd.supported() {
+            tiers.push(simd);
+        }
     }
     let configs = [
         Config { d: 32, n: 10_000 },
@@ -146,52 +214,86 @@ fn main() {
 
     // Worst-case speedups over the shapes measured, per kernel — the
     // headline "what does runtime dispatch buy a portable build" numbers.
-    let min_speedup = |kernel: &str| -> Option<f64> {
+    let min_speedup = |kernel: &str, tier: KernelTier| -> Option<f64> {
+        let idx = tiers.iter().position(|&t| t == tier)?;
         rows.iter()
             .filter(|r| r.kernel == kernel)
-            .filter_map(Row::speedup)
+            .map(|r| r.speedup(idx))
             .min_by(|a, b| a.partial_cmp(b).expect("speedups are finite"))
     };
 
+    // The acceptance headline: quantized effective bandwidth on the active
+    // tier over f32 portable at n = 100k, worst case over d.
+    let active = ham_tensor::kernels::active_tier();
+    let active_idx = tiers.iter().position(|&t| t == active).unwrap_or(0);
+    let bandwidth_ratio = |quant_kernel: &str, f32_kernel: &str| -> f64 {
+        configs
+            .iter()
+            .filter(|c| c.n == 100_000)
+            .map(|c| {
+                let find = |kernel: &str| {
+                    rows.iter().find(|r| r.kernel == kernel && r.d == c.d && r.n == c.n).expect("row was measured")
+                };
+                find(quant_kernel).effective_gbps(active_idx) / find(f32_kernel).effective_gbps(0)
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("ratios are finite"))
+            .expect("n = 100k is measured")
+    };
+    let gemv_ratio = bandwidth_ratio("quantized_matvec", "matvec_transposed");
+    let gemm_ratio = bandwidth_ratio("quantized_matmul", "matmul_transposed");
+
     let mut out = String::from("{\n");
     out.push_str(
-        "  \"description\": \"Kernel tier comparison: GFLOP/s of the portable reference tier vs the explicit AVX2+FMA tier on identical inputs (dot = per-candidate loop, matvec = fused GEMV, matmul_transposed = 64-row QWt GEMM). Generated by kernel_report; run on a build without -C target-cpu=native to see what runtime dispatch buys portable binaries.\",\n",
+        "  \"description\": \"Kernel tier comparison on identical inputs: GFLOP/s and catalogue bandwidth of the portable reference tier vs the explicit AVX2+FMA and AVX-512 tiers (dot = per-candidate loop, matvec = fused GEMV, matmul_transposed = 64-row QWt GEMM, quantized_* = int8 candidate scoring). effective_gbps is f32-equivalent catalogue bytes (n*d*4) over wall time - the serving-latency view in which the int8 kernels' 1-byte elements show up as bandwidth beyond what memory can physically move. Generated by kernel_report.\",\n",
     );
     out.push_str(&format!(
-        "  \"compiled_with_avx2\": {},\n  \"avx2_tier_available\": {},\n  \"active_tier\": \"{}\",\n  \"batch_rows\": {},\n",
+        "  \"compiled_with_avx2\": {},\n  \"avx2_tier_available\": {},\n  \"avx512_tier_available\": {},\n  \
+         \"active_tier\": \"{active}\",\n  \"batch_rows\": {BATCH},\n",
         cfg!(target_feature = "avx2"),
         KernelTier::Avx2.supported(),
-        ham_tensor::kernels::active_tier(),
-        BATCH
+        KernelTier::Avx512.supported(),
     ));
     out.push_str("  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
-        let avx2 = r.avx2_gflops.map_or("null".to_string(), |v| format!("{v:.3}"));
-        let speedup = r.speedup().map_or("null".to_string(), |v| format!("{v:.3}"));
-        out.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"d\": {}, \"n\": {}, \"portable_gflops\": {:.3}, \"avx2_gflops\": {}, \"speedup_avx2\": {}}}{}\n",
-            r.kernel,
-            r.d,
-            r.n,
-            r.portable_gflops,
-            avx2,
-            speedup,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+        let mut fields =
+            format!("\"kernel\": \"{}\", \"quantized\": {}, \"d\": {}, \"n\": {}", r.kernel, r.quantized, r.d, r.n);
+        for (t, &tier) in tiers.iter().enumerate() {
+            fields.push_str(&format!(
+                ", \"{tier}_gflops\": {:.3}, \"{tier}_gbps\": {:.3}, \"{tier}_effective_gbps\": {:.3}",
+                r.gflops(t),
+                r.gbps(t),
+                r.effective_gbps(t)
+            ));
+            if t > 0 {
+                fields.push_str(&format!(", \"speedup_{tier}\": {:.3}", r.speedup(t)));
+            }
+        }
+        out.push_str(&format!("    {{{fields}}}{}\n", if i + 1 < rows.len() { "," } else { "" }));
     }
     out.push_str("  ],\n");
     for (label, kernel) in [
         ("min_speedup_dot", "dot"),
         ("min_speedup_matvec", "matvec_transposed"),
         ("min_speedup_gemm", "matmul_transposed"),
+        ("min_speedup_quantized_matvec", "quantized_matvec"),
+        ("min_speedup_quantized_gemm", "quantized_matmul"),
     ] {
-        let value = min_speedup(kernel).map_or("null".to_string(), |v| format!("{v:.3}"));
-        out.push_str(&format!("  \"{label}\": {value},\n"));
+        for tier in [KernelTier::Avx2, KernelTier::Avx512] {
+            let value = min_speedup(kernel, tier).map_or("null".to_string(), |v| format!("{v:.3}"));
+            out.push_str(&format!("  \"{label}_{tier}\": {value},\n"));
+        }
     }
+    out.push_str(&format!(
+        "  \"quantized_gemv_effective_bandwidth_ratio\": {gemv_ratio:.3},\n  \
+         \"quantized_gemm_effective_bandwidth_ratio\": {gemm_ratio:.3},\n"
+    ));
     out.push_str(&format!("  \"quick\": {quick}\n"));
     out.push_str("}\n");
 
     std::fs::write("BENCH_kernels.json", &out).expect("failed to write BENCH_kernels.json");
     println!("{out}");
-    eprintln!("wrote BENCH_kernels.json");
+    eprintln!(
+        "wrote BENCH_kernels.json (quantized effective bandwidth vs f32 portable at n=100k: \
+         GEMV {gemv_ratio:.2}x, GEMM {gemm_ratio:.2}x)"
+    );
 }

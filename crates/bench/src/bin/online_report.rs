@@ -122,6 +122,7 @@ fn main() {
         model: HamConfig::for_variant(HamVariant::HamM).with_dimensions(scale.d, 5, 2, 3, 1),
         train: TrainConfig { epochs: scale.epochs_per_round, batch_size: 256, ..TrainConfig::default() },
         shards: 2,
+        quantize_serving: false,
         seed: SEED,
     };
 

@@ -18,8 +18,8 @@ use ham_core::{HamConfig, HamModel, HamVariant};
 use ham_data::dataset::SequenceDataset;
 use ham_data::split::{split_dataset, EvalSetting};
 use ham_eval::protocol::{evaluate, evaluate_batch, EvalConfig};
-use ham_tensor::kernels::{matmul_transposed, matvec_transposed};
-use ham_tensor::Matrix;
+use ham_tensor::kernels::{active_tier, matmul_transposed, matvec_transposed, quantized_matvec_into};
+use ham_tensor::{Matrix, QuantizedMatrix, QuantizedQuery};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -78,6 +78,7 @@ struct KernelRow {
     naive_us: f64,
     matvec_us: f64,
     batched_per_user_us: f64,
+    quantized_matvec_us: f64,
 }
 
 fn kernel_ladder() -> Vec<KernelRow> {
@@ -106,11 +107,20 @@ fn kernel_ladder() -> Vec<KernelRow> {
             }
         }) / gemm_inner as f64
             / BATCH as f64;
+        let qw = QuantizedMatrix::quantize(&w);
+        let qq = QuantizedQuery::quantize(&q);
+        let mut qscores = vec![0.0f32; n];
+        let quantized = time_best(5, || {
+            for _ in 0..inner {
+                quantized_matvec_into(black_box(&qw), black_box(&qq), black_box(&mut qscores));
+            }
+        }) / inner as f64;
         rows.push(KernelRow {
             catalogue: n,
             naive_us: naive * 1e6,
             matvec_us: matvec * 1e6,
             batched_per_user_us: batched * 1e6,
+            quantized_matvec_us: quantized * 1e6,
         });
     }
     rows
@@ -184,18 +194,21 @@ fn main() {
     let (eval_rows, speedup) = end_to_end();
 
     let mut out = String::from("{\n");
-    out.push_str("  \"description\": \"Batched scoring kernel layer: before/after numbers. Kernel times are per score_all-equivalent call (microseconds); the end-to-end section times the full evaluation protocol on 200 users / 10k items / d=32.\",\n");
+    out.push_str("  \"description\": \"Batched scoring kernel layer: before/after numbers. Kernel times are per score_all-equivalent call (microseconds), including the int8 quantized GEMV rung on the dispatched tier; the end-to-end section times the full evaluation protocol on 200 users / 10k items / d=32.\",\n");
     out.push_str(&format!("  \"d\": {D},\n  \"batch_size\": {BATCH},\n"));
+    out.push_str(&format!("  \"active_tier\": \"{}\",\n  \"quantized\": true,\n", active_tier()));
     out.push_str("  \"kernel_ladder_us_per_call\": [\n");
     for (i, r) in kernels.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"catalogue\": {}, \"naive_dot_loop\": {:.2}, \"matvec_transposed\": {:.2}, \"batched_qwt_per_user\": {:.2}, \"speedup_matvec\": {:.2}, \"speedup_batched\": {:.2}}}{}\n",
+            "    {{\"catalogue\": {}, \"naive_dot_loop\": {:.2}, \"matvec_transposed\": {:.2}, \"batched_qwt_per_user\": {:.2}, \"quantized_matvec\": {:.2}, \"speedup_matvec\": {:.2}, \"speedup_batched\": {:.2}, \"speedup_quantized\": {:.2}}}{}\n",
             r.catalogue,
             r.naive_us,
             r.matvec_us,
             r.batched_per_user_us,
+            r.quantized_matvec_us,
             r.naive_us / r.matvec_us,
             r.naive_us / r.batched_per_user_us,
+            r.naive_us / r.quantized_matvec_us,
             if i + 1 < kernels.len() { "," } else { "" }
         ));
     }

@@ -67,6 +67,7 @@
 //!     model: HamConfig::for_variant(HamVariant::HamM).with_dimensions(8, 4, 2, 2, 1),
 //!     train: TrainConfig { epochs: 1, batch_size: 16, ..TrainConfig::default() },
 //!     shards: 2,
+//!     quantize_serving: false,
 //!     seed: 7,
 //! };
 //! let mut trainer = OnlineTrainer::bootstrap(&initial, config);
@@ -102,6 +103,11 @@ pub struct OnlineConfig {
     pub train: TrainConfig,
     /// Shard count of the published serving snapshots.
     pub shards: usize,
+    /// Freeze an int8 panel next to every published shard and serve through
+    /// the quantized pre-selection + exact re-rank path (¼ of the
+    /// candidate-matrix traffic per request; results stay bit-identical to
+    /// the exact path under the serving layer's recall guardrail).
+    pub quantize_serving: bool,
     /// Master seed: model init, growth rows and every round's shuffle /
     /// negative stream derive from it deterministically.
     pub seed: u64,
@@ -201,7 +207,7 @@ impl OnlineTrainer {
             checkpoint.adam,
             config.seed,
         );
-        let serving = freeze(checkpoint.model, config.shards, checkpoint.round);
+        let serving = freeze(checkpoint.model, config.shards, config.quantize_serving, checkpoint.round);
         Self {
             config,
             data: checkpoint.data,
@@ -286,7 +292,7 @@ impl OnlineTrainer {
         let publish_started = Instant::now();
         let mut version = self.registry.version();
         if instances_trained > 0 || round == 1 {
-            let serving = freeze(self.state.snapshot(), self.config.shards, round);
+            let serving = freeze(self.state.snapshot(), self.config.shards, self.config.quantize_serving, round);
             version = if round == 1 {
                 // keep version 1 == first trained model
                 self.registry = Arc::new(ModelRegistry::new(serving));
@@ -304,9 +310,14 @@ impl OnlineTrainer {
 /// Freezes a model snapshot into a named, sharded serving snapshot. Takes
 /// the snapshot by value: it is already an owned copy, so publishing must
 /// not memcpy the embedding tables a second time.
-fn freeze(model: HamModel, shards: usize, round: u64) -> ServingModel {
-    ServingModel::from_scorer(&format!("ham-online-r{round}"), Arc::new(model), shards.max(1))
-        .expect("HAM models always expose a linear head")
+fn freeze(model: HamModel, shards: usize, quantize: bool, round: u64) -> ServingModel {
+    let serving = ServingModel::from_scorer(&format!("ham-online-r{round}"), Arc::new(model), shards.max(1))
+        .expect("HAM models always expose a linear head");
+    if quantize {
+        serving.with_quantized_catalog()
+    } else {
+        serving
+    }
 }
 
 /// The sampler seed of a round: depends on the master seed and the round

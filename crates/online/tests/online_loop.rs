@@ -13,6 +13,7 @@ fn tiny_config(seed: u64) -> OnlineConfig {
         model: HamConfig::for_variant(HamVariant::HamM).with_dimensions(8, 4, 2, 2, 1),
         train: TrainConfig { epochs: 2, batch_size: 32, ..TrainConfig::default() },
         shards: 2,
+        quantize_serving: false,
         seed,
     }
 }
@@ -189,6 +190,40 @@ fn new_users_and_items_grow_and_get_served() {
     assert_eq!(response.model_version, 2);
     assert_eq!(response.items.len(), 10);
     assert!(response.items.iter().all(|s| s.score.is_finite()));
+}
+
+/// `quantize_serving` publishes int8-quantized snapshots at every round —
+/// bootstrap and incremental alike — and the served results stay
+/// bit-identical to an unquantized twin trained on the same stream (the
+/// quantized path re-ranks its candidates through the exact f32 kernel).
+#[test]
+fn quantized_publishing_serves_the_same_results() {
+    let initial = tiny_dataset(21);
+    let exact_config = tiny_config(77);
+    let quant_config = OnlineConfig { quantize_serving: true, ..exact_config };
+
+    let run = |config: OnlineConfig| {
+        let mut trainer = OnlineTrainer::bootstrap(&initial, config);
+        for (user, item) in fresh_stream(&initial) {
+            trainer.ingest(user, item);
+        }
+        trainer.run_round();
+        trainer
+    };
+    let exact = run(exact_config);
+    let quantized = run(quant_config);
+
+    assert!(!exact.registry().current().model.is_quantized());
+    assert!(quantized.registry().current().model.is_quantized(), "every published snapshot must be quantized");
+    assert_eq!(quantized.registry().version(), 2, "the incremental round still publishes");
+
+    let exact_server = RecServer::start(exact.registry(), ServerConfig::default());
+    let quant_server = RecServer::start(quantized.registry(), ServerConfig::default());
+    for (user, seq) in initial.sequences.iter().enumerate() {
+        let want = exact_server.submit(RecommendRequest::new(user, seq.clone(), 5)).expect("exact serving");
+        let got = quant_server.submit(RecommendRequest::new(user, seq.clone(), 5)).expect("quantized serving");
+        assert_eq!(got.items, want.items, "user {user}: quantized serving must match the exact path bit-for-bit");
+    }
 }
 
 /// A round with nothing fresh is a published no-op: version unchanged,

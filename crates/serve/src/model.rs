@@ -5,7 +5,7 @@ use crate::shard::{ScoredItem, ShardedCatalog};
 use ham_core::{LinearHead, Scorer, SeenMask};
 use ham_data::dataset::ItemId;
 use ham_tensor::pool::ThreadPool;
-use ham_tensor::Matrix;
+use ham_tensor::{Matrix, QuantizedQuery};
 use std::sync::Arc;
 
 /// A model snapshot prepared for online serving.
@@ -24,6 +24,13 @@ use std::sync::Arc;
 /// per shard and is bit-identical to the equivalent unsharded GEMM ranking
 /// (which agrees with the GEMV path within float rounding, ≤ 1e-5 — the same
 /// contract `score_batch` has had since the kernel layer landed).
+///
+/// [`Self::with_quantized_catalog`] additionally freezes an int8 snapshot of
+/// the candidate matrix at publish time: requests then pre-select through
+/// the quantized panels (¼ of the candidate-matrix memory traffic) and
+/// re-rank the quantized top-`2k` with the exact f32 per-row kernel, so the
+/// served top-k stays bit-identical — ids and order — to the exact GEMV
+/// path (pinned by the serving tests as a recall guardrail).
 pub struct ServingModel {
     name: String,
     catalog: ShardedCatalog,
@@ -75,6 +82,21 @@ impl ServingModel {
         }
     }
 
+    /// Freezes an int8 snapshot of every shard and switches serving to the
+    /// quantized pre-selection + exact re-rank path. The f32 shards stay
+    /// authoritative (the re-rank reads them), so this only adds the panels'
+    /// 1 byte/element — and serving results stay bit-identical to the exact
+    /// path under the recall guardrail.
+    pub fn with_quantized_catalog(mut self) -> Self {
+        self.catalog = self.catalog.with_quantization();
+        self
+    }
+
+    /// Whether requests take the quantized pre-selection path.
+    pub fn is_quantized(&self) -> bool {
+        self.catalog.is_quantized()
+    }
+
     /// Human-readable model name (shown in benchmark reports).
     pub fn name(&self) -> &str {
         &self.name
@@ -114,7 +136,7 @@ impl ServingModel {
     /// [`matvec_transposed_into`]: ham_tensor::kernels::matvec_transposed_into
     pub fn recommend_with(&self, request: &RecommendRequest, scratch: &mut ServeScratch) -> Vec<ScoredItem> {
         let q = self.query_vector(request.user, &request.history);
-        let ServeScratch { scores, seen } = scratch;
+        let ServeScratch { scores, seen, qquery } = scratch;
         let seen_bits = if request.exclude_seen {
             seen.resize(self.catalog.num_items());
             seen.mark(&request.history);
@@ -122,7 +144,11 @@ impl ServingModel {
         } else {
             None
         };
-        let out = self.catalog.top_k_with_buf(&q, request.k, seen_bits, scores);
+        let out = if self.catalog.is_quantized() {
+            self.catalog.quantized_top_k_with_buf(&q, request.k, seen_bits, scores, qquery)
+        } else {
+            self.catalog.top_k_with_buf(&q, request.k, seen_bits, scores)
+        };
         if request.exclude_seen {
             seen.clear(&request.history);
         }
@@ -164,7 +190,11 @@ impl ServingModel {
                 let ks: Vec<usize> = requests.iter().map(|r| r.k).collect();
                 let seen: Vec<Option<&[usize]>> =
                     requests.iter().map(|r| r.exclude_seen.then_some(r.history.as_slice())).collect();
-                self.catalog.top_k_batch(&queries, &ks, &seen, pool)
+                if self.catalog.is_quantized() {
+                    self.catalog.quantized_top_k_batch(&queries, &ks, &seen, pool)
+                } else {
+                    self.catalog.top_k_batch(&queries, &ks, &seen, pool)
+                }
             }
         }
     }
@@ -182,12 +212,15 @@ impl ServingModel {
 pub struct ServeScratch {
     scores: Vec<f32>,
     seen: SeenMask,
+    /// Reusable quantized-query buffer for the quantized serving path
+    /// (re-quantized in place per request — no allocation after warmup).
+    qquery: QuantizedQuery,
 }
 
 impl ServeScratch {
     /// An empty scratch; buffers are grown on first use.
     pub fn new() -> Self {
-        Self { scores: Vec::new(), seen: SeenMask::new(0) }
+        Self { scores: Vec::new(), seen: SeenMask::new(0), qquery: QuantizedQuery::quantize(&[]) }
     }
 
     /// Restores the all-clear invariant (used after a serving call panicked

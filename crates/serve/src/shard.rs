@@ -24,11 +24,27 @@
 //!   even the degenerate "fewer than k unseen items" padding matches); and
 //! * the merge comparator is the same total preference (higher score first,
 //!   ties to the lower global item id) used by `top_k_indices`.
+//!
+//! ## The quantized candidate path
+//!
+//! [`ShardedCatalog::with_quantization`] snapshots every shard's rows as an
+//! int8 [`QuantizedMatrix`] panel alongside the f32 original. The quantized
+//! serving path ([`ShardedCatalog::quantized_top_k_with_buf`]) then scores
+//! each shard against the i8 panel (¼ of the memory traffic), pre-selects the
+//! quantized top-`2k` per shard through the same fused mask+select kernel,
+//! merges, and **re-ranks the merged candidates with the exact f32 per-row
+//! dot** — the very kernel chain the exact GEMV path uses — so the served
+//! top-k is bit-identical to the exact path whenever the exact winners
+//! survive the 2k pre-selection (the recall guardrail pinned by the serving
+//! test-suite, not a silent approximation). Quantized pre-selection scores
+//! are integer-accumulated and therefore bit-identical across tiers and
+//! shard counts by construction.
 
 use ham_data::dataset::ItemId;
+use ham_tensor::kernels;
 use ham_tensor::ops::{top_k_indices, top_k_indices_masked};
 use ham_tensor::pool::ThreadPool;
-use ham_tensor::Matrix;
+use ham_tensor::{Matrix, QuantizedMatrix, QuantizedQuery};
 
 /// One recommended item with its model score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +60,9 @@ pub struct ScoredItem {
 pub struct Shard {
     offset: usize,
     rows: Matrix,
+    /// Int8 snapshot of `rows` for the quantized pre-selection path
+    /// (`None` until [`ShardedCatalog::with_quantization`]).
+    quantized: Option<QuantizedMatrix>,
 }
 
 impl Shard {
@@ -65,6 +84,11 @@ impl Shard {
     /// The shard's slice of the candidate matrix.
     pub fn rows(&self) -> &Matrix {
         &self.rows
+    }
+
+    /// The shard's int8 panel, when the catalogue was quantized.
+    pub fn quantized(&self) -> Option<&QuantizedMatrix> {
+        self.quantized.as_ref()
     }
 }
 
@@ -93,10 +117,25 @@ impl ShardedCatalog {
         for s in 0..num_shards {
             let len = base + usize::from(s < extra);
             let rows = Matrix::from_vec(len, d, w.as_slice()[offset * d..(offset + len) * d].to_vec());
-            shards.push(Shard { offset, rows });
+            shards.push(Shard { offset, rows, quantized: None });
             offset += len;
         }
         Self { shards, num_items: n, dim: d }
+    }
+
+    /// Snapshots every shard's rows as an int8 panel, enabling the quantized
+    /// pre-selection path. The f32 rows stay authoritative — the exact
+    /// re-rank and the f32 serving paths keep reading them.
+    pub fn with_quantization(mut self) -> Self {
+        for shard in &mut self.shards {
+            shard.quantized = Some(QuantizedMatrix::quantize(&shard.rows));
+        }
+        self
+    }
+
+    /// Whether the shards carry int8 panels ([`Self::with_quantization`]).
+    pub fn is_quantized(&self) -> bool {
+        self.shards.iter().all(|s| s.quantized.is_some())
     }
 
     /// Number of shards (including empty ones).
@@ -217,6 +256,153 @@ impl ShardedCatalog {
             })
             .collect();
         merge_top_k(&per_shard, k)
+    }
+
+    /// Global top-k through the quantized candidate path: per-shard int8
+    /// GEMV pre-selection of the quantized top-`2k`, k-way merge, then an
+    /// **exact f32 re-rank** of the merged candidates.
+    ///
+    /// The re-rank scores each candidate with the same dispatched per-row
+    /// dot kernel the exact GEMV path uses, and ranks with the same
+    /// comparator — so whenever every exact winner survives the quantized
+    /// 2k pre-selection (the recall guardrail the serving tests pin), the
+    /// result is bit-identical, ids and order, to [`Self::top_k`]. The
+    /// pre-selection itself is integer-accumulated and bit-identical across
+    /// tiers and shard counts by construction.
+    ///
+    /// `qquery` is the reusable query-quantization scratch
+    /// (re-quantized in place from `query` on every call).
+    ///
+    /// # Panics
+    /// Panics if the catalogue was not quantized
+    /// ([`Self::with_quantization`]).
+    pub fn quantized_top_k_with_buf(
+        &self,
+        query: &[f32],
+        k: usize,
+        seen: Option<&[bool]>,
+        scores_buf: &mut Vec<f32>,
+        qquery: &mut QuantizedQuery,
+    ) -> Vec<ScoredItem> {
+        let pre_k = k.saturating_mul(2);
+        qquery.requantize(query);
+        let max_len = self.shards.iter().map(Shard::len).max().unwrap_or(0);
+        if scores_buf.len() < max_len {
+            scores_buf.resize(max_len, 0.0);
+        }
+        let per_shard: Vec<Vec<ScoredItem>> = (0..self.shards.len())
+            .map(|s| {
+                let panel = self.shards[s].quantized.as_ref().expect("quantized_top_k on an unquantized catalogue");
+                let scores = &mut scores_buf[..self.shards[s].len()];
+                kernels::quantized_matvec_into(panel, qquery, scores);
+                self.shard_top_k(s, scores, pre_k, seen)
+            })
+            .collect();
+        let candidates = merge_top_k(&per_shard, pre_k);
+        self.rerank_exact(candidates, query, k, seen)
+    }
+
+    /// Re-scores `candidates` with the exact f32 per-row dot (the same
+    /// dispatched kernel chain as the exact GEMV path — bit-identical per
+    /// row), re-applies the mask, and keeps the top `k` under the exact
+    /// comparator.
+    fn rerank_exact(
+        &self,
+        candidates: Vec<ScoredItem>,
+        query: &[f32],
+        k: usize,
+        seen: Option<&[bool]>,
+    ) -> Vec<ScoredItem> {
+        let mut exact: Vec<ScoredItem> = candidates
+            .into_iter()
+            .map(|c| {
+                let masked = seen.is_some_and(|bits| bits[c.item]);
+                let score = if masked {
+                    f32::NEG_INFINITY
+                } else {
+                    let (s, local) = self.locate(c.item);
+                    kernels::dot(self.shards[s].rows.row(local), query)
+                };
+                ScoredItem { item: c.item, score }
+            })
+            .collect();
+        exact.sort_by(|a, b| better(b, a));
+        exact.truncate(k);
+        exact
+    }
+
+    /// Shard index and shard-local row of a global item id.
+    fn locate(&self, item: usize) -> (usize, usize) {
+        debug_assert!(item < self.num_items);
+        let s = self.shards.partition_point(|sh| sh.offset + sh.len() <= item);
+        (s, item - self.shards[s].offset)
+    }
+
+    /// Batched [`Self::quantized_top_k_with_buf`]: one int8 GEMM per shard
+    /// (in parallel across shards on `pool` when given), then per-row
+    /// pre-selection, merge and exact re-rank.
+    ///
+    /// Because the re-rank rescores with the exact per-row dot, a batched
+    /// quantized request returns the same bits as the single-request
+    /// quantized path — batching changes throughput, never results.
+    ///
+    /// # Panics
+    /// Panics if the catalogue was not quantized or the per-row argument
+    /// lengths disagree with the batch size.
+    pub fn quantized_top_k_batch(
+        &self,
+        queries: &Matrix,
+        ks: &[usize],
+        seen_items: &[Option<&[ItemId]>],
+        pool: Option<&ThreadPool>,
+    ) -> Vec<Vec<ScoredItem>> {
+        let b = queries.rows();
+        assert_eq!(ks.len(), b, "quantized_top_k_batch: {} k values for {} queries", ks.len(), b);
+        assert_eq!(seen_items.len(), b, "quantized_top_k_batch: {} seen lists for {} queries", seen_items.len(), b);
+        let qqueries: Vec<QuantizedQuery> = (0..b).map(|i| QuantizedQuery::quantize(queries.row(i))).collect();
+        let mut blocks: Vec<Option<Matrix>> = self.shards.iter().map(|_| None).collect();
+        let parallel_useful = self.shards.iter().filter(|s| !s.is_empty()).count() > 1;
+        let score_shard = |s: usize| {
+            let panel = self.shards[s].quantized.as_ref().expect("quantized_top_k on an unquantized catalogue");
+            let mut block = Matrix::zeros(b, panel.rows());
+            kernels::quantized_matmul_transposed_into(&qqueries, panel, &mut block);
+            block
+        };
+        match pool {
+            Some(pool) if parallel_useful => pool.scope(|scope| {
+                for (s, block) in blocks.iter_mut().enumerate() {
+                    let score_shard = &score_shard;
+                    scope.spawn(move || *block = Some(score_shard(s)));
+                }
+            }),
+            _ => {
+                for (s, block) in blocks.iter_mut().enumerate() {
+                    *block = Some(score_shard(s));
+                }
+            }
+        }
+        let blocks: Vec<Matrix> = blocks.into_iter().map(|b| b.expect("shard scoring task never ran")).collect();
+        let mut scratch = vec![false; self.num_items];
+        let mut out = Vec::with_capacity(b);
+        for i in 0..b {
+            let seen = match seen_items[i] {
+                Some(items) => {
+                    mark_seen(&mut scratch, items);
+                    Some(scratch.as_slice())
+                }
+                None => None,
+            };
+            let pre_k = ks[i].saturating_mul(2);
+            let per_shard: Vec<Vec<ScoredItem>> =
+                (0..self.shards.len()).map(|s| self.shard_top_k(s, blocks[s].row(i), pre_k, seen)).collect();
+            let candidates = merge_top_k(&per_shard, pre_k);
+            let merged = self.rerank_exact(candidates, queries.row(i), ks[i], seen);
+            if let Some(items) = seen_items[i] {
+                clear_seen(&mut scratch, items);
+            }
+            out.push(merged);
+        }
+        out
     }
 
     /// Exact global top-k for a query batch: one packed-panel GEMM per shard

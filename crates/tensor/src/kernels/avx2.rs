@@ -19,7 +19,8 @@
 //! the same row data — an element's value never depends on which path
 //! computed it or where it sat in a tile.
 
-use super::{pack_panel_kmajor, row_is_sparse, GEMM_B_PANEL};
+use super::{pack_panel_kmajor, quantized_score, row_is_sparse, GEMM_B_PANEL};
+use crate::quant::{QuantizedMatrix, QuantizedQuery};
 use crate::Matrix;
 use core::arch::x86_64::*;
 
@@ -212,6 +213,165 @@ pub(super) fn axpy_rows(dst: &mut Matrix, dst_rows: &[usize], scales: &[f32], sr
     let dst_data = dst.as_mut_slice();
     for ((&dr, &scale), &sr) in dst_rows.iter().zip(scales).zip(src_rows) {
         axpy(&mut dst_data[dr * d..(dr + 1) * d], scale, &src_data[sr * d..(sr + 1) * d]);
+    }
+}
+
+/// Exact integer core of the quantized kernels: `Σ_k p[k] · s[k]` in `i32`,
+/// 16 elements per step — zero-extend the `u8` payload and sign-extend the
+/// `i8` query to `i16`, one widening multiply-add (`pmaddwd`) into 8 `i32`
+/// lanes. The `i16` products (≤ 255·127) and pair sums cannot overflow, so
+/// the accumulation is exact and, integer addition being associative,
+/// bit-identical to every other tier.
+#[target_feature(enable = "avx2")]
+pub(super) fn quantized_dot_i32(p: &[u8], s: &[i8]) -> i32 {
+    let len = p.len().min(s.len());
+    let mut acc = _mm256_setzero_si256();
+    let mut k = 0;
+    while k + 16 <= len {
+        // SAFETY: `k + 16 <= len` bounds both 16-byte unaligned loads.
+        let (pv, sv) = unsafe {
+            (_mm_loadu_si128(p.as_ptr().add(k) as *const __m128i), _mm_loadu_si128(s.as_ptr().add(k) as *const __m128i))
+        };
+        let prod = _mm256_madd_epi16(_mm256_cvtepu8_epi16(pv), _mm256_cvtepi8_epi16(sv));
+        acc = _mm256_add_epi32(acc, prod);
+        k += 16;
+    }
+    let mut sum = hsum_epi32(acc);
+    for (&pv, &sv) in p[k..len].iter().zip(&s[k..len]) {
+        sum += pv as i32 * sv as i32;
+    }
+    sum
+}
+
+/// Horizontal sum of 8 `i32` lanes (exact in any order).
+#[inline]
+#[target_feature(enable = "avx2")]
+fn hsum_epi32(v: __m256i) -> i32 {
+    let lo = _mm256_castsi256_si128(v);
+    let hi = _mm256_extracti128_si256::<1>(v);
+    let q = _mm_add_epi32(lo, hi);
+    let h = _mm_add_epi32(q, _mm_shuffle_epi32::<0b0100_1110>(q));
+    let s = _mm_add_epi32(h, _mm_shuffle_epi32::<0b0101_0101>(h));
+    _mm_cvtsi128_si32(s)
+}
+
+/// Quantized GEMV from the int8 panel: one integer [`quantized_dot_i32`]
+/// plus the zero-point fixup per catalogue row.
+#[target_feature(enable = "avx2")]
+pub(super) fn quantized_matvec_into(w: &QuantizedMatrix, q: &QuantizedQuery, out: &mut [f32]) {
+    let d = w.cols();
+    let payload = w.payload();
+    for (j, o) in out.iter_mut().enumerate() {
+        let acc = quantized_dot_i32(&payload[j * d..(j + 1) * d], q.payload());
+        *o = quantized_score(acc, w.zero_point(j), w.scale(j), q);
+    }
+}
+
+/// Rows per vertical group in the quantized GEMM: one ymm of 8 `i32`
+/// accumulators scores 8 catalogue rows at once.
+const QGEMM_GROUP: usize = 8;
+
+/// Catalogue rows packed per panel block of the quantized GEMM (see the
+/// AVX-512 tier — same cache story, 8-row groups instead of 16).
+const QGEMM_ROW_BLOCK: usize = 2048;
+
+/// Quantized batched scoring with a **vertical** integer microkernel: the
+/// ymm mirror of the AVX-512 tier's kernel (see its doc comment for the
+/// layout). The panel is repacked per row block in k-pair-major groups of
+/// [`QGEMM_GROUP`] rows widened to `i16`; `vpmaddwd` against a broadcast
+/// query `(s[2g], s[2g+1])` dword accumulates both `k` steps for 8 rows
+/// vertically, so there are no horizontal reductions, and the score
+/// epilogue is applied 8-wide with exactly the arithmetic of
+/// [`quantized_score`] — integer accumulation is exact and the one f32
+/// rounding is unchanged, keeping every element bit-identical to the
+/// scalar and portable paths.
+#[target_feature(enable = "avx2")]
+pub(super) fn quantized_matmul_transposed_into(queries: &[QuantizedQuery], w: &QuantizedMatrix, out: &mut Matrix) {
+    let d = w.cols();
+    let n = w.rows();
+    if queries.is_empty() || n == 0 {
+        return;
+    }
+    if d == 0 {
+        out.as_mut_slice().fill(0.0);
+        return;
+    }
+    let payload = w.payload();
+    let out_data = out.as_mut_slice();
+    let kp = d.div_ceil(2); // i16 (k, k+1) pairs per row
+
+    // Per-query broadcast operands: each dword is (s[2g] as i16, s[2g+1] as
+    // i16), zero-padded past `d` (zero query padding multiplies against the
+    // panel's zero padding, so padded lanes contribute exactly 0).
+    let mut qpairs = vec![0i32; queries.len() * kp];
+    for (qi, q) in queries.iter().enumerate() {
+        let s = q.payload();
+        for g in 0..kp {
+            let lo = s[2 * g] as i16 as u16 as u32;
+            let hi = if 2 * g + 1 < d { s[2 * g + 1] as i16 as u16 as u32 } else { 0 };
+            qpairs[qi * kp + g] = (lo | (hi << 16)) as i32;
+        }
+    }
+
+    let mut panel = vec![0i16; QGEMM_ROW_BLOCK.min(n.next_multiple_of(QGEMM_GROUP)) * kp * 2];
+    let mut block_start = 0;
+    while block_start < n {
+        let block_rows = (n - block_start).min(QGEMM_ROW_BLOCK);
+        let groups = block_rows.div_ceil(QGEMM_GROUP);
+        // Pack: group-major, then k-pair-major, 8 rows' (lo, hi) i16 pairs
+        // per slot; rows past `n` and the odd-`d` hi half stay zero.
+        panel[..groups * kp * 2 * QGEMM_GROUP].fill(0);
+        for g in 0..groups {
+            for r in 0..QGEMM_GROUP {
+                let j = block_start + g * QGEMM_GROUP + r;
+                if j >= n {
+                    break;
+                }
+                let row = &payload[j * d..(j + 1) * d];
+                for kg in 0..kp {
+                    let slot = (g * kp + kg) * 2 * QGEMM_GROUP + 2 * r;
+                    panel[slot] = row[2 * kg] as i16;
+                    if 2 * kg + 1 < d {
+                        panel[slot + 1] = row[2 * kg + 1] as i16;
+                    }
+                }
+            }
+        }
+        for (qi, q) in queries.iter().enumerate() {
+            let qp = &qpairs[qi * kp..(qi + 1) * kp];
+            let qsum_v = _mm256_set1_epi32(q.sum());
+            let qscale_v = _mm256_set1_ps(q.scale());
+            for g in 0..groups {
+                let mut acc = _mm256_setzero_si256();
+                let base = g * kp * 2 * QGEMM_GROUP;
+                for (kg, &pair) in qp.iter().enumerate() {
+                    // SAFETY: the slot index is within the `groups·kp` slots
+                    // packed above, each 16 i16 = 32 bytes.
+                    let pv = unsafe { _mm256_loadu_si256(panel.as_ptr().add(base + kg * 2 * QGEMM_GROUP) as *const _) };
+                    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pv, _mm256_set1_epi32(pair)));
+                }
+                let j0 = block_start + g * QGEMM_GROUP;
+                if j0 + QGEMM_GROUP <= n {
+                    // SAFETY: `j0 + 8 <= n` bounds the zero-point/scale loads
+                    // and the 8-float store into this query's row.
+                    unsafe {
+                        let zp_v = _mm256_loadu_si256(w.zero_points().as_ptr().add(j0) as *const _);
+                        let sc_v = _mm256_loadu_ps(w.scales().as_ptr().add(j0));
+                        let diff = _mm256_sub_epi32(acc, _mm256_mullo_epi32(zp_v, qsum_v));
+                        let score = _mm256_mul_ps(_mm256_cvtepi32_ps(diff), _mm256_mul_ps(sc_v, qscale_v));
+                        _mm256_storeu_ps(out_data.as_mut_ptr().add(qi * n + j0), score);
+                    }
+                } else {
+                    let mut sums = [0i32; QGEMM_GROUP];
+                    // SAFETY: `sums` is exactly one 32-byte ymm wide.
+                    unsafe { _mm256_storeu_si256(sums.as_mut_ptr() as *mut _, acc) };
+                    for (r, &sum) in sums.iter().enumerate().take(n - j0) {
+                        out_data[qi * n + j0 + r] = quantized_score(sum, w.zero_point(j0 + r), w.scale(j0 + r), q);
+                    }
+                }
+            }
+        }
+        block_start += block_rows;
     }
 }
 

@@ -35,15 +35,27 @@
 //! |---|---|---|
 //! | [`KernelTier::Portable`] | always available (the fallback) | safe multi-accumulator loops in `portable.rs`; vectorize under `-C target-cpu=native`, stay correct (scalar/SSE2) without it |
 //! | [`KernelTier::Avx2`] | `x86_64` with `avx2`+`fma` detected at runtime | explicit `std::arch` microkernels in `avx2.rs`; need **no** `target-cpu=native` to emit vector FMAs |
+//! | [`KernelTier::Avx512`] | `x86_64` with `avx512f`+`avx512bw` detected at runtime | 16-wide `std::arch` microkernels in `avx512.rs`; preferred over AVX2 when present |
 //!
 //! The dispatcher resolves the tier **once** per process (cached in an
 //! atomic): the `HAM_KERNEL_TIER` environment variable wins if set
-//! (`scalar`/`portable`, `avx2`/`simd`, or `auto`), otherwise
-//! `is_x86_feature_detected!` picks the best supported tier. [`active_tier`]
+//! (`scalar`/`portable`, `avx2`/`simd`, `avx512`, or `auto`), otherwise
+//! `is_x86_feature_detected!` picks the best supported tier
+//! (avx512 > avx2 > portable). [`active_tier`]
 //! reports the decision; [`force_tier`] overrides it in-process for tests
 //! and benchmarks. `-C target-cpu=native` is no longer required for vector
 //! speed — it still buys better codegen for the *portable* tier and for all
-//! non-kernel code, but portable builds now hit the AVX2 tier at runtime.
+//! non-kernel code, but portable builds now hit the best SIMD tier at runtime.
+//!
+//! ## Quantized kernels
+//!
+//! The int8 candidate-scoring path ([`crate::quant`]) has its own kernel
+//! family behind the same dispatcher: [`quantized_dot`],
+//! [`quantized_matvec_into`] and [`quantized_matmul_transposed_into`] score
+//! a [`QuantizedMatrix`] panel (1 byte/element instead of 4) against
+//! [`QuantizedQuery`] vectors. Their integer accumulation is exact, so —
+//! unlike the f32 kernels — quantized scores are **bit-identical across
+//! every tier** and every shard/panel grouping by construction.
 //!
 //! ## Which entry point applies?
 //!
@@ -69,8 +81,11 @@
 
 #[cfg(target_arch = "x86_64")]
 mod avx2;
+#[cfg(target_arch = "x86_64")]
+mod avx512;
 mod portable;
 
+use crate::quant::{QuantizedMatrix, QuantizedQuery};
 use crate::Matrix;
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -95,6 +110,8 @@ pub enum KernelTier {
     Portable,
     /// Explicit x86_64 AVX2+FMA microkernels (runtime-detected).
     Avx2,
+    /// Explicit x86_64 AVX-512 (F+BW) microkernels (runtime-detected).
+    Avx512,
 }
 
 impl KernelTier {
@@ -112,6 +129,16 @@ impl KernelTier {
                     false
                 }
             }
+            KernelTier::Avx512 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
         }
     }
 
@@ -120,6 +147,7 @@ impl KernelTier {
         match self {
             KernelTier::Portable => "portable",
             KernelTier::Avx2 => "avx2",
+            KernelTier::Avx512 => "avx512",
         }
     }
 
@@ -127,6 +155,7 @@ impl KernelTier {
         match self {
             KernelTier::Portable => TIER_PORTABLE,
             KernelTier::Avx2 => TIER_AVX2,
+            KernelTier::Avx512 => TIER_AVX512,
         }
     }
 }
@@ -140,6 +169,7 @@ impl std::fmt::Display for KernelTier {
 const TIER_UNRESOLVED: u8 = 0;
 const TIER_PORTABLE: u8 = 1;
 const TIER_AVX2: u8 = 2;
+const TIER_AVX512: u8 = 3;
 
 /// The process-wide tier decision: resolved on first kernel call, then a
 /// single relaxed atomic load per dispatch.
@@ -150,6 +180,7 @@ fn dispatch() -> KernelTier {
     match ACTIVE_TIER.load(Ordering::Relaxed) {
         TIER_PORTABLE => KernelTier::Portable,
         TIER_AVX2 => KernelTier::Avx2,
+        TIER_AVX512 => KernelTier::Avx512,
         _ => resolve_tier(),
     }
 }
@@ -170,9 +201,19 @@ fn resolve_tier() -> KernelTier {
                 KernelTier::Portable
             }
         }
+        Some("avx512") => {
+            if KernelTier::Avx512.supported() {
+                KernelTier::Avx512
+            } else {
+                eprintln!(
+                    "HAM_KERNEL_TIER requested the avx512 tier but the CPU lacks avx512f+avx512bw; auto-detecting"
+                );
+                detect_tier()
+            }
+        }
         None | Some("") | Some("auto") => detect_tier(),
         Some(other) => {
-            eprintln!("HAM_KERNEL_TIER={other:?} not recognised (expected scalar|avx2|auto); auto-detecting");
+            eprintln!("HAM_KERNEL_TIER={other:?} not recognised (expected scalar|avx2|avx512|auto); auto-detecting");
             detect_tier()
         }
     };
@@ -181,14 +222,17 @@ fn resolve_tier() -> KernelTier {
     // first wins and this resolution adopts the winner.
     match ACTIVE_TIER.compare_exchange(TIER_UNRESOLVED, tier.code(), Ordering::Relaxed, Ordering::Relaxed) {
         Ok(_) => tier,
-        Err(TIER_PORTABLE) => KernelTier::Portable,
-        Err(_) => KernelTier::Avx2,
+        Err(TIER_AVX512) => KernelTier::Avx512,
+        Err(TIER_AVX2) => KernelTier::Avx2,
+        Err(_) => KernelTier::Portable,
     }
 }
 
-/// The best tier the current CPU supports.
+/// The best tier the current CPU supports (avx512 > avx2 > portable).
 fn detect_tier() -> KernelTier {
-    if KernelTier::Avx2.supported() {
+    if KernelTier::Avx512.supported() {
+        KernelTier::Avx512
+    } else if KernelTier::Avx2.supported() {
         KernelTier::Avx2
     } else {
         KernelTier::Portable
@@ -243,6 +287,18 @@ fn row_is_sparse(row: &[f32]) -> bool {
     zeros * 2 >= row.len().max(1)
 }
 
+/// Turns the exact integer accumulator of a quantized dot into the
+/// approximate f32 score:
+/// `score ≈ scale_r · scale_q · (Σ p·s  −  zp_r · Σ s)`.
+///
+/// Shared by every tier so the (single) float rounding step is the identical
+/// expression everywhere — together with the exact integer accumulation this
+/// makes quantized scores bit-identical across tiers and row groupings.
+#[inline]
+fn quantized_score(acc: i32, zp: i32, scale_r: f32, q: &QuantizedQuery) -> f32 {
+    (scale_r * q.scale()) * (acc - zp * q.sum()) as f32
+}
+
 /// Dot product of two equal-length slices (tier-dispatched).
 ///
 /// # Panics
@@ -269,8 +325,11 @@ fn dot_impl(tier: KernelTier, a: &[f32], b: &[f32]) -> f32 {
         // Avx2 after runtime detection, `checked()` asserts it — so the
         // avx2+fma features this function requires are present.
         KernelTier::Avx2 => unsafe { avx2::dot(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — avx512f+avx512bw were detected or asserted.
+        KernelTier::Avx512 => unsafe { avx512::dot(a, b) },
         #[cfg(not(target_arch = "x86_64"))]
-        KernelTier::Avx2 => unreachable!("the avx2 tier is never selected off x86_64"),
+        KernelTier::Avx2 | KernelTier::Avx512 => unreachable!("SIMD tiers are never selected off x86_64"),
     }
 }
 
@@ -318,8 +377,11 @@ fn matvec_transposed_into_impl(tier: KernelTier, w: &Matrix, q: &[f32], out: &mu
         // Avx2 after runtime detection, `checked()` asserts it — so the
         // avx2+fma features this function requires are present.
         KernelTier::Avx2 => unsafe { avx2::matvec_transposed_into(w, q, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — avx512f+avx512bw were detected or asserted.
+        KernelTier::Avx512 => unsafe { avx512::matvec_transposed_into(w, q, out) },
         #[cfg(not(target_arch = "x86_64"))]
-        KernelTier::Avx2 => unreachable!("the avx2 tier is never selected off x86_64"),
+        KernelTier::Avx2 | KernelTier::Avx512 => unreachable!("SIMD tiers are never selected off x86_64"),
     }
 }
 
@@ -385,8 +447,11 @@ fn matmul_transposed_into_impl(tier: KernelTier, a: &Matrix, b: &Matrix, out: &m
         // Avx2 after runtime detection, `checked()` asserts it — so the
         // avx2+fma features this function requires are present.
         KernelTier::Avx2 => unsafe { avx2::matmul_transposed_into(a, b, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — avx512f+avx512bw were detected or asserted.
+        KernelTier::Avx512 => unsafe { avx512::matmul_transposed_into(a, b, out) },
         #[cfg(not(target_arch = "x86_64"))]
-        KernelTier::Avx2 => unreachable!("the avx2 tier is never selected off x86_64"),
+        KernelTier::Avx2 | KernelTier::Avx512 => unreachable!("SIMD tiers are never selected off x86_64"),
     }
 }
 
@@ -439,8 +504,11 @@ fn matmul_impl(tier: KernelTier, a: &Matrix, b: &Matrix) -> Matrix {
         // Avx2 after runtime detection, `checked()` asserts it — so the
         // avx2+fma features this function requires are present.
         KernelTier::Avx2 => unsafe { avx2::matmul_into(a, b, &mut out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — avx512f+avx512bw were detected or asserted.
+        KernelTier::Avx512 => unsafe { avx512::matmul_into(a, b, &mut out) },
         #[cfg(not(target_arch = "x86_64"))]
-        KernelTier::Avx2 => unreachable!("the avx2 tier is never selected off x86_64"),
+        KernelTier::Avx2 | KernelTier::Avx512 => unreachable!("SIMD tiers are never selected off x86_64"),
     }
     out
 }
@@ -475,8 +543,11 @@ fn axpy_impl(tier: KernelTier, out: &mut [f32], alpha: f32, x: &[f32]) {
         // Avx2 after runtime detection, `checked()` asserts it — so the
         // avx2+fma features this function requires are present.
         KernelTier::Avx2 => unsafe { avx2::axpy(out, alpha, x) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — avx512f+avx512bw were detected or asserted.
+        KernelTier::Avx512 => unsafe { avx512::axpy(out, alpha, x) },
         #[cfg(not(target_arch = "x86_64"))]
-        KernelTier::Avx2 => unreachable!("the avx2 tier is never selected off x86_64"),
+        KernelTier::Avx2 | KernelTier::Avx512 => unreachable!("SIMD tiers are never selected off x86_64"),
     }
 }
 
@@ -543,8 +614,151 @@ fn axpy_rows_impl(
         // Avx2 after runtime detection, `checked()` asserts it — so the
         // avx2+fma features this function requires are present.
         KernelTier::Avx2 => unsafe { avx2::axpy_rows(dst, dst_rows, scales, src, src_rows) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — avx512f+avx512bw were detected or asserted.
+        KernelTier::Avx512 => unsafe { avx512::axpy_rows(dst, dst_rows, scales, src, src_rows) },
         #[cfg(not(target_arch = "x86_64"))]
-        KernelTier::Avx2 => unreachable!("the avx2 tier is never selected off x86_64"),
+        KernelTier::Avx2 | KernelTier::Avx512 => unreachable!("SIMD tiers are never selected off x86_64"),
+    }
+}
+
+/// Scores one row of a quantized candidate panel against a quantized query:
+/// `w.row(row) · q` reconstructed from the int8 payloads.
+///
+/// The integer accumulation is exact, so the result is bit-identical on every
+/// tier; the only rounding is the final per-row scale fixup, which is the same
+/// single f32 expression everywhere.
+///
+/// # Panics
+/// Panics if `row` is out of bounds or the query length differs from
+/// `w.cols()`.
+#[inline]
+pub fn quantized_dot(w: &QuantizedMatrix, row: usize, q: &QuantizedQuery) -> f32 {
+    quantized_dot_impl(dispatch(), w, row, q)
+}
+
+/// [`quantized_dot`] on an explicit tier (tier-parity tests and benchmarks).
+///
+/// # Panics
+/// Panics on shape mismatch or an unsupported tier.
+pub fn quantized_dot_with_tier(tier: KernelTier, w: &QuantizedMatrix, row: usize, q: &QuantizedQuery) -> f32 {
+    quantized_dot_impl(checked(tier), w, row, q)
+}
+
+fn quantized_dot_impl(tier: KernelTier, w: &QuantizedMatrix, row: usize, q: &QuantizedQuery) -> f32 {
+    assert!(row < w.rows(), "quantized_dot: row {row} out of bounds for {} rows", w.rows());
+    assert_eq!(q.len(), w.cols(), "quantized_dot: query length {} does not match {} columns", q.len(), w.cols());
+    let p = w.row(row);
+    let acc = match tier {
+        KernelTier::Portable => portable::quantized_dot_i32(p, q.payload()),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: every caller validated the tier — `dispatch()` only yields
+        // a SIMD tier after runtime detection, `checked()` asserts it — so
+        // the features each arm requires are present.
+        KernelTier::Avx2 => unsafe { avx2::quantized_dot_i32(p, q.payload()) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — avx512f+avx512bw were detected or asserted.
+        KernelTier::Avx512 => unsafe { avx512::quantized_dot_i32(p, q.payload()) },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelTier::Avx2 | KernelTier::Avx512 => unreachable!("SIMD tiers are never selected off x86_64"),
+    };
+    quantized_score(acc, w.zero_point(row), w.scale(row), q)
+}
+
+/// Quantized one-query/whole-panel scoring: `out[j] ≈ w.row(j) · q` from the
+/// int8 payloads, streaming 1 byte per catalogue element instead of 4 — the
+/// bandwidth-bound serving GEMV at a quarter of the memory traffic.
+///
+/// # Panics
+/// Panics if `q.len() != w.cols()` or `out.len() != w.rows()`.
+#[inline]
+pub fn quantized_matvec_into(w: &QuantizedMatrix, q: &QuantizedQuery, out: &mut [f32]) {
+    quantized_matvec_into_impl(dispatch(), w, q, out)
+}
+
+/// [`quantized_matvec_into`] on an explicit tier.
+///
+/// # Panics
+/// Panics on shape mismatch or an unsupported tier.
+pub fn quantized_matvec_into_with_tier(tier: KernelTier, w: &QuantizedMatrix, q: &QuantizedQuery, out: &mut [f32]) {
+    quantized_matvec_into_impl(checked(tier), w, q, out)
+}
+
+fn quantized_matvec_into_impl(tier: KernelTier, w: &QuantizedMatrix, q: &QuantizedQuery, out: &mut [f32]) {
+    let (n, d) = w.shape();
+    assert_eq!(q.len(), d, "quantized_matvec: query length {} does not match {} columns", q.len(), d);
+    assert_eq!(out.len(), n, "quantized_matvec_into: buffer holds {} scores for {} rows", out.len(), n);
+    match tier {
+        KernelTier::Portable => portable::quantized_matvec_into(w, q, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: every caller validated the tier — `dispatch()` only yields
+        // a SIMD tier after runtime detection, `checked()` asserts it — so
+        // the features each arm requires are present.
+        KernelTier::Avx2 => unsafe { avx2::quantized_matvec_into(w, q, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — avx512f+avx512bw were detected or asserted.
+        KernelTier::Avx512 => unsafe { avx512::quantized_matvec_into(w, q, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelTier::Avx2 | KernelTier::Avx512 => unreachable!("SIMD tiers are never selected off x86_64"),
+    }
+}
+
+/// Quantized batched scoring `out[b][j] ≈ queries[b] · w.row(j)`: the int8
+/// candidate panel is streamed from memory exactly once (outer loop over
+/// rows) while every quantized query scores the L1-resident row.
+///
+/// # Panics
+/// Panics if any query length differs from `w.cols()` or `out` is not
+/// `queries.len() × w.rows()`.
+#[inline]
+pub fn quantized_matmul_transposed_into(queries: &[QuantizedQuery], w: &QuantizedMatrix, out: &mut Matrix) {
+    quantized_matmul_transposed_into_impl(dispatch(), queries, w, out)
+}
+
+/// [`quantized_matmul_transposed_into`] on an explicit tier.
+///
+/// # Panics
+/// Panics on shape mismatch or an unsupported tier.
+pub fn quantized_matmul_transposed_into_with_tier(
+    tier: KernelTier,
+    queries: &[QuantizedQuery],
+    w: &QuantizedMatrix,
+    out: &mut Matrix,
+) {
+    quantized_matmul_transposed_into_impl(checked(tier), queries, w, out)
+}
+
+fn quantized_matmul_transposed_into_impl(
+    tier: KernelTier,
+    queries: &[QuantizedQuery],
+    w: &QuantizedMatrix,
+    out: &mut Matrix,
+) {
+    let (n, d) = w.shape();
+    for (b, q) in queries.iter().enumerate() {
+        assert_eq!(q.len(), d, "quantized_matmul_transposed: query {b} length {} for {} columns", q.len(), d);
+    }
+    assert_eq!(
+        out.shape(),
+        (queries.len(), n),
+        "quantized_matmul_transposed_into: output is {}x{} for a {}x{} product",
+        out.rows(),
+        out.cols(),
+        queries.len(),
+        n
+    );
+    match tier {
+        KernelTier::Portable => portable::quantized_matmul_transposed_into(queries, w, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: every caller validated the tier — `dispatch()` only yields
+        // a SIMD tier after runtime detection, `checked()` asserts it — so
+        // the features each arm requires are present.
+        KernelTier::Avx2 => unsafe { avx2::quantized_matmul_transposed_into(queries, w, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — avx512f+avx512bw were detected or asserted.
+        KernelTier::Avx512 => unsafe { avx512::quantized_matmul_transposed_into(queries, w, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelTier::Avx2 | KernelTier::Avx512 => unreachable!("SIMD tiers are never selected off x86_64"),
     }
 }
 
@@ -569,12 +783,16 @@ mod tests {
         Matrix::from_vec(rows, cols, (0..rows * cols).map(|i| ((i % 13) as f32 - 6.0) * scale).collect())
     }
 
-    /// The tiers runnable on this machine (portable everywhere, AVX2 when
-    /// the CPU has it) — dispatch-level tests run every kernel on each.
+    /// The tiers runnable on this machine (portable everywhere, AVX2 and
+    /// AVX-512 when the CPU has them) — dispatch-level tests run every kernel
+    /// on each.
     fn available_tiers() -> Vec<KernelTier> {
         let mut tiers = vec![KernelTier::Portable];
         if KernelTier::Avx2.supported() {
             tiers.push(KernelTier::Avx2);
+        }
+        if KernelTier::Avx512.supported() {
+            tiers.push(KernelTier::Avx512);
         }
         tiers
     }
@@ -765,6 +983,52 @@ mod tests {
         force_tier(None);
         // After clearing, the tier re-resolves to something supported.
         assert!(active_tier().supported());
+    }
+
+    #[test]
+    fn quantized_kernels_are_bit_identical_across_tiers() {
+        // Integer accumulation is exact and associative, so every tier must
+        // produce the very same bits — for all tail lengths around the 16-
+        // and 32-byte SIMD strides.
+        for d in [1, 3, 15, 16, 17, 31, 32, 33, 40, 64] {
+            let w = QuantizedMatrix::quantize(&arange_matrix(9, d, 0.37));
+            let qf: Vec<f32> = (0..d).map(|k| (k as f32 * 0.29).sin()).collect();
+            let q = QuantizedQuery::quantize(&qf);
+            let mut reference = vec![0.0f32; 9];
+            quantized_matvec_into_with_tier(KernelTier::Portable, &w, &q, &mut reference);
+            for tier in available_tiers() {
+                let mut out = vec![f32::NAN; 9];
+                quantized_matvec_into_with_tier(tier, &w, &q, &mut out);
+                for (j, (got, want)) in out.iter().zip(&reference).enumerate() {
+                    assert_eq!(got.to_bits(), want.to_bits(), "{tier} d={d} j={j}");
+                }
+                for (j, want) in reference.iter().enumerate() {
+                    let got = quantized_dot_with_tier(tier, &w, j, &q);
+                    assert_eq!(got.to_bits(), want.to_bits(), "{tier} dot d={d} j={j}");
+                }
+                let mut batch = Matrix::from_vec(2, 9, vec![f32::NAN; 18]);
+                quantized_matmul_transposed_into_with_tier(tier, &[q.clone(), q.clone()], &w, &mut batch);
+                for b in 0..2 {
+                    for (j, want) in reference.iter().enumerate() {
+                        assert_eq!(batch.get(b, j).to_bits(), want.to_bits(), "{tier} gemm d={d} b={b} j={j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_scores_track_exact_scores() {
+        let w = arange_matrix(20, 24, 0.31);
+        let qw = QuantizedMatrix::quantize(&w);
+        let qf: Vec<f32> = (0..24).map(|k| (k as f32 * 0.41).cos()).collect();
+        let q = QuantizedQuery::quantize(&qf);
+        for j in 0..20 {
+            let exact: f32 = w.row(j).iter().zip(&qf).map(|(x, y)| x * y).sum();
+            let approx = quantized_dot(&qw, j, &q);
+            let bound = crate::quant::score_error_bound(w.row(j), &qf);
+            assert!((exact - approx).abs() <= bound, "row {j}: |{exact} - {approx}| > {bound}");
+        }
     }
 
     #[test]

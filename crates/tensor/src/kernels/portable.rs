@@ -12,7 +12,8 @@
 //! element is one accumulation chain in ascending-`k` order, so results do
 //! not depend on how rows are grouped into panels or shards.
 
-use super::{pack_panel_kmajor, row_is_sparse, DOT_LANES, GEMM_B_PANEL, MATMUL_J_BLOCK};
+use super::{pack_panel_kmajor, quantized_score, row_is_sparse, DOT_LANES, GEMM_B_PANEL, MATMUL_J_BLOCK};
+use crate::quant::{QuantizedMatrix, QuantizedQuery};
 use crate::Matrix;
 
 /// Dot product with [`DOT_LANES`] independent partial sums.
@@ -150,5 +151,56 @@ pub(super) fn axpy_rows(dst: &mut Matrix, dst_rows: &[usize], scales: &[f32], sr
     let dst_data = dst.as_mut_slice();
     for ((&dr, &scale), &sr) in dst_rows.iter().zip(scales).zip(src_rows) {
         axpy(&mut dst_data[dr * d..(dr + 1) * d], scale, &src_data[sr * d..(sr + 1) * d]);
+    }
+}
+
+/// Exact integer core of the quantized kernels: `Σ_k p[k] · s[k]` in `i32`.
+///
+/// Four independent partial sums so the widening multiply-accumulate
+/// auto-vectorizes; integer addition is associative, so every accumulation
+/// shape yields the same value — quantized scores are bit-identical across
+/// tiers by construction, not by a rounding argument.
+pub(super) fn quantized_dot_i32(p: &[u8], s: &[i8]) -> i32 {
+    let mut acc = [0i32; 4];
+    let mut p_chunks = p.chunks_exact(4);
+    let mut s_chunks = s.chunks_exact(4);
+    for (p4, s4) in p_chunks.by_ref().zip(s_chunks.by_ref()) {
+        for l in 0..4 {
+            acc[l] += p4[l] as i32 * s4[l] as i32;
+        }
+    }
+    let mut tail = 0i32;
+    for (&pv, &sv) in p_chunks.remainder().iter().zip(s_chunks.remainder()) {
+        tail += pv as i32 * sv as i32;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Quantized GEMV: `out[j] ≈ w.row(j) · q` from the int8 panel — one
+/// integer dot plus the zero-point fixup per row, streaming 1 byte/element
+/// instead of 4.
+pub(super) fn quantized_matvec_into(w: &QuantizedMatrix, q: &QuantizedQuery, out: &mut [f32]) {
+    let d = w.cols();
+    let payload = w.payload();
+    for (j, o) in out.iter_mut().enumerate() {
+        let acc = quantized_dot_i32(&payload[j * d..(j + 1) * d], q.payload());
+        *o = quantized_score(acc, w.zero_point(j), w.scale(j), q);
+    }
+}
+
+/// Quantized batched scoring `out[b][j] ≈ queries[b] · w.row(j)`: the
+/// candidate panel is streamed exactly once (outer loop over rows), each row
+/// scored against every quantized query while it is L1-resident.
+pub(super) fn quantized_matmul_transposed_into(queries: &[QuantizedQuery], w: &QuantizedMatrix, out: &mut Matrix) {
+    let d = w.cols();
+    let n = w.rows();
+    let payload = w.payload();
+    let out_data = out.as_mut_slice();
+    for j in 0..n {
+        let row = &payload[j * d..(j + 1) * d];
+        let (zp, scale) = (w.zero_point(j), w.scale(j));
+        for (b, q) in queries.iter().enumerate() {
+            out_data[b * n + j] = quantized_score(quantized_dot_i32(row, q.payload()), zp, scale, q);
+        }
     }
 }

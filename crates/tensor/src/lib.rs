@@ -21,14 +21,23 @@
 //! [`kernels::matvec_transposed_into`]), the packed-panel batched GEMM
 //! [`kernels::matmul_transposed`] (`Q·Wᵀ`, the scorer behind
 //! `evaluate_batch`) and the cache-blocked [`kernels::matmul`]. The kernel
-//! layer is **tiered**: a portable safe reference tier and an explicit
-//! AVX2+FMA tier, selected once per process by runtime feature detection
-//! (overridable via the `HAM_KERNEL_TIER` environment variable), so vector
-//! speed no longer depends on `-C target-cpu=native`. The [`Matrix`]
-//! methods of the same names delegate to the dispatched kernels, so model
-//! code written against `Matrix` inherits the fast paths. See the
+//! layer is **tiered**: a portable safe reference tier and explicit
+//! AVX2+FMA and AVX-512 tiers, selected once per process by runtime feature
+//! detection (overridable via the `HAM_KERNEL_TIER` environment variable),
+//! so vector speed no longer depends on `-C target-cpu=native`. The
+//! [`Matrix`] methods of the same names delegate to the dispatched kernels,
+//! so model code written against `Matrix` inherits the fast paths. See the
 //! [`kernels`] module docs for the tier table and when each entry point
 //! applies.
+//!
+//! ## Quantized candidate scoring
+//!
+//! [`quant`] adds an int8 serving-side path: [`QuantizedMatrix`] snapshots a
+//! frozen candidate matrix at 1 byte/element (per-row scale + zero-point),
+//! [`QuantizedQuery`] quantizes a request vector, and the `quantized_*`
+//! kernels in [`kernels`] score the pair with exact integer accumulation —
+//! quartering the memory traffic of the bandwidth-bound catalogue pass while
+//! staying bit-identical across tiers and shard groupings.
 //!
 //! ## The worker pool
 //!
@@ -68,8 +77,10 @@ pub mod linalg;
 pub mod matrix;
 pub mod ops;
 pub mod pool;
+pub mod quant;
 pub mod stats;
 
 pub use matrix::Matrix;
 pub use ops::{sigmoid, sigmoid_scalar, softmax_in_place};
 pub use pool::Pooling;
+pub use quant::{QuantizedMatrix, QuantizedQuery};

@@ -1,5 +1,5 @@
-//! Tier-parity suite for the kernel layer: the explicit AVX2+FMA microkernels
-//! must agree with the portable reference tier on every kernel —
+//! Tier-parity suite for the kernel layer: every explicit SIMD tier (AVX2,
+//! AVX-512) must agree with the portable reference tier on every kernel —
 //! ≤ 1e-5 on arbitrary floats, **bit-exact** on integer-valued inputs (whose
 //! products and sums are exactly representable, so any accumulation order and
 //! FMA contraction yield the same bits) — across tail lengths 0..40 and odd
@@ -14,11 +14,12 @@ use ham_tensor::kernels::{
 use ham_tensor::Matrix;
 use proptest::prelude::*;
 
-/// The SIMD tier under test, when this machine can run it. Every parity test
-/// is vacuously green on hardware without AVX2+FMA (the portable tier is the
-/// reference — there is nothing to compare), which keeps the suite portable.
-fn simd_tier() -> Option<KernelTier> {
-    KernelTier::Avx2.supported().then_some(KernelTier::Avx2)
+/// The SIMD tiers under test, whichever this machine can run. Every parity
+/// test is vacuously green on hardware without AVX2+FMA (the portable tier is
+/// the reference — there is nothing to compare), which keeps the suite
+/// portable; on AVX-512 hardware both SIMD tiers are checked.
+fn simd_tiers() -> Vec<KernelTier> {
+    [KernelTier::Avx2, KernelTier::Avx512].into_iter().filter(|t| t.supported()).collect()
 }
 
 /// ≤ 1e-5 agreement, scaled by magnitude: the tiers reassociate and fuse the
@@ -43,52 +44,56 @@ proptest! {
 
     #[test]
     fn dot_tiers_agree_on_floats(values in proptest::collection::vec(-4.0f32..4.0, 0..40)) {
-        let Some(simd) = simd_tier() else { return };
         let a = values.clone();
         let b: Vec<f32> = values.iter().rev().map(|v| v * 0.75 + 0.125).collect();
         let portable = dot_with_tier(KernelTier::Portable, &a, &b);
-        let fast = dot_with_tier(simd, &a, &b);
-        prop_assert!(close(portable, fast), "len {}: {portable} vs {fast}", a.len());
+        for simd in simd_tiers() {
+            let fast = dot_with_tier(simd, &a, &b);
+            prop_assert!(close(portable, fast), "{simd} len {}: {portable} vs {fast}", a.len());
+        }
     }
 
     #[test]
     fn matvec_tiers_agree_on_floats(n in 1usize..70, d in 1usize..40, scale in 0.1f32..2.0) {
-        let Some(simd) = simd_tier() else { return };
         let w = float_matrix(n, d, &[scale, -scale * 0.5, scale * 0.25]);
         let q: Vec<f32> = (0..d).map(|k| (k as f32 * 0.31).sin() * scale).collect();
         let mut reference = vec![0.0f32; n];
-        let mut fast = vec![0.0f32; n];
         matvec_transposed_into_with_tier(KernelTier::Portable, &w, &q, &mut reference);
-        matvec_transposed_into_with_tier(simd, &w, &q, &mut fast);
-        for j in 0..n {
-            prop_assert!(close(reference[j], fast[j]), "n={n} d={d} j={j}");
+        for simd in simd_tiers() {
+            let mut fast = vec![0.0f32; n];
+            matvec_transposed_into_with_tier(simd, &w, &q, &mut fast);
+            for j in 0..n {
+                prop_assert!(close(reference[j], fast[j]), "{simd} n={n} d={d} j={j}");
+            }
         }
     }
 
     #[test]
     fn gemm_tiers_agree_on_floats(m in 1usize..12, n in 1usize..70, d in 1usize..40) {
-        let Some(simd) = simd_tier() else { return };
         let a = float_matrix(m, d, &[0.7, -0.3, 1.1]);
         let b = float_matrix(n, d, &[0.4, 0.9, -0.6]);
         let reference = matmul_transposed_with_tier(KernelTier::Portable, &a, &b);
-        let fast = matmul_transposed_with_tier(simd, &a, &b);
-        for i in 0..m {
-            for j in 0..n {
-                prop_assert!(close(reference.get(i, j), fast.get(i, j)), "({m},{n},{d}) at ({i},{j})");
+        for simd in simd_tiers() {
+            let fast = matmul_transposed_with_tier(simd, &a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    prop_assert!(close(reference.get(i, j), fast.get(i, j)), "{simd} ({m},{n},{d}) at ({i},{j})");
+                }
             }
         }
     }
 
     #[test]
     fn matmul_tiers_agree_on_floats(m in 1usize..8, p in 1usize..20, n in 1usize..150) {
-        let Some(simd) = simd_tier() else { return };
         let a = float_matrix(m, p, &[0.5, -1.2, 0.8]);
         let b = float_matrix(p, n, &[0.3, 0.9, -0.4]);
         let reference = matmul_with_tier(KernelTier::Portable, &a, &b);
-        let fast = matmul_with_tier(simd, &a, &b);
-        for i in 0..m {
-            for j in 0..n {
-                prop_assert!(close(reference.get(i, j), fast.get(i, j)), "({m},{p},{n}) at ({i},{j})");
+        for simd in simd_tiers() {
+            let fast = matmul_with_tier(simd, &a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    prop_assert!(close(reference.get(i, j), fast.get(i, j)), "{simd} ({m},{p},{n}) at ({i},{j})");
+                }
             }
         }
     }
@@ -98,46 +103,50 @@ proptest! {
         // One-hot / mostly-zero left rows take the zero-skip path in every
         // tier; results must be bit-identical to the dense classification
         // (integer inputs make the comparison exact).
-        let Some(simd) = simd_tier() else { return };
         let mut a = Matrix::zeros(m, p);
         for i in 0..m {
             a.set(i, (hot + i) % p, (i + 2) as f32);
         }
         let b = integer_matrix(p, n, 3);
         let reference = matmul_with_tier(KernelTier::Portable, &a, &b);
-        let fast = matmul_with_tier(simd, &a, &b);
-        prop_assert_eq!(reference.as_slice(), fast.as_slice());
+        for simd in simd_tiers() {
+            let fast = matmul_with_tier(simd, &a, &b);
+            prop_assert_eq!(reference.as_slice(), fast.as_slice(), "{}", simd);
+        }
     }
 
     #[test]
     fn axpy_tiers_agree_on_floats(values in proptest::collection::vec(-4.0f32..4.0, 0..40), alpha in -2.0f32..2.0) {
-        let Some(simd) = simd_tier() else { return };
         let x = values.clone();
         let base: Vec<f32> = values.iter().rev().map(|v| v * 0.5 - 0.25).collect();
         let mut reference = base.clone();
-        let mut fast = base;
         axpy_with_tier(KernelTier::Portable, &mut reference, alpha, &x);
-        axpy_with_tier(simd, &mut fast, alpha, &x);
-        for j in 0..x.len() {
-            prop_assert!(close(reference[j], fast[j]), "len {} j={j}: {} vs {}", x.len(), reference[j], fast[j]);
+        for simd in simd_tiers() {
+            let mut fast = base.clone();
+            axpy_with_tier(simd, &mut fast, alpha, &x);
+            for j in 0..x.len() {
+                prop_assert!(close(reference[j], fast[j]), "{simd} len {} j={j}: {} vs {}", x.len(), reference[j], fast[j]);
+            }
         }
     }
 
     #[test]
     fn axpy_rows_tiers_agree_on_floats(rows in 1usize..12, d in 1usize..40, pairs in 1usize..24, seed in 0usize..64) {
-        let Some(simd) = simd_tier() else { return };
         let src = float_matrix(rows, d, &[0.6, -0.4, 1.2]);
         // pseudo-random scatter pattern with deliberate duplicate destinations
         let dst_rows: Vec<usize> = (0..pairs).map(|p| (p * 7 + seed) % rows).collect();
         let src_rows: Vec<usize> = (0..pairs).map(|p| (p * 5 + seed / 2) % rows).collect();
         let scales: Vec<f32> = (0..pairs).map(|p| ((p + seed) as f32 * 0.37).sin()).collect();
-        let mut reference = float_matrix(rows, d, &[0.2, 0.9, -0.7]);
-        let mut fast = reference.clone();
+        let base = float_matrix(rows, d, &[0.2, 0.9, -0.7]);
+        let mut reference = base.clone();
         axpy_rows_with_tier(KernelTier::Portable, &mut reference, &dst_rows, &scales, &src, &src_rows);
-        axpy_rows_with_tier(simd, &mut fast, &dst_rows, &scales, &src, &src_rows);
-        for i in 0..rows {
-            for c in 0..d {
-                prop_assert!(close(reference.get(i, c), fast.get(i, c)), "({rows},{d},{pairs}) at ({i},{c})");
+        for simd in simd_tiers() {
+            let mut fast = base.clone();
+            axpy_rows_with_tier(simd, &mut fast, &dst_rows, &scales, &src, &src_rows);
+            for i in 0..rows {
+                for c in 0..d {
+                    prop_assert!(close(reference.get(i, c), fast.get(i, c)), "{simd} ({rows},{d},{pairs}) at ({i},{c})");
+                }
             }
         }
     }
@@ -147,57 +156,59 @@ proptest! {
 /// length 0..40 (dot/matvec) and a sweep of odd shapes (GEMM/matmul).
 #[test]
 fn tiers_are_bit_exact_on_integer_values() {
-    let Some(simd) = simd_tier() else { return };
-    for len in 0..40 {
-        let a: Vec<f32> = (0..len).map(|i| (i % 11) as f32 - 5.0).collect();
-        let b: Vec<f32> = (0..len).map(|i| (i % 7) as f32 - 3.0).collect();
-        let portable = dot_with_tier(KernelTier::Portable, &a, &b);
-        let fast = dot_with_tier(simd, &a, &b);
-        assert_eq!(portable.to_bits(), fast.to_bits(), "dot len {len}");
+    for simd in simd_tiers() {
+        for len in 0..40 {
+            let a: Vec<f32> = (0..len).map(|i| (i % 11) as f32 - 5.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i % 7) as f32 - 3.0).collect();
+            let portable = dot_with_tier(KernelTier::Portable, &a, &b);
+            let fast = dot_with_tier(simd, &a, &b);
+            assert_eq!(portable.to_bits(), fast.to_bits(), "{simd} dot len {len}");
 
-        let mut axpy_ref = b.clone();
-        let mut axpy_fast = b.clone();
-        axpy_with_tier(KernelTier::Portable, &mut axpy_ref, 3.0, &a);
-        axpy_with_tier(simd, &mut axpy_fast, 3.0, &a);
-        assert_eq!(axpy_ref, axpy_fast, "axpy len {len}");
-    }
-    for (m, n, d) in [(1, 1, 1), (3, 17, 5), (4, 33, 39), (5, 130, 8), (7, 40, 32), (2, 16, 16)] {
-        let a = integer_matrix(m, d, 1);
-        let b = integer_matrix(n, d, 7);
-        let q: Vec<f32> = (0..d).map(|k| (k % 5) as f32 - 2.0).collect();
+            let mut axpy_ref = b.clone();
+            let mut axpy_fast = b.clone();
+            axpy_with_tier(KernelTier::Portable, &mut axpy_ref, 3.0, &a);
+            axpy_with_tier(simd, &mut axpy_fast, 3.0, &a);
+            assert_eq!(axpy_ref, axpy_fast, "{simd} axpy len {len}");
+        }
+        for (m, n, d) in [(1, 1, 1), (3, 17, 5), (4, 33, 39), (5, 130, 8), (7, 40, 32), (2, 16, 16)] {
+            let a = integer_matrix(m, d, 1);
+            let b = integer_matrix(n, d, 7);
+            let q: Vec<f32> = (0..d).map(|k| (k % 5) as f32 - 2.0).collect();
 
-        let mut mv_ref = vec![0.0f32; n];
-        let mut mv_fast = vec![0.0f32; n];
-        matvec_transposed_into_with_tier(KernelTier::Portable, &b, &q, &mut mv_ref);
-        matvec_transposed_into_with_tier(simd, &b, &q, &mut mv_fast);
-        assert_eq!(mv_ref, mv_fast, "matvec ({n},{d})");
+            let mut mv_ref = vec![0.0f32; n];
+            let mut mv_fast = vec![0.0f32; n];
+            matvec_transposed_into_with_tier(KernelTier::Portable, &b, &q, &mut mv_ref);
+            matvec_transposed_into_with_tier(simd, &b, &q, &mut mv_fast);
+            assert_eq!(mv_ref, mv_fast, "{simd} matvec ({n},{d})");
 
-        let gemm_ref = matmul_transposed_with_tier(KernelTier::Portable, &a, &b);
-        let gemm_fast = matmul_transposed_with_tier(simd, &a, &b);
-        assert_eq!(gemm_ref.as_slice(), gemm_fast.as_slice(), "gemm ({m},{n},{d})");
+            let gemm_ref = matmul_transposed_with_tier(KernelTier::Portable, &a, &b);
+            let gemm_fast = matmul_transposed_with_tier(simd, &a, &b);
+            assert_eq!(gemm_ref.as_slice(), gemm_fast.as_slice(), "{simd} gemm ({m},{n},{d})");
 
-        let bb = integer_matrix(d, n, 5);
-        let mm_ref = matmul_with_tier(KernelTier::Portable, &a, &bb);
-        let mm_fast = matmul_with_tier(simd, &a, &bb);
-        assert_eq!(mm_ref.as_slice(), mm_fast.as_slice(), "matmul ({m},{d},{n})");
+            let bb = integer_matrix(d, n, 5);
+            let mm_ref = matmul_with_tier(KernelTier::Portable, &a, &bb);
+            let mm_fast = matmul_with_tier(simd, &a, &bb);
+            assert_eq!(mm_ref.as_slice(), mm_fast.as_slice(), "{simd} matmul ({m},{d},{n})");
+        }
     }
 }
 
-/// Within the SIMD tier, a GEMV row's bits must not depend on the shard it
+/// Within each SIMD tier, a GEMV row's bits must not depend on the shard it
 /// sits in — the property the serving layer's exactness rests on.
 #[test]
 fn simd_gemv_rows_are_position_independent() {
-    let Some(simd) = simd_tier() else { return };
-    let w = float_matrix(57, 23, &[0.9, -0.2, 0.6]);
-    let q: Vec<f32> = (0..23).map(|k| (k as f32 * 0.17).cos()).collect();
-    let mut full = vec![0.0f32; 57];
-    matvec_transposed_into_with_tier(simd, &w, &q, &mut full);
-    for (start, len) in [(0usize, 10usize), (10, 21), (31, 26), (56, 1)] {
-        let shard = Matrix::from_vec(len, 23, w.as_slice()[start * 23..(start + len) * 23].to_vec());
-        let mut part = vec![0.0f32; len];
-        matvec_transposed_into_with_tier(simd, &shard, &q, &mut part);
-        for j in 0..len {
-            assert_eq!(part[j].to_bits(), full[start + j].to_bits(), "shard {start}+{len} row {j}");
+    for simd in simd_tiers() {
+        let w = float_matrix(57, 23, &[0.9, -0.2, 0.6]);
+        let q: Vec<f32> = (0..23).map(|k| (k as f32 * 0.17).cos()).collect();
+        let mut full = vec![0.0f32; 57];
+        matvec_transposed_into_with_tier(simd, &w, &q, &mut full);
+        for (start, len) in [(0usize, 10usize), (10, 21), (31, 26), (56, 1)] {
+            let shard = Matrix::from_vec(len, 23, w.as_slice()[start * 23..(start + len) * 23].to_vec());
+            let mut part = vec![0.0f32; len];
+            matvec_transposed_into_with_tier(simd, &shard, &q, &mut part);
+            for j in 0..len {
+                assert_eq!(part[j].to_bits(), full[start + j].to_bits(), "{simd} shard {start}+{len} row {j}");
+            }
         }
     }
 }
@@ -222,6 +233,9 @@ fn env_var_forcing_is_honored() {
         cases.push(("avx2", KernelTier::Avx2));
         cases.push(("simd", KernelTier::Avx2));
     }
+    if KernelTier::Avx512.supported() {
+        cases.push(("avx512", KernelTier::Avx512));
+    }
     for (value, expected) in cases {
         let output = std::process::Command::new(&exe)
             .args(["tier_probe", "--exact", "--nocapture", "--test-threads", "1"])
@@ -238,12 +252,12 @@ fn env_var_forcing_is_honored() {
 }
 
 /// `force_tier` overrides the dispatched tier in-process and `None` clears
-/// the override back to auto-resolution.
+/// the override back to auto-resolution — for every supported tier.
 #[test]
 fn force_tier_round_trip() {
     ham_tensor::kernels::force_tier(Some(KernelTier::Portable));
     assert_eq!(active_tier(), KernelTier::Portable);
-    if let Some(simd) = simd_tier() {
+    for simd in simd_tiers() {
         ham_tensor::kernels::force_tier(Some(simd));
         assert_eq!(active_tier(), simd);
     }
