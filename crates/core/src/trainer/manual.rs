@@ -167,6 +167,16 @@ fn gemm_block_into(
     batch_scale: f32,
     grads: &mut GradStore,
 ) -> f64 {
+    // Per-chunk score-GEMM timing, resolved from the global telemetry handle
+    // here (rather than threaded through the gradient call graph) so the
+    // block functions keep their signatures; one registry lookup per chunk
+    // of MANUAL_BLOCK instances when enabled, one atomic load when not.
+    let gemm_timer = {
+        let telemetry = ham_telemetry::global();
+        telemetry.registry().map(|r| r.histogram("train_chunk_gemm_nanos"))
+    };
+    let mut gemm_nanos = 0u64;
+
     let u_mat = params.store.value(params.u);
     let v_mat = params.store.value(params.v);
     let w_mat = params.store.value(params.w);
@@ -266,7 +276,11 @@ fn gemm_block_into(
         score_buf.clear();
         score_buf.resize(tw * tile_cols.len(), 0.0);
         let mut scores = Matrix::from_vec(tw, tile_cols.len(), std::mem::take(&mut score_buf));
+        let gemm_started = gemm_timer.is_some().then(std::time::Instant::now);
         kernels::matmul_transposed_into(&q_tile, &c_tile, &mut scores);
+        if let Some(started) = gemm_started {
+            gemm_nanos += started.elapsed().as_nanos() as u64;
+        }
 
         // Pair pass: losses plus the scatter pattern for the rank-1 updates.
         dcand_rows.clear();
@@ -310,6 +324,10 @@ fn gemm_block_into(
         q_buf = q_tile.into_vec();
         score_buf = scores.into_vec();
         tile_start += tw;
+    }
+
+    if let Some(timer) = &gemm_timer {
+        timer.record(gemm_nanos);
     }
 
     // One coalesced sparse accumulation for W: `items` is duplicate-free.

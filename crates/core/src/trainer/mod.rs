@@ -42,6 +42,7 @@ use ham_autograd::{Adam, AdamConfig, GradStore, Optimizer, ParamId, ParamStore};
 use ham_data::batch::BatchSampler;
 pub(crate) use ham_data::batch::PreparedInstance;
 use ham_data::dataset::ItemId;
+use ham_telemetry::{Counter, Histogram};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -65,6 +66,36 @@ pub(crate) fn block_len(use_autograd: bool) -> usize {
         TRAIN_BLOCK
     } else {
         MANUAL_BLOCK
+    }
+}
+
+/// Per-epoch training metrics, resolved from the process-global
+/// [`ham_telemetry`] handle ([`ham_telemetry::global`]). `None` when no
+/// enabled handle is installed — recording then costs nothing. Resolved per
+/// training call rather than cached so a handle installed between runs is
+/// picked up.
+pub(crate) struct TrainMetrics {
+    pairs_total: Counter,
+    epochs_total: Counter,
+    epoch_pairs_per_sec: Histogram,
+}
+
+impl TrainMetrics {
+    pub(crate) fn resolve() -> Option<Self> {
+        let telemetry = ham_telemetry::global();
+        let registry = telemetry.registry()?;
+        Some(Self {
+            pairs_total: registry.counter("train_pairs_total"),
+            epochs_total: registry.counter("train_epochs_total"),
+            epoch_pairs_per_sec: registry.histogram("train_epoch_pairs_per_sec"),
+        })
+    }
+
+    /// Records one finished epoch: its BPR pair count and throughput.
+    pub(crate) fn record_epoch(&self, pairs: usize, pairs_per_sec: f64) {
+        self.epochs_total.inc();
+        self.pairs_total.add(pairs as u64);
+        self.epoch_pairs_per_sec.record(pairs_per_sec as u64);
     }
 }
 
@@ -185,6 +216,7 @@ pub(crate) fn train_impl(
         ..AdamConfig::default()
     });
     let mut history = Vec::with_capacity(train_config.epochs);
+    let metrics = TrainMetrics::resolve();
 
     for epoch in 1..=train_config.epochs {
         let started = Instant::now();
@@ -201,12 +233,16 @@ pub(crate) fn train_impl(
             pairs += batch.iter().map(|i| i.targets.len()).sum::<usize>();
         }
         let seconds = started.elapsed().as_secs_f64();
+        let pairs_per_sec = if seconds > 0.0 { pairs as f64 / seconds } else { 0.0 };
+        if let Some(metrics) = &metrics {
+            metrics.record_epoch(pairs, pairs_per_sec);
+        }
         history.push(EpochStats {
             epoch,
             mean_loss: if instances > 0 { (epoch_loss / instances as f64) as f32 } else { 0.0 },
             num_instances: instances,
             batch_size,
-            pairs_per_sec: if seconds > 0.0 { pairs as f64 / seconds } else { 0.0 },
+            pairs_per_sec,
         });
     }
 

@@ -172,6 +172,7 @@ impl TrainerState {
     /// already covers (call [`Self::grow_to`] first after appends).
     pub fn train_round(&mut self, sampler: &mut BatchSampler, epochs: usize) -> Vec<EpochStats> {
         let mut history = Vec::with_capacity(epochs);
+        let metrics = super::TrainMetrics::resolve();
         for epoch in 1..=epochs {
             let started = Instant::now();
             sampler.start_epoch();
@@ -193,12 +194,16 @@ impl TrainerState {
                 pairs += batch.iter().map(|i| i.targets.len()).sum::<usize>();
             }
             let seconds = started.elapsed().as_secs_f64();
+            let pairs_per_sec = if seconds > 0.0 { pairs as f64 / seconds } else { 0.0 };
+            if let Some(metrics) = &metrics {
+                metrics.record_epoch(pairs, pairs_per_sec);
+            }
             history.push(EpochStats {
                 epoch,
                 mean_loss: if instances > 0 { (epoch_loss / instances as f64) as f32 } else { 0.0 },
                 num_instances: instances,
                 batch_size: sampler.batch_size(),
-                pairs_per_sec: if seconds > 0.0 { pairs as f64 / seconds } else { 0.0 },
+                pairs_per_sec,
             });
         }
         history

@@ -89,6 +89,7 @@ use ham_data::append::AppendableDataset;
 use ham_data::batch::BatchSampler;
 use ham_data::dataset::{ItemId, SequenceDataset, UserId};
 use ham_serve::{ModelRegistry, ServingModel};
+use ham_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -154,6 +155,37 @@ pub struct OnlineCheckpoint {
     pub round: u64,
 }
 
+/// The loop's metric handles, resolved once from a [`Telemetry`] registry.
+/// `None` when telemetry is disabled — the loop then records nothing.
+struct OnlineMetrics {
+    round_micros: Histogram,
+    train_micros: Histogram,
+    publish_micros: Histogram,
+    rounds_total: Counter,
+    fresh_interactions_total: Counter,
+    instances_trained_total: Counter,
+    table_growth_rows_total: Counter,
+    publishes_total: Counter,
+    serving_staleness_seconds: Gauge,
+}
+
+impl OnlineMetrics {
+    fn resolve(telemetry: &Telemetry) -> Option<Self> {
+        let registry = telemetry.registry()?;
+        Some(Self {
+            round_micros: registry.histogram("online_round_micros"),
+            train_micros: registry.histogram("online_train_micros"),
+            publish_micros: registry.histogram("online_publish_micros"),
+            rounds_total: registry.counter("online_rounds_total"),
+            fresh_interactions_total: registry.counter("online_fresh_interactions_total"),
+            instances_trained_total: registry.counter("online_instances_trained_total"),
+            table_growth_rows_total: registry.counter("online_table_growth_rows_total"),
+            publishes_total: registry.counter("online_publishes_total"),
+            serving_staleness_seconds: registry.gauge("online_serving_staleness_seconds"),
+        })
+    }
+}
+
 /// The owner of the train→publish→serve loop. See the module docs.
 pub struct OnlineTrainer {
     config: OnlineConfig,
@@ -161,6 +193,9 @@ pub struct OnlineTrainer {
     state: TrainerState,
     registry: Arc<ModelRegistry>,
     round: u64,
+    telemetry: Telemetry,
+    metrics: Option<OnlineMetrics>,
+    last_publish: Option<Instant>,
 }
 
 impl OnlineTrainer {
@@ -172,6 +207,14 @@ impl OnlineTrainer {
     /// Panics if `initial` has no users or items, or the configuration is
     /// invalid.
     pub fn bootstrap(initial: &SequenceDataset, config: OnlineConfig) -> Self {
+        Self::bootstrap_with_telemetry(initial, config, Telemetry::from_env())
+    }
+
+    /// [`Self::bootstrap`] with an explicit [`Telemetry`] handle. With an
+    /// enabled handle every round records `online_*` metrics into its
+    /// registry (the bootstrap round included); a disabled handle makes
+    /// recording a no-op.
+    pub fn bootstrap_with_telemetry(initial: &SequenceDataset, config: OnlineConfig, telemetry: Telemetry) -> Self {
         let data = AppendableDataset::from_dataset(initial);
         let state = TrainerState::new(
             data.num_users().max(1),
@@ -180,6 +223,7 @@ impl OnlineTrainer {
             &config.train,
             config.seed,
         );
+        let metrics = OnlineMetrics::resolve(&telemetry);
         let mut trainer = Self {
             config,
             data,
@@ -192,6 +236,9 @@ impl OnlineTrainer {
                 |_, _| vec![0.0],
             ))),
             round: 0,
+            telemetry,
+            metrics,
+            last_publish: None,
         };
         trainer.run_round();
         trainer
@@ -200,6 +247,11 @@ impl OnlineTrainer {
     /// Resumes a checkpointed loop: training on is bit-identical to the
     /// trainer that exported the checkpoint (given the same `config`).
     pub fn restore(checkpoint: OnlineCheckpoint, config: OnlineConfig) -> Self {
+        Self::restore_with_telemetry(checkpoint, config, Telemetry::from_env())
+    }
+
+    /// [`Self::restore`] with an explicit [`Telemetry`] handle.
+    pub fn restore_with_telemetry(checkpoint: OnlineCheckpoint, config: OnlineConfig, telemetry: Telemetry) -> Self {
         let state = TrainerState::from_model(
             &checkpoint.model,
             &config.train,
@@ -208,12 +260,16 @@ impl OnlineTrainer {
             config.seed,
         );
         let serving = freeze(checkpoint.model, config.shards, config.quantize_serving, checkpoint.round);
+        let metrics = OnlineMetrics::resolve(&telemetry);
         Self {
             config,
             data: checkpoint.data,
             state,
             registry: Arc::new(ModelRegistry::new(serving)),
             round: checkpoint.round,
+            telemetry,
+            metrics,
+            last_publish: None,
         }
     }
 
@@ -231,6 +287,24 @@ impl OnlineTrainer {
     /// The registry the loop publishes into (share it with a `RecServer`).
     pub fn registry(&self) -> Arc<ModelRegistry> {
         Arc::clone(&self.registry)
+    }
+
+    /// The telemetry handle the loop records into (disabled unless the loop
+    /// was built with an enabled handle or `HAM_TELEMETRY` is set).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Updates the `online_serving_staleness_seconds` gauge to the seconds
+    /// elapsed since the last publish and returns that value. The gauge only
+    /// moves when the loop publishes or someone calls this — call it from
+    /// whatever cadence scrapes the registry. Returns 0 before any publish.
+    pub fn refresh_staleness(&self) -> u64 {
+        let staleness = self.last_publish.map_or(0, |at| at.elapsed().as_secs());
+        if let Some(metrics) = &self.metrics {
+            metrics.serving_staleness_seconds.set(staleness as i64);
+        }
+        staleness
     }
 
     /// Appends one fresh interaction. Unknown users and items are accepted;
@@ -265,8 +339,11 @@ impl OnlineTrainer {
     pub fn run_round(&mut self) -> RoundReport {
         let fresh_interactions = self.data.fresh_interactions();
         let round = self.round + 1;
+        let round_started = Instant::now();
         let train_started = Instant::now();
+        let rows_before = self.state.num_users() + self.state.num_items();
         self.state.grow_to(self.data.num_users().max(1), self.data.num_items().max(1));
+        let grown_rows = (self.state.num_users() + self.state.num_items()).saturating_sub(rows_before);
         let delta = self.data.delta_view(self.config.model.n_h, self.config.model.n_p);
         let (instances_trained, epochs) = if delta.is_empty() {
             (0, Vec::new())
@@ -291,6 +368,7 @@ impl OnlineTrainer {
         // `bootstrap`, so the first *served* version is already trained.
         let publish_started = Instant::now();
         let mut version = self.registry.version();
+        let mut published = false;
         if instances_trained > 0 || round == 1 {
             let serving = freeze(self.state.snapshot(), self.config.shards, self.config.quantize_serving, round);
             version = if round == 1 {
@@ -300,9 +378,24 @@ impl OnlineTrainer {
             } else {
                 self.registry.publish(serving)
             };
+            published = true;
+            self.last_publish = Some(Instant::now());
         }
         let publish_seconds = publish_started.elapsed().as_secs_f64();
         self.round = round;
+        if let Some(metrics) = &self.metrics {
+            metrics.rounds_total.inc();
+            metrics.fresh_interactions_total.add(fresh_interactions as u64);
+            metrics.instances_trained_total.add(instances_trained as u64);
+            metrics.table_growth_rows_total.add(grown_rows as u64);
+            metrics.train_micros.record((train_seconds * 1e6) as u64);
+            metrics.publish_micros.record((publish_seconds * 1e6) as u64);
+            metrics.round_micros.record(round_started.elapsed().as_micros() as u64);
+            if published {
+                metrics.publishes_total.inc();
+                metrics.serving_staleness_seconds.set(0);
+            }
+        }
         RoundReport { round, version, fresh_interactions, instances_trained, train_seconds, publish_seconds, epochs }
     }
 }

@@ -57,9 +57,11 @@ pub mod registry;
 pub mod request;
 pub mod server;
 pub mod shard;
+pub mod trace;
 
 pub use model::{ServeScratch, ServingModel};
 pub use registry::{ModelRegistry, PublishedModel};
 pub use request::{LatencyStats, RecommendRequest, RecommendResponse};
-pub use server::{RecServer, ServerConfig, SubmitError};
+pub use server::{RecServer, ServerConfig, ServerStats, SubmitError};
 pub use shard::{merge_top_k, ScoredItem, Shard, ShardedCatalog};
+pub use trace::StageTrace;

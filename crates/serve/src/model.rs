@@ -179,10 +179,34 @@ impl ServingModel {
         pool: Option<&ThreadPool>,
         scratch: &mut ServeScratch,
     ) -> Vec<Vec<ScoredItem>> {
+        self.recommend_batch_traced(requests, pool, scratch, None)
+    }
+
+    /// [`Self::recommend_batch_with`] with stage timing: when `trace` is
+    /// given, query assembly, per-shard scoring, merging and (on the
+    /// quantized path) the exact re-rank are clocked into it. The batch-of-1
+    /// GEMV path is deliberately timed as one opaque `solo` stage — its
+    /// scoring loop stays exactly the untraced code, so a queued lone
+    /// request keeps returning the same bits with or without telemetry.
+    pub fn recommend_batch_traced(
+        &self,
+        requests: &[RecommendRequest],
+        pool: Option<&ThreadPool>,
+        scratch: &mut ServeScratch,
+        mut trace: Option<&mut crate::trace::StageTrace>,
+    ) -> Vec<Vec<ScoredItem>> {
         match requests {
             [] => Vec::new(),
-            [single] => vec![self.recommend_with(single, scratch)],
+            [single] => {
+                let started = trace.is_some().then(std::time::Instant::now);
+                let out = vec![self.recommend_with(single, scratch)];
+                if let (Some(trace), Some(at)) = (trace.as_deref_mut(), started) {
+                    trace.solo_micros = Some(at.elapsed().as_micros() as u64);
+                }
+                out
+            }
             _ => {
+                let assembly_started = trace.is_some().then(std::time::Instant::now);
                 let mut queries = Matrix::zeros(requests.len(), self.catalog.dim());
                 for (i, request) in requests.iter().enumerate() {
                     queries.row_mut(i).copy_from_slice(&self.query_vector(request.user, &request.history));
@@ -190,10 +214,13 @@ impl ServingModel {
                 let ks: Vec<usize> = requests.iter().map(|r| r.k).collect();
                 let seen: Vec<Option<&[usize]>> =
                     requests.iter().map(|r| r.exclude_seen.then_some(r.history.as_slice())).collect();
+                if let (Some(trace), Some(at)) = (trace.as_deref_mut(), assembly_started) {
+                    trace.batch_assembly_micros = at.elapsed().as_micros() as u64;
+                }
                 if self.catalog.is_quantized() {
-                    self.catalog.quantized_top_k_batch(&queries, &ks, &seen, pool)
+                    self.catalog.quantized_top_k_batch_traced(&queries, &ks, &seen, pool, trace)
                 } else {
-                    self.catalog.top_k_batch(&queries, &ks, &seen, pool)
+                    self.catalog.top_k_batch_traced(&queries, &ks, &seen, pool, trace)
                 }
             }
         }

@@ -60,6 +60,9 @@ pub struct LatencyStats {
     pub p95_micros: u64,
     /// 99th percentile, microseconds.
     pub p99_micros: u64,
+    /// 99.9th percentile, microseconds (equals the max below 1000 samples —
+    /// the nearest-rank definition, not an artifact).
+    pub p99_9_micros: u64,
     /// Worst sample, microseconds.
     pub max_micros: u64,
 }
@@ -82,14 +85,27 @@ impl LatencyStats {
         samples.sort_unstable();
         let count = samples.len();
         let nearest_rank = |percent: usize| samples[(count * percent).div_ceil(100) - 1];
+        // p99.9 needs per-mille resolution; same ⌈count·P⌉ rank math.
+        let nearest_rank_per_mille = |per_mille: usize| samples[(count * per_mille).div_ceil(1000) - 1];
         Some(Self {
             count,
             mean_micros: samples.iter().sum::<u64>() as f64 / count as f64,
             p50_micros: nearest_rank(50),
             p95_micros: nearest_rank(95),
             p99_micros: nearest_rank(99),
+            p99_9_micros: nearest_rank_per_mille(999),
             max_micros: samples[count - 1],
         })
+    }
+
+    /// Combines measurement windows of raw microsecond samples into one set
+    /// of stats (`None` when every window is empty). Percentiles of merged
+    /// windows cannot be derived from the windows' own percentiles, so the
+    /// merge works on the raw samples and reuses [`Self::from_micros`] —
+    /// the result is exactly the stats of the concatenated sample set.
+    pub fn merge(windows: &[&[u64]]) -> Option<Self> {
+        let all: Vec<u64> = windows.iter().flat_map(|w| w.iter().copied()).collect();
+        Self::from_micros(all)
     }
 }
 
@@ -150,5 +166,43 @@ mod tests {
         // ...and at exactly 101 samples it stops being the maximum
         let s101 = LatencyStats::from_micros((1..=101).collect()).unwrap();
         assert_eq!(s101.p99_micros, 100);
+    }
+
+    /// Exact p99.9 values: below 1000 samples `⌈0.999·n⌉ = n`, so p99.9 is
+    /// the maximum; at exactly 1000 samples rank(999‰) = 999 and it stops
+    /// being the maximum; at 2000 samples it is the 1998th.
+    #[test]
+    fn p99_9_small_count_values_are_exact() {
+        for n in [1u64, 2, 10, 100, 999] {
+            let stats = LatencyStats::from_micros((1..=n).collect()).unwrap();
+            assert_eq!(stats.p99_9_micros, n, "p99.9 of {n} samples is the max");
+        }
+        let s1000 = LatencyStats::from_micros((1..=1000).collect()).unwrap();
+        assert_eq!(s1000.p99_9_micros, 999);
+        let s2000 = LatencyStats::from_micros((1..=2000).collect()).unwrap();
+        assert_eq!(s2000.p99_9_micros, 1998);
+    }
+
+    /// Merging windows gives exactly the stats of the concatenated samples —
+    /// pinned at small counts where percentile-of-percentile shortcuts
+    /// would diverge.
+    #[test]
+    fn merge_equals_stats_of_concatenation() {
+        let a = vec![30u64, 10];
+        let b = vec![20u64, 40, 50];
+        let merged = LatencyStats::merge(&[&a, &b]).unwrap();
+        let direct = LatencyStats::from_micros(vec![10, 20, 30, 40, 50]).unwrap();
+        assert_eq!(merged, direct);
+        assert_eq!(merged.count, 5);
+        assert_eq!(merged.p50_micros, 30, "rank(50%) of 5 = ⌈2.5⌉ = 3rd");
+        assert_eq!(merged.max_micros, 50);
+
+        // windows with an empty member and a singleton
+        let single = vec![7u64];
+        let empty: Vec<u64> = vec![];
+        let merged = LatencyStats::merge(&[&empty, &single]).unwrap();
+        assert_eq!((merged.count, merged.p50_micros, merged.p99_9_micros), (1, 7, 7));
+        assert!(LatencyStats::merge(&[&empty]).is_none());
+        assert!(LatencyStats::merge(&[]).is_none());
     }
 }

@@ -15,6 +15,8 @@
 use crate::model::ServeScratch;
 use crate::registry::ModelRegistry;
 use crate::request::{RecommendRequest, RecommendResponse};
+use crate::trace::StageTrace;
+use ham_telemetry::{Counter, Gauge, Histogram, SpanTree, Telemetry};
 use ham_tensor::pool::global_pool;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -109,12 +111,83 @@ impl ResponseSlot {
     }
 }
 
+/// Cumulative request accounting, maintained unconditionally (wait-free
+/// relaxed atomics — cheap enough to stay on even with telemetry disabled,
+/// and the fix for the shed-visibility gap: before this, a rejected
+/// `submit` was the only record a shed ever happened).
+#[derive(Debug, Default)]
+struct ServerCounters {
+    admitted: Counter,
+    shed: Counter,
+    completed: Counter,
+    panic_isolated: Counter,
+    queue_depth: Gauge,
+}
+
+/// Histograms resolved once at server start when telemetry is enabled.
+#[derive(Debug)]
+struct ServeMetrics {
+    queue_micros: Histogram,
+    service_micros: Histogram,
+    total_micros: Histogram,
+    batch_size: Histogram,
+    stage_batch_assembly: Histogram,
+    stage_shard_score: Histogram,
+    stage_merge: Histogram,
+    stage_rerank: Histogram,
+    stage_solo: Histogram,
+}
+
+impl ServeMetrics {
+    /// Resolves the serving metric set (and registers the always-on
+    /// counters) in `telemetry`'s registry; `None` when disabled.
+    fn resolve(telemetry: &Telemetry, counters: &ServerCounters) -> Option<Self> {
+        let registry = telemetry.registry()?;
+        registry.register_counter("serve_requests_admitted_total", &counters.admitted);
+        registry.register_counter("serve_requests_shed_total", &counters.shed);
+        registry.register_counter("serve_requests_completed_total", &counters.completed);
+        registry.register_counter("serve_requests_panic_isolated_total", &counters.panic_isolated);
+        registry.register_gauge("serve_queue_depth", &counters.queue_depth);
+        Some(Self {
+            queue_micros: registry.histogram("serve_queue_micros"),
+            service_micros: registry.histogram("serve_service_micros"),
+            total_micros: registry.histogram("serve_total_micros"),
+            batch_size: registry.histogram("serve_batch_size"),
+            stage_batch_assembly: registry.histogram("serve_stage_batch_assembly_micros"),
+            stage_shard_score: registry.histogram("serve_stage_shard_score_micros"),
+            stage_merge: registry.histogram("serve_stage_merge_micros"),
+            stage_rerank: registry.histogram("serve_stage_rerank_micros"),
+            stage_solo: registry.histogram("serve_stage_solo_gemv_micros"),
+        })
+    }
+}
+
+/// Cumulative server-side request accounting, as returned by
+/// [`RecServer::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests shed at admission ([`SubmitError::QueueFull`]).
+    pub shed: u64,
+    /// Requests answered (every admitted request eventually is).
+    pub completed: u64,
+    /// Requests whose solo retry also panicked and were answered with an
+    /// empty ranking.
+    pub panic_isolated: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: usize,
+}
+
 struct ServerShared {
     registry: Arc<ModelRegistry>,
     config: ServerConfig,
     queue: Mutex<VecDeque<Pending>>,
     arrived: Condvar,
     shutdown: AtomicBool,
+    counters: ServerCounters,
+    telemetry: Telemetry,
+    metrics: Option<ServeMetrics>,
 }
 
 /// An embeddable online recommendation server: micro-batching queue,
@@ -130,15 +203,34 @@ pub struct RecServer {
 
 impl RecServer {
     /// Starts the dispatcher for the models published in `registry`.
+    /// Telemetry follows the environment: `HAM_TELEMETRY=1` lights up the
+    /// metric set of [`Self::start_with_telemetry`], anything else serves
+    /// with a no-op handle.
     pub fn start(registry: Arc<ModelRegistry>, config: ServerConfig) -> Self {
+        Self::start_with_telemetry(registry, config, Telemetry::from_env())
+    }
+
+    /// [`Self::start`] with an explicit [`Telemetry`] handle. An enabled
+    /// handle gets the always-on counters registered
+    /// (`serve_requests_{admitted,shed,completed,panic_isolated}_total`,
+    /// `serve_queue_depth`), per-request latency histograms
+    /// (`serve_{queue,service,total}_micros`, `serve_batch_size`), stage
+    /// histograms (`serve_stage_*_micros`) and per-request span trees in the
+    /// handle's flight recorder.
+    pub fn start_with_telemetry(registry: Arc<ModelRegistry>, config: ServerConfig, telemetry: Telemetry) -> Self {
         assert!(config.max_batch > 0, "RecServer: max_batch must be positive");
         assert!(config.max_queue > 0, "RecServer: max_queue must be positive");
+        let counters = ServerCounters::default();
+        let metrics = ServeMetrics::resolve(&telemetry, &counters);
         let shared = Arc::new(ServerShared {
             registry,
             config,
             queue: Mutex::new(VecDeque::new()),
             arrived: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            counters,
+            telemetry,
+            metrics,
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -176,12 +268,36 @@ impl RecServer {
                 return Err(SubmitError::ShuttingDown);
             }
             if queue.len() >= self.shared.config.max_queue {
+                self.shared.counters.shed.inc();
                 return Err(SubmitError::QueueFull { max_queue: self.shared.config.max_queue });
             }
             queue.push_back(Pending { request, enqueued: Instant::now(), slot: Arc::clone(&slot) });
+            self.shared.counters.admitted.inc();
+            self.shared.counters.queue_depth.set(queue.len() as i64);
             self.shared.arrived.notify_all();
         }
         Ok(slot.wait())
+    }
+
+    /// Cumulative admitted/shed/completed/panic-isolated counts and the
+    /// current queue depth. Counts are maintained wait-free whether or not
+    /// telemetry is enabled, so shed traffic is observable server-side —
+    /// not only by the caller whose `submit` was rejected.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            admitted: self.shared.counters.admitted.get(),
+            shed: self.shared.counters.shed.get(),
+            completed: self.shared.counters.completed.get(),
+            panic_isolated: self.shared.counters.panic_isolated.get(),
+            queue_depth: self.shared.counters.queue_depth.get().max(0) as usize,
+        }
+    }
+
+    /// The telemetry handle the server records into (disabled unless
+    /// [`Self::start_with_telemetry`] got an enabled one or the environment
+    /// set `HAM_TELEMETRY=1`).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// Begins shutdown: subsequent [`Self::submit`] calls return
@@ -234,7 +350,9 @@ fn dispatch_loop(shared: &ServerShared) {
                 queue = returned;
             }
             let take = queue.len().min(shared.config.max_batch);
-            queue.drain(..take).collect::<Vec<Pending>>()
+            let batch = queue.drain(..take).collect::<Vec<Pending>>();
+            shared.counters.queue_depth.set(queue.len() as i64);
+            batch
         };
         if batch.is_empty() {
             continue;
@@ -262,25 +380,93 @@ fn serve_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut ServeSc
     // and retry each request solo so one poisoned request cannot take down
     // its batch-mates; a request that still panics alone gets an empty
     // ranking back (and the panic is reported on stderr by the hook).
-    let rankings = catch_unwind(AssertUnwindSafe(|| published.model.recommend_batch_with(&requests, pool, scratch)))
-        .unwrap_or_else(|_| {
-            // The panic may have unwound between marking and clearing the
-            // scratch's seen bitmap; restore the all-clear invariant before
-            // the solo retries (which take the allocating path on purpose —
-            // this branch is cold and must stay panic-isolated per request).
-            scratch.reset();
-            requests
-                .iter()
-                .map(|request| {
-                    catch_unwind(AssertUnwindSafe(|| published.model.recommend(request))).unwrap_or_default()
-                })
-                .collect()
-        });
+    let mut trace = shared.metrics.as_ref().map(|_| StageTrace::new());
+    let rankings = catch_unwind(AssertUnwindSafe(|| {
+        published.model.recommend_batch_traced(&requests, pool, scratch, trace.as_mut())
+    }))
+    .unwrap_or_else(|_| {
+        // The panic may have unwound between marking and clearing the
+        // scratch's seen bitmap; restore the all-clear invariant before
+        // the solo retries (which take the allocating path on purpose —
+        // this branch is cold and must stay panic-isolated per request).
+        scratch.reset();
+        requests
+            .iter()
+            .map(|request| match catch_unwind(AssertUnwindSafe(|| published.model.recommend(request))) {
+                Ok(items) => items,
+                Err(_) => {
+                    shared.counters.panic_isolated.inc();
+                    Vec::new()
+                }
+            })
+            .collect()
+    });
     let service_micros = picked_up.elapsed().as_micros() as u64;
+    let batch_len = waiters.len() as u64;
+    if let (Some(metrics), Some(trace)) = (&shared.metrics, &trace) {
+        metrics.batch_size.record(batch_len);
+        metrics.service_micros.record(service_micros);
+        match trace.solo_micros {
+            Some(solo) => metrics.stage_solo.record(solo),
+            None => {
+                metrics.stage_batch_assembly.record(trace.batch_assembly_micros);
+                metrics.stage_shard_score.record(trace.max_shard_micros());
+                metrics.stage_merge.record(trace.merge_micros);
+                if trace.rerank_micros > 0 {
+                    metrics.stage_rerank.record(trace.rerank_micros);
+                }
+            }
+        }
+    }
     for ((enqueued, slot), items) in waiters.into_iter().zip(rankings) {
         let queue_micros = picked_up.duration_since(enqueued).as_micros() as u64;
+        if let (Some(metrics), Some(trace)) = (&shared.metrics, &trace) {
+            metrics.queue_micros.record(queue_micros);
+            metrics.total_micros.record(queue_micros + service_micros);
+            if let Some(flight) = shared.telemetry.flight() {
+                flight.record(request_span_tree(queue_micros, service_micros, trace));
+            }
+        }
+        // Count before delivering: `deliver` unblocks the submitter, which
+        // may read `stats()` immediately — its own completion must already
+        // be visible.
+        shared.counters.completed.inc();
         slot.deliver(RecommendResponse { items, model_version: published.version, queue_micros, service_micros });
     }
+}
+
+/// Shapes one request's timing into the flight-recorder span tree:
+/// `request → {queue, service → {batch_assembly, shard_score → {shard_i…},
+/// merge, rerank}}` (or `service → {solo_gemv}` on the batch-of-1 path).
+/// Stage offsets are laid out sequentially from the measured durations —
+/// parallel shard children share the `shard_score` start offset.
+fn request_span_tree(queue_micros: u64, service_micros: u64, trace: &StageTrace) -> SpanTree {
+    let mut service = SpanTree::leaf("service", queue_micros, service_micros);
+    match trace.solo_micros {
+        Some(solo) => {
+            service = service.with_child(SpanTree::leaf("solo_gemv", queue_micros, solo));
+        }
+        None => {
+            let mut at = queue_micros;
+            service = service.with_child(SpanTree::leaf("batch_assembly", at, trace.batch_assembly_micros));
+            at += trace.batch_assembly_micros;
+            let score_wall = trace.max_shard_micros();
+            let mut score = SpanTree::leaf("shard_score", at, score_wall);
+            for &(s, micros) in &trace.shard_score_micros {
+                score = score.with_child(SpanTree::leaf(format!("shard_{s}"), at, micros));
+            }
+            service = service.with_child(score);
+            at += score_wall;
+            service = service.with_child(SpanTree::leaf("merge", at, trace.merge_micros));
+            at += trace.merge_micros;
+            if trace.rerank_micros > 0 {
+                service = service.with_child(SpanTree::leaf("rerank", at, trace.rerank_micros));
+            }
+        }
+    }
+    SpanTree::leaf("request", 0, queue_micros + service_micros)
+        .with_child(SpanTree::leaf("queue", 0, queue_micros))
+        .with_child(service)
 }
 
 #[cfg(test)]
@@ -418,6 +604,70 @@ mod tests {
         assert_eq!(admitted + shed, 24);
         assert!(shed > 0, "a 24-request burst into a 4-slot queue must shed");
         assert!(admitted > 0, "some requests must be admitted");
+        // The server-side ledger agrees with what the callers saw — the
+        // shed-visibility fix: sheds are now recorded where they happen.
+        let stats = server.stats();
+        assert_eq!(stats.admitted, admitted as u64, "server counted every admission");
+        assert_eq!(stats.shed, shed as u64, "server counted every shed");
+        assert_eq!(stats.completed, admitted as u64, "every admitted request completed (submit blocks on delivery)");
+        assert_eq!(stats.panic_isolated, 0, "no request panicked");
+        assert_eq!(stats.queue_depth, 0, "queue drained once all submitters returned");
+    }
+
+    /// The telemetry-enabled path: counters and stage histograms populate,
+    /// panic isolation is counted, and the flight recorder holds span trees
+    /// with the documented stage hierarchy.
+    #[test]
+    fn telemetry_records_latencies_spans_and_panic_isolation() {
+        let w = Matrix::from_vec(40, 2, (0..80).map(|i| i as f32 * 0.01).collect());
+        let model = ServingModel::from_parts("toy", &w, 4, |user, _| {
+            assert!(user < 30, "unknown user {user}");
+            vec![1.0, user as f32 * 0.1]
+        });
+        let telemetry = Telemetry::with_flight_capacity(8);
+        let server = Arc::new(RecServer::start_with_telemetry(
+            Arc::new(ModelRegistry::new(model)),
+            ServerConfig { coalesce_wait: Duration::from_millis(4), ..ServerConfig::default() },
+            telemetry.clone(),
+        ));
+        // A concurrent burst so at least one multi-request batch forms.
+        let handles: Vec<_> = (0..6)
+            .map(|user| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || server.submit(RecommendRequest::new(user, vec![user], 5)))
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap().expect("admitted").items.len(), 5);
+        }
+        let poisoned = server.submit(RecommendRequest::new(99, vec![], 3)).expect("admitted");
+        assert!(poisoned.items.is_empty());
+
+        let stats = server.stats();
+        assert_eq!(stats.admitted, 7);
+        assert_eq!(stats.completed, 7);
+        assert_eq!(stats.panic_isolated, 1, "the poisoned request was isolated and counted");
+
+        let snap = telemetry.snapshot().expect("telemetry enabled");
+        assert_eq!(snap.counter("serve_requests_admitted_total"), Some(7));
+        assert_eq!(snap.counter("serve_requests_panic_isolated_total"), Some(1));
+        assert_eq!(snap.histogram("serve_total_micros").map(|h| h.count), Some(7), "one total sample per request");
+        assert_eq!(snap.histogram("serve_queue_micros").map(|h| h.count), Some(7));
+        assert!(snap.histogram("serve_batch_size").is_some_and(|h| h.count >= 1 && h.max >= 1));
+
+        let flight = telemetry.flight().expect("telemetry enabled");
+        assert!(!flight.is_empty(), "served requests left span trees in the ring");
+        let tree = flight.slowest().expect("at least one tree");
+        assert_eq!(tree.name, "request");
+        assert!(tree.find("queue").is_some() && tree.find("service").is_some());
+        // Every tree ends in either the solo GEMV stage or the batch stages.
+        for tree in flight.last(8) {
+            assert!(
+                tree.find("solo_gemv").is_some() || tree.find("shard_score").is_some(),
+                "unexpected span shape:\n{}",
+                tree.render()
+            );
+        }
     }
 
     /// The shutdown race: a request admitted concurrently with shutdown must

@@ -40,11 +40,13 @@
 //! are integer-accumulated and therefore bit-identical across tiers and
 //! shard counts by construction.
 
+use crate::trace::StageTrace;
 use ham_data::dataset::ItemId;
 use ham_tensor::kernels;
 use ham_tensor::ops::{top_k_indices, top_k_indices_masked};
 use ham_tensor::pool::ThreadPool;
 use ham_tensor::{Matrix, QuantizedMatrix, QuantizedQuery};
+use std::time::Instant;
 
 /// One recommended item with its model score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -356,17 +358,33 @@ impl ShardedCatalog {
         seen_items: &[Option<&[ItemId]>],
         pool: Option<&ThreadPool>,
     ) -> Vec<Vec<ScoredItem>> {
+        self.quantized_top_k_batch_traced(queries, ks, seen_items, pool, None)
+    }
+
+    /// [`Self::quantized_top_k_batch`] with stage timing: when `trace` is
+    /// given, per-shard GEMM durations, the ranking/merge loop and the exact
+    /// re-rank are clocked into it. `None` serves identically with no
+    /// timing overhead beyond one branch.
+    pub fn quantized_top_k_batch_traced(
+        &self,
+        queries: &Matrix,
+        ks: &[usize],
+        seen_items: &[Option<&[ItemId]>],
+        pool: Option<&ThreadPool>,
+        trace: Option<&mut StageTrace>,
+    ) -> Vec<Vec<ScoredItem>> {
         let b = queries.rows();
         assert_eq!(ks.len(), b, "quantized_top_k_batch: {} k values for {} queries", ks.len(), b);
         assert_eq!(seen_items.len(), b, "quantized_top_k_batch: {} seen lists for {} queries", seen_items.len(), b);
         let qqueries: Vec<QuantizedQuery> = (0..b).map(|i| QuantizedQuery::quantize(queries.row(i))).collect();
-        let mut blocks: Vec<Option<Matrix>> = self.shards.iter().map(|_| None).collect();
+        let mut blocks: Vec<Option<(Matrix, u64)>> = self.shards.iter().map(|_| None).collect();
         let parallel_useful = self.shards.iter().filter(|s| !s.is_empty()).count() > 1;
         let score_shard = |s: usize| {
+            let started = Instant::now();
             let panel = self.shards[s].quantized.as_ref().expect("quantized_top_k on an unquantized catalogue");
             let mut block = Matrix::zeros(b, panel.rows());
             kernels::quantized_matmul_transposed_into(&qqueries, panel, &mut block);
-            block
+            (block, started.elapsed().as_micros() as u64)
         };
         match pool {
             Some(pool) if parallel_useful => pool.scope(|scope| {
@@ -381,7 +399,18 @@ impl ShardedCatalog {
                 }
             }
         }
-        let blocks: Vec<Matrix> = blocks.into_iter().map(|b| b.expect("shard scoring task never ran")).collect();
+        let mut shard_micros = Vec::new();
+        let blocks: Vec<Matrix> = blocks
+            .into_iter()
+            .enumerate()
+            .map(|(s, b)| {
+                let (block, micros) = b.expect("shard scoring task never ran");
+                shard_micros.push((s, micros));
+                block
+            })
+            .collect();
+        let rank_started = trace.is_some().then(Instant::now);
+        let mut rerank_micros = 0u64;
         let mut scratch = vec![false; self.num_items];
         let mut out = Vec::with_capacity(b);
         for i in 0..b {
@@ -396,11 +425,21 @@ impl ShardedCatalog {
             let per_shard: Vec<Vec<ScoredItem>> =
                 (0..self.shards.len()).map(|s| self.shard_top_k(s, blocks[s].row(i), pre_k, seen)).collect();
             let candidates = merge_top_k(&per_shard, pre_k);
+            let rerank_started = trace.is_some().then(Instant::now);
             let merged = self.rerank_exact(candidates, queries.row(i), ks[i], seen);
+            if let Some(at) = rerank_started {
+                rerank_micros += at.elapsed().as_micros() as u64;
+            }
             if let Some(items) = seen_items[i] {
                 clear_seen(&mut scratch, items);
             }
             out.push(merged);
+        }
+        if let Some(trace) = trace {
+            trace.shard_score_micros = shard_micros;
+            let rank_micros = rank_started.map_or(0, |at| at.elapsed().as_micros() as u64);
+            trace.merge_micros = rank_micros.saturating_sub(rerank_micros);
+            trace.rerank_micros = rerank_micros;
         }
         out
     }
@@ -424,26 +463,57 @@ impl ShardedCatalog {
         seen_items: &[Option<&[ItemId]>],
         pool: Option<&ThreadPool>,
     ) -> Vec<Vec<ScoredItem>> {
+        self.top_k_batch_traced(queries, ks, seen_items, pool, None)
+    }
+
+    /// [`Self::top_k_batch`] with stage timing: when `trace` is given,
+    /// per-shard GEMM durations and the ranking/merge loop are clocked into
+    /// it. `None` serves identically with no timing overhead beyond one
+    /// branch.
+    pub fn top_k_batch_traced(
+        &self,
+        queries: &Matrix,
+        ks: &[usize],
+        seen_items: &[Option<&[ItemId]>],
+        pool: Option<&ThreadPool>,
+        trace: Option<&mut StageTrace>,
+    ) -> Vec<Vec<ScoredItem>> {
         let b = queries.rows();
         assert_eq!(ks.len(), b, "top_k_batch: {} k values for {} queries", ks.len(), b);
         assert_eq!(seen_items.len(), b, "top_k_batch: {} seen lists for {} queries", seen_items.len(), b);
-        let mut blocks: Vec<Option<Matrix>> = self.shards.iter().map(|_| None).collect();
+        let mut blocks: Vec<Option<(Matrix, u64)>> = self.shards.iter().map(|_| None).collect();
         // A single (or single non-empty) shard has nothing to overlap — skip
         // the pool handoff and score inline on the caller.
         let parallel_useful = self.shards.iter().filter(|s| !s.is_empty()).count() > 1;
+        let score_shard = |s: usize| {
+            let started = Instant::now();
+            let block = self.shard_scores_batch(s, queries);
+            (block, started.elapsed().as_micros() as u64)
+        };
         match pool {
             Some(pool) if parallel_useful => pool.scope(|scope| {
                 for (s, block) in blocks.iter_mut().enumerate() {
-                    scope.spawn(move || *block = Some(self.shard_scores_batch(s, queries)));
+                    let score_shard = &score_shard;
+                    scope.spawn(move || *block = Some(score_shard(s)));
                 }
             }),
             _ => {
                 for (s, block) in blocks.iter_mut().enumerate() {
-                    *block = Some(self.shard_scores_batch(s, queries));
+                    *block = Some(score_shard(s));
                 }
             }
         }
-        let blocks: Vec<Matrix> = blocks.into_iter().map(|b| b.expect("shard scoring task never ran")).collect();
+        let mut shard_micros = Vec::new();
+        let blocks: Vec<Matrix> = blocks
+            .into_iter()
+            .enumerate()
+            .map(|(s, b)| {
+                let (block, micros) = b.expect("shard scoring task never ran");
+                shard_micros.push((s, micros));
+                block
+            })
+            .collect();
+        let rank_started = trace.is_some().then(Instant::now);
         let mut scratch = vec![false; self.num_items];
         let sole = self.sole_active_shard();
         let mut out = Vec::with_capacity(b);
@@ -468,6 +538,10 @@ impl ShardedCatalog {
                 clear_seen(&mut scratch, items);
             }
             out.push(merged);
+        }
+        if let Some(trace) = trace {
+            trace.shard_score_micros = shard_micros;
+            trace.merge_micros = rank_started.map_or(0, |at| at.elapsed().as_micros() as u64);
         }
         out
     }

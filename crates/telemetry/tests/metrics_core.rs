@@ -1,0 +1,134 @@
+//! Concurrency and serde coverage for the metrics core: the properties the
+//! serving/training hot paths rely on (no lost samples under contention,
+//! snapshots that depend only on the recorded multiset) pinned under real
+//! threads and under the workspace's work-stealing pool.
+
+use ham_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// Records `values` into a fresh histogram, split across `threads` OS
+/// threads (round-robin by index), and returns the quiesced snapshot.
+fn record_across_threads(values: &[u64], threads: usize) -> HistogramSnapshot {
+    let h = Histogram::new();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let h = h.clone();
+            let slice: Vec<u64> = values.iter().copied().skip(t).step_by(threads).collect();
+            s.spawn(move || {
+                for v in slice {
+                    h.record(v);
+                }
+            });
+        }
+    });
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The merged snapshot is a pure function of the recorded multiset:
+    /// recording the same values single-threaded, across 2 threads and
+    /// across 7 (non-power-of-two, exercising shard sharing) threads gives
+    /// identical snapshots, and count/sum/max match what the values say.
+    #[test]
+    fn concurrent_recording_merges_deterministically(
+        values in proptest::collection::vec(0u64..1_000_000, 1..400),
+    ) {
+        let single = record_across_threads(&values, 1);
+        let two = record_across_threads(&values, 2);
+        let seven = record_across_threads(&values, 7);
+        prop_assert_eq!(&single, &two);
+        prop_assert_eq!(&single, &seven);
+        prop_assert_eq!(single.count, values.len() as u64);
+        prop_assert_eq!(single.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(single.max, values.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Quantiles never exceed the observed max and never go below the
+    /// sample minimum's bucket lower edge; merge() of a split equals
+    /// recording everything at once.
+    #[test]
+    fn quantiles_and_window_merge_agree(
+        a in proptest::collection::vec(0u64..100_000, 1..120),
+        b in proptest::collection::vec(0u64..100_000, 1..120),
+    ) {
+        let left = record_across_threads(&a, 3);
+        let right = record_across_threads(&b, 3);
+        let merged = left.merge(&right);
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let whole = record_across_threads(&all, 4);
+        prop_assert_eq!(&merged, &whole);
+        for pm in [500u64, 990, 999, 1000] {
+            prop_assert!(merged.quantile_per_mille(pm) <= merged.max);
+        }
+    }
+}
+
+#[test]
+fn counter_and_gauge_are_atomic_under_the_work_stealing_pool() {
+    let pool = ham_tensor::pool::global_pool();
+    let counter = Counter::new();
+    let gauge = Gauge::new();
+    const TASKS: usize = 64;
+    const PER_TASK: u64 = 1_000;
+    pool.scope(|scope| {
+        for _ in 0..TASKS {
+            let counter = counter.clone();
+            let gauge = gauge.clone();
+            scope.spawn(move || {
+                for _ in 0..PER_TASK {
+                    counter.inc();
+                    gauge.add(3);
+                    gauge.add(-1);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), TASKS as u64 * PER_TASK, "no increments lost");
+    assert_eq!(gauge.get(), (TASKS as u64 * PER_TASK * 2) as i64, "paired adds balance exactly");
+}
+
+#[test]
+fn histogram_loses_no_samples_under_the_work_stealing_pool() {
+    let pool = ham_tensor::pool::global_pool();
+    let h = Histogram::new();
+    const TASKS: u64 = 48;
+    const PER_TASK: u64 = 500;
+    pool.scope(|scope| {
+        for t in 0..TASKS {
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..PER_TASK {
+                    h.record(t * PER_TASK + i);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    let n = TASKS * PER_TASK;
+    assert_eq!(snap.count, n);
+    assert_eq!(snap.sum, n * (n - 1) / 2, "sum of 0..n intact");
+    assert_eq!(snap.max, n - 1);
+}
+
+#[test]
+fn full_snapshot_serde_round_trip() {
+    let registry = MetricsRegistry::new();
+    registry.counter("serve_requests_admitted_total").add(120);
+    registry.counter("serve_requests_shed_total").add(8);
+    registry.gauge("serve_queue_depth").set(5);
+    registry.gauge("online_serving_staleness_seconds").set(2);
+    let h = registry.histogram("serve_total_micros");
+    for v in [90u64, 110, 240, 900, 12_000] {
+        h.record(v);
+    }
+    let mut snap = registry.snapshot();
+    snap.push_counter("kernel_avx512_calls_total", 31);
+    let json = serde_json::to_string(&snap).expect("serialize");
+    let back: MetricsSnapshot = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(snap, back);
+    assert_eq!(back.counter("kernel_avx512_calls_total"), Some(31));
+    assert_eq!(back.histogram("serve_total_micros").unwrap().count, 5);
+}

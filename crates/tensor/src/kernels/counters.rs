@@ -1,0 +1,143 @@
+//! Per-tier kernel dispatch accounting.
+//!
+//! Every kernel call notes (tier, effective operand bytes) here, so which
+//! tier actually served traffic is a runtime fact readable from a snapshot —
+//! not an assumption derived from `HAM_KERNEL_TIER`. The counters live in
+//! this crate (not `ham-telemetry`) so the kernel layer stays dependency-
+//! free; the telemetry snapshot pulls them in via its `push_counter` hook at
+//! exposition time.
+//!
+//! Accounting is wait-free and striped: each tier owns a small set of
+//! cache-line-padded slots and recording threads are spread across them
+//! round-robin (same scheme as the telemetry histogram shards), so pool
+//! workers hammering the GEMM inside a parallel shard scan never contend on
+//! one line. Reads sum the stripes — the totals are exact once callers
+//! quiesce.
+
+use super::KernelTier;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const TIERS: usize = 3;
+const STRIPES: usize = 8;
+
+#[repr(align(128))]
+#[derive(Default)]
+struct Stripe {
+    calls: AtomicU64,
+    bytes: AtomicU64,
+}
+
+struct TierCells {
+    stripes: [Stripe; STRIPES],
+}
+
+impl TierCells {
+    const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const STRIPE: Stripe = Stripe { calls: AtomicU64::new(0), bytes: AtomicU64::new(0) };
+        Self { stripes: [STRIPE; STRIPES] }
+    }
+}
+
+static CELLS: [TierCells; TIERS] = [TierCells::new(), TierCells::new(), TierCells::new()];
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn thread_stripe() -> usize {
+    THREAD_STRIPE.with(|slot| {
+        let cached = slot.get();
+        if cached != usize::MAX {
+            return cached;
+        }
+        let assigned = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+        slot.set(assigned);
+        assigned
+    })
+}
+
+#[inline]
+fn tier_index(tier: KernelTier) -> usize {
+    match tier {
+        KernelTier::Portable => 0,
+        KernelTier::Avx2 => 1,
+        KernelTier::Avx512 => 2,
+    }
+}
+
+/// Notes one kernel invocation on `tier` touching `bytes` of operand data.
+/// Called by every `*_impl` dispatch body; two relaxed adds on this thread's
+/// stripe.
+#[inline]
+pub(super) fn note(tier: KernelTier, bytes: u64) {
+    let stripe = &CELLS[tier_index(tier)].stripes[thread_stripe()];
+    stripe.calls.fetch_add(1, Ordering::Relaxed);
+    stripe.bytes.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// One tier's accumulated dispatch totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierCounters {
+    /// The tier these totals belong to.
+    pub tier: KernelTier,
+    /// Kernel invocations dispatched to this tier.
+    pub calls: u64,
+    /// Effective operand bytes those invocations touched (inputs + outputs,
+    /// quantized payloads at 1 byte/element).
+    pub bytes: u64,
+}
+
+/// Current totals for every tier (zero entries included, portable first).
+pub fn snapshot() -> [TierCounters; TIERS] {
+    let read = |tier: KernelTier| {
+        let cells = &CELLS[tier_index(tier)];
+        let mut calls = 0u64;
+        let mut bytes = 0u64;
+        for stripe in &cells.stripes {
+            calls += stripe.calls.load(Ordering::Relaxed);
+            bytes += stripe.bytes.load(Ordering::Relaxed);
+        }
+        TierCounters { tier, calls, bytes }
+    };
+    [read(KernelTier::Portable), read(KernelTier::Avx2), read(KernelTier::Avx512)]
+}
+
+/// Zeroes every stripe (benchmark setup). Concurrent recorders may land
+/// adds on either side of the sweep; quiesce callers first for exact zeros.
+pub fn reset() {
+    for cells in &CELLS {
+        for stripe in &cells.stripes {
+            stripe.calls.store(0, Ordering::Relaxed);
+            stripe.bytes.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_accumulates_and_snapshot_sums_stripes() {
+        // Counters are process-global, so assert on deltas.
+        let before = snapshot()[tier_index(KernelTier::Portable)];
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        note(KernelTier::Portable, 64);
+                    }
+                });
+            }
+        });
+        let after = snapshot()[tier_index(KernelTier::Portable)];
+        assert_eq!(after.calls - before.calls, 400);
+        assert_eq!(after.bytes - before.bytes, 400 * 64);
+        assert_eq!(after.tier, KernelTier::Portable);
+    }
+}

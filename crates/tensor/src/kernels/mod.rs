@@ -83,6 +83,7 @@
 mod avx2;
 #[cfg(target_arch = "x86_64")]
 mod avx512;
+pub mod counters;
 mod portable;
 
 use crate::quant::{QuantizedMatrix, QuantizedQuery};
@@ -318,6 +319,7 @@ pub fn dot_with_tier(tier: KernelTier, a: &[f32], b: &[f32]) -> f32 {
 
 fn dot_impl(tier: KernelTier, a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    counters::note(tier, 8 * a.len() as u64);
     match tier {
         KernelTier::Portable => portable::dot(a, b),
         #[cfg(target_arch = "x86_64")]
@@ -370,6 +372,7 @@ fn matvec_transposed_into_impl(tier: KernelTier, w: &Matrix, q: &[f32], out: &mu
     let (n, d) = w.shape();
     assert_eq!(q.len(), d, "matvec_transposed: query length {} does not match {} columns", q.len(), d);
     assert_eq!(out.len(), n, "matvec_transposed_into: buffer holds {} scores for {} rows", out.len(), n);
+    counters::note(tier, 4 * (n * d + d + n) as u64);
     match tier {
         KernelTier::Portable => portable::matvec_transposed_into(w, q, out),
         #[cfg(target_arch = "x86_64")]
@@ -440,6 +443,7 @@ fn matmul_transposed_into_impl(tier: KernelTier, a: &Matrix, b: &Matrix, out: &m
         a.rows(),
         b.rows()
     );
+    counters::note(tier, 4 * (a.rows() * a.cols() + b.rows() * b.cols() + a.rows() * b.rows()) as u64);
     match tier {
         KernelTier::Portable => portable::matmul_transposed_into(a, b, out),
         #[cfg(target_arch = "x86_64")]
@@ -497,6 +501,7 @@ fn matmul_impl(tier: KernelTier, a: &Matrix, b: &Matrix) -> Matrix {
         b.cols()
     );
     let mut out = Matrix::zeros(a.rows(), b.cols());
+    counters::note(tier, 4 * (a.rows() * a.cols() + b.rows() * b.cols() + a.rows() * b.cols()) as u64);
     match tier {
         KernelTier::Portable => portable::matmul_into(a, b, &mut out),
         #[cfg(target_arch = "x86_64")]
@@ -536,6 +541,7 @@ pub fn axpy_with_tier(tier: KernelTier, out: &mut [f32], alpha: f32, x: &[f32]) 
 
 fn axpy_impl(tier: KernelTier, out: &mut [f32], alpha: f32, x: &[f32]) {
     assert_eq!(out.len(), x.len(), "axpy: length mismatch {} vs {}", out.len(), x.len());
+    counters::note(tier, 12 * x.len() as u64);
     match tier {
         KernelTier::Portable => portable::axpy(out, alpha, x),
         #[cfg(target_arch = "x86_64")]
@@ -607,6 +613,7 @@ fn axpy_rows_impl(
     if let Some(&bad) = src_rows.iter().find(|&&r| r >= src.rows()) {
         panic!("axpy_rows: source row {bad} out of bounds for {} rows", src.rows());
     }
+    counters::note(tier, 12 * (dst_rows.len() * dst.cols()) as u64);
     match tier {
         KernelTier::Portable => portable::axpy_rows(dst, dst_rows, scales, src, src_rows),
         #[cfg(target_arch = "x86_64")]
@@ -648,6 +655,7 @@ pub fn quantized_dot_with_tier(tier: KernelTier, w: &QuantizedMatrix, row: usize
 fn quantized_dot_impl(tier: KernelTier, w: &QuantizedMatrix, row: usize, q: &QuantizedQuery) -> f32 {
     assert!(row < w.rows(), "quantized_dot: row {row} out of bounds for {} rows", w.rows());
     assert_eq!(q.len(), w.cols(), "quantized_dot: query length {} does not match {} columns", q.len(), w.cols());
+    counters::note(tier, 2 * w.cols() as u64);
     let p = w.row(row);
     let acc = match tier {
         KernelTier::Portable => portable::quantized_dot_i32(p, q.payload()),
@@ -688,6 +696,7 @@ fn quantized_matvec_into_impl(tier: KernelTier, w: &QuantizedMatrix, q: &Quantiz
     let (n, d) = w.shape();
     assert_eq!(q.len(), d, "quantized_matvec: query length {} does not match {} columns", q.len(), d);
     assert_eq!(out.len(), n, "quantized_matvec_into: buffer holds {} scores for {} rows", out.len(), n);
+    counters::note(tier, (n * d + d + 4 * n) as u64);
     match tier {
         KernelTier::Portable => portable::quantized_matvec_into(w, q, out),
         #[cfg(target_arch = "x86_64")]
@@ -747,6 +756,7 @@ fn quantized_matmul_transposed_into_impl(
         queries.len(),
         n
     );
+    counters::note(tier, (n * d + queries.len() * d + 4 * queries.len() * n) as u64);
     match tier {
         KernelTier::Portable => portable::quantized_matmul_transposed_into(queries, w, out),
         #[cfg(target_arch = "x86_64")]
