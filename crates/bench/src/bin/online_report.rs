@@ -124,6 +124,7 @@ fn main() {
         shards: 2,
         quantize_serving: false,
         seed: SEED,
+        gate: ham_online::PublishGate::default(),
     };
 
     // Bootstrap: full training on the initial 90%, published as version 1.

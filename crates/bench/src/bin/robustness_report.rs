@@ -1,0 +1,284 @@
+//! Generates `BENCH_robustness.json`: the serving layer's behaviour under an
+//! injected slow shard versus a healthy run, plus rollback latency and a
+//! shadow-gate rejection demonstration.
+//!
+//! Two serving arms, identical workload and configuration, both on the
+//! deadline-bounded path:
+//!
+//! * **healthy** — a generous deadline nothing hits; measures the bounded
+//!   path's baseline latency percentiles.
+//! * **slow shard** — shard 0 is slowed far past any budget
+//!   (`ham-faults`), and the default deadline is set to a small multiple of
+//!   the healthy p99. The slow shard misses its budget on every batch and
+//!   is dropped from the merge: responses come back **flagged degraded**
+//!   with deterministic surviving-shard results, and the p99 stays bounded
+//!   by the deadline — the report's `p99_slow_over_healthy` pins the
+//!   "degrade, don't hang" contract (target: ≤ 2×).
+//!
+//! Run from the repository root: `cargo run --release -p ham-bench --bin
+//! robustness_report` (append `-- --quick` for the CI smoke configuration).
+
+use ham_core::{HamConfig, HamModel, HamVariant, TrainConfig};
+use ham_data::SequenceDataset;
+use ham_faults::FaultInjector;
+use ham_online::{OnlineConfig, OnlineTrainer, PublishGate};
+use ham_serve::{LatencyStats, ModelRegistry, RecServer, RecommendRequest, ServerConfig, ServingModel, SubmitError};
+use ham_telemetry::Telemetry;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const D: usize = 32;
+const K: usize = 10;
+const SHARDS: usize = 4;
+
+struct BenchScale {
+    items: usize,
+    users: usize,
+    clients: usize,
+    requests_per_client: usize,
+}
+
+impl BenchScale {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Self { items: 2_000, users: 64, clients: 2, requests_per_client: 60 }
+        } else {
+            Self { items: 10_000, users: 200, clients: 3, requests_per_client: 250 }
+        }
+    }
+}
+
+#[derive(Default)]
+struct ArmOutcome {
+    samples: Vec<u64>,
+    served: u64,
+    degraded: u64,
+    shed_queue_full: u64,
+    shed_deadline: u64,
+    seconds: f64,
+}
+
+impl ArmOutcome {
+    fn attempted(&self) -> u64 {
+        self.served + self.shed_queue_full + self.shed_deadline
+    }
+}
+
+/// Pushes the whole workload through a server from concurrent clients and
+/// tallies served / degraded / shed outcomes.
+fn run_arm(model: &Arc<HamModel>, scale: &BenchScale, config: ServerConfig, fault_spec: Option<&str>) -> ArmOutcome {
+    let faults = match fault_spec {
+        Some(spec) => FaultInjector::parse(spec).expect("valid fault spec"),
+        None => FaultInjector::disabled(),
+    };
+    let registry = Arc::new(ModelRegistry::new(
+        ServingModel::from_scorer("robustness", Arc::clone(model), SHARDS).expect("HAM has a linear head"),
+    ));
+    let server = Arc::new(RecServer::start_instrumented(registry, config, Telemetry::disabled(), faults));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..scale.clients)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let users = scale.users;
+            let per_client = scale.requests_per_client;
+            std::thread::spawn(move || {
+                let mut outcome = ArmOutcome::default();
+                for r in 0..per_client {
+                    let user = (c * 31 + r * 7) % users;
+                    let history = vec![(user * 13) % 97, (user * 29 + 1) % 97];
+                    match server.submit(RecommendRequest::new(user, history, K)) {
+                        Ok(response) => {
+                            outcome.samples.push(response.total_micros());
+                            outcome.served += 1;
+                            if response.degraded {
+                                outcome.degraded += 1;
+                            }
+                        }
+                        Err(SubmitError::QueueFull { .. }) => outcome.shed_queue_full += 1,
+                        Err(SubmitError::DeadlineExpired { .. }) => outcome.shed_deadline += 1,
+                        Err(other) => panic!("unexpected rejection: {other}"),
+                    }
+                }
+                outcome
+            })
+        })
+        .collect();
+    let mut total = ArmOutcome::default();
+    for handle in handles {
+        let outcome = handle.join().expect("client thread panicked");
+        total.samples.extend(outcome.samples);
+        total.served += outcome.served;
+        total.degraded += outcome.degraded;
+        total.shed_queue_full += outcome.shed_queue_full;
+        total.shed_deadline += outcome.shed_deadline;
+    }
+    total.seconds = started.elapsed().as_secs_f64();
+    total
+}
+
+fn arm_json(label: &str, arm: &ArmOutcome, deadline: Duration, fault_spec: Option<&str>) -> String {
+    let stats = LatencyStats::from_micros(arm.samples.clone()).expect("arm served at least one request");
+    format!(
+        "  \"{label}\": {{\"fault_spec\": {}, \"deadline_micros\": {}, \"throughput_rps\": {:.1}, \
+         \"attempted\": {}, \"served\": {}, \"degraded\": {}, \"degraded_rate\": {:.4}, \
+         \"shed_queue_full\": {}, \"shed_deadline_expired\": {}, \"shed_rate\": {:.4}, \
+         \"latency_micros\": {{\"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}}}",
+        match fault_spec {
+            Some(spec) => format!("\"{spec}\""),
+            None => "null".to_string(),
+        },
+        deadline.as_micros(),
+        arm.attempted() as f64 / arm.seconds,
+        arm.attempted(),
+        arm.served,
+        arm.degraded,
+        arm.degraded as f64 / arm.served.max(1) as f64,
+        arm.shed_queue_full,
+        arm.shed_deadline,
+        (arm.shed_queue_full + arm.shed_deadline) as f64 / arm.attempted().max(1) as f64,
+        stats.mean_micros,
+        stats.p50_micros,
+        stats.p95_micros,
+        stats.p99_micros,
+        stats.max_micros,
+    )
+}
+
+fn p99(arm: &ArmOutcome) -> u64 {
+    LatencyStats::from_micros(arm.samples.clone()).expect("arm served at least one request").p99_micros
+}
+
+/// Measures `rollback_to` latency under an archive of published versions.
+fn rollback_micros() -> (Vec<u64>, u64, f64) {
+    let w = ham_tensor::Matrix::from_vec(512, 4, (0..2048).map(|i| (i % 89) as f32 * 0.01).collect());
+    let registry = ModelRegistry::new(ServingModel::from_parts("r1", &w, SHARDS, |_, _| vec![1.0, 0.5, 0.25, 0.1]));
+    for _ in 0..3 {
+        registry.publish(ServingModel::from_parts("rn", &w, SHARDS, |_, _| vec![1.0, 0.5, 0.25, 0.1]));
+    }
+    let archived = registry.history_versions();
+    let started = Instant::now();
+    let restored = registry.rollback_to(2).expect("version 2 is archived");
+    let micros = started.elapsed().as_secs_f64() * 1e6;
+    (archived, restored, micros)
+}
+
+/// Demonstrates the shadow gate: a corrupted round-2 candidate is rejected
+/// and never reaches the registry. Mirrors the online chaos suite's setup,
+/// where the rejection is pinned deterministically.
+fn gate_demo() -> String {
+    let users = 16;
+    let items = 48;
+    let sequences: Vec<Vec<usize>> = (0..users).map(|u| (0..12).map(|t| (u * 3 + t % 3) % items).collect()).collect();
+    let initial = SequenceDataset::new("robustness-gate", sequences, items);
+    let config = OnlineConfig {
+        model: HamConfig::for_variant(HamVariant::HamM).with_dimensions(8, 4, 2, 2, 1),
+        train: TrainConfig { epochs: 2, batch_size: 32, ..TrainConfig::default() },
+        shards: 2,
+        quantize_serving: false,
+        seed: 42,
+        gate: PublishGate { probe_k: items / 2, min_probes: 4, tolerance: 0.0, ..PublishGate::default() },
+    };
+    let faults = FaultInjector::parse("seed=7;snapshot_corrupt=r2").expect("valid spec");
+    let mut trainer = OnlineTrainer::bootstrap_instrumented(&initial, config, Telemetry::disabled(), faults);
+    let healthy_version = trainer.registry().version();
+    for u in 0..users {
+        trainer.ingest(u, (u * 3 + 1) % items);
+    }
+    let report = trainer.run_round();
+    let shadow = report.shadow.expect("round 2 shadow-evaluates");
+    format!(
+        "  \"publish_gate\": {{\"fault_spec\": \"seed=7;snapshot_corrupt=r2\", \"round\": {}, \"probes\": {}, \
+         \"candidate_hits\": {}, \"live_hits\": {}, \"rejected\": {}, \"published\": {}, \
+         \"served_version_after\": {}, \"corrupt_snapshot_reached_registry\": {}}}",
+        report.round,
+        shadow.probes,
+        shadow.candidate_hits,
+        shadow.live_hits,
+        report.publish_rejected,
+        report.published,
+        trainer.registry().version(),
+        trainer.registry().version() != healthy_version,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = BenchScale::new(quick);
+    eprintln!(
+        "robustness_report: {} items, {} users, {} shards, {} clients x {} requests{}",
+        scale.items,
+        scale.users,
+        SHARDS,
+        scale.clients,
+        scale.requests_per_client,
+        if quick { " (quick)" } else { "" }
+    );
+
+    let config = HamConfig::for_variant(HamVariant::HamSM).with_dimensions(D, 5, 2, 3, 2);
+    let model = Arc::new(HamModel::new(scale.users, scale.items, config, 7));
+    // Both arms keep the dispatcher batching concurrent submitters so queue
+    // time is a real part of the measured latency.
+    let coalesce = Duration::from_micros(500);
+
+    // Healthy arm: the bounded path under a deadline nothing hits.
+    let healthy_deadline = Duration::from_millis(500);
+    eprintln!("measuring the healthy arm...");
+    let warm = ServerConfig { coalesce_wait: coalesce, default_deadline: Some(healthy_deadline), ..Default::default() };
+    run_arm(&model, &BenchScale { requests_per_client: 20, ..BenchScale::new(true) }, warm, None);
+    let healthy_config =
+        ServerConfig { coalesce_wait: coalesce, default_deadline: Some(healthy_deadline), ..Default::default() };
+    let healthy = run_arm(&model, &scale, healthy_config, None);
+    let healthy_p99 = p99(&healthy).max(1);
+
+    // Slow-shard arm: the deadline is 1.6x the healthy p99 — tight enough
+    // that a shard slowed far beyond it is always dropped, generous enough
+    // that the surviving shards fit their budget. The injected delay is 4x
+    // the deadline (and at least 4ms), so the slow shard can never answer.
+    let slow_deadline = Duration::from_micros((healthy_p99 as f64 * 1.6) as u64).max(Duration::from_millis(1));
+    let injected_delay_us = (slow_deadline.as_micros() as u64 * 4).max(4_000);
+    let fault_spec = format!("seed=7;shard_slow=0:{injected_delay_us}us");
+    eprintln!("measuring the slow-shard arm ({fault_spec}, deadline {slow_deadline:?})...");
+    let slow_config =
+        ServerConfig { coalesce_wait: coalesce, default_deadline: Some(slow_deadline), ..Default::default() };
+    let slow = run_arm(&model, &scale, slow_config, Some(&fault_spec));
+    let ratio = p99(&slow) as f64 / healthy_p99 as f64;
+
+    let (archived, restored, rb_micros) = rollback_micros();
+    eprintln!("gate demonstration (corrupted candidate vs shadow gate)...");
+    let gate = gate_demo();
+
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"description\": \"Graceful degradation under deterministic fault injection: identical \
+         workloads on the deadline-bounded serving path, healthy vs a shard slowed past any budget. \
+         The slow shard is dropped from the k-way merge (responses flagged degraded, surviving-shard \
+         results deterministic), requests that expire in-queue are shed with an explicit reason, and \
+         p99 stays bounded by the deadline instead of the injected delay. Plus: registry rollback \
+         latency and a shadow-gate rejection of a corrupted candidate snapshot.\",\n",
+    );
+    out.push_str(&format!(
+        "  \"d\": {D},\n  \"k\": {K},\n  \"shards\": {SHARDS},\n  \"items\": {},\n  \"users\": {},\n  \
+         \"clients\": {},\n  \"requests_per_client\": {},\n  \"quick\": {quick},\n",
+        scale.items, scale.users, scale.clients, scale.requests_per_client
+    ));
+    out.push_str(&arm_json("healthy", &healthy, healthy_deadline, None));
+    out.push_str(",\n");
+    out.push_str(&arm_json("slow_shard", &slow, slow_deadline, Some(&fault_spec)));
+    out.push_str(",\n");
+    out.push_str(&format!("  \"p99_slow_over_healthy\": {ratio:.3},\n"));
+    out.push_str(&format!(
+        "  \"rollback\": {{\"archived_versions\": {archived:?}, \"restored_as_version\": {restored}, \
+         \"rollback_micros\": {rb_micros:.1}}},\n"
+    ));
+    out.push_str(&gate);
+    out.push_str("\n}\n");
+
+    std::fs::write("BENCH_robustness.json", &out).expect("failed to write BENCH_robustness.json");
+    println!("{out}");
+    eprintln!(
+        "wrote BENCH_robustness.json (slow-shard p99 {:.2}x healthy, {:.1}% degraded, {:.1}% shed)",
+        ratio,
+        slow.degraded as f64 / slow.served.max(1) as f64 * 100.0,
+        (slow.shed_queue_full + slow.shed_deadline) as f64 / slow.attempted().max(1) as f64 * 100.0
+    );
+}

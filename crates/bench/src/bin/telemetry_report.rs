@@ -167,6 +167,7 @@ fn full_loop_snapshot(quick: bool) -> MetricsSnapshot {
         shards: 2,
         quantize_serving: true,
         seed: 7,
+        gate: ham_online::PublishGate::default(),
     };
     let mut trainer = OnlineTrainer::bootstrap_with_telemetry(&initial, config, telemetry.clone());
 

@@ -1,0 +1,436 @@
+//! # ham-faults
+//!
+//! Deterministic, seeded fault injection for chaos-testing the serving and
+//! online-training paths.
+//!
+//! Production failure modes — a shard that suddenly takes 50ms, a scoring
+//! thread that panics, a publish that hits a transient error — are exactly
+//! the ones ordinary tests never exercise, because they never happen on a
+//! healthy dev box. This crate makes them *injectable and reproducible*: a
+//! [`FaultInjector`] is built from a compact spec string (usually the
+//! `HAM_FAULTS` environment variable), every probabilistic decision is drawn
+//! from a seeded counter-based generator (no global RNG state, no
+//! wall-clock), and the same spec + the same sequence of queries always
+//! yields the same injected faults. A chaos test that fails therefore fails
+//! the same way on every run and every machine.
+//!
+//! ## Spec grammar
+//!
+//! A spec is a `;`-separated list of clauses:
+//!
+//! | clause | meaning |
+//! |---|---|
+//! | `seed=<u64>` | seed for probabilistic draws (default 0) |
+//! | `shard_slow=<shard\|*>:<dur>[:p<prob>]` | delay shard scoring by `<dur>` (`ms`/`us`/`s` suffix), on shard `<shard>` or every shard (`*`), with probability `p<prob>` (default always) |
+//! | `shard_panic=<shard\|*>[:p<prob>]` | panic inside shard scoring |
+//! | `publish_fail=n<count>` | fail the first `<count>` publish attempts (process-wide) |
+//! | `publish_fail=p<prob>` | fail each publish attempt with probability `<prob>` |
+//! | `snapshot_corrupt=r<round>` | corrupt the candidate snapshot of online round `<round>` (repeatable) |
+//!
+//! Example: `HAM_FAULTS="seed=7;shard_slow=0:2ms;shard_panic=*:p0.01;publish_fail=n2"`.
+//!
+//! ## Wiring
+//!
+//! The consumers ([`RecServer`] in `ham-serve`, `OnlineTrainer` in
+//! `ham-online`) pick up `HAM_FAULTS` at construction via
+//! [`FaultInjector::from_env`] — the same `Option<Arc>`-gated handle shape as
+//! `ham-telemetry`, so a disabled injector is a null pointer check on the hot
+//! path. Tests construct injectors explicitly with [`FaultInjector::parse`].
+//!
+//! [`RecServer`]: ../ham_serve/server/struct.RecServer.html
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A fault to apply to one shard-scoring call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFault {
+    /// Sleep for the given duration before scoring (a slow shard).
+    Delay(Duration),
+    /// Panic instead of scoring (a crashed shard).
+    Panic,
+}
+
+#[derive(Debug)]
+enum ShardFaultKind {
+    Delay(Duration),
+    Panic,
+}
+
+/// One `shard_slow=` / `shard_panic=` clause.
+#[derive(Debug)]
+struct ShardRule {
+    /// `None` matches every shard (`*`).
+    shard: Option<usize>,
+    kind: ShardFaultKind,
+    /// Probability the rule fires per matching call (1.0 = always).
+    probability: f64,
+    /// Per-rule draw counter: the n-th evaluation of this rule draws
+    /// `mix(seed, rule_index, n)` — independent of every other rule.
+    draws: AtomicU64,
+}
+
+#[derive(Debug)]
+enum PublishRule {
+    /// Fail the first `n` publish attempts seen by this injector.
+    FirstN(u64),
+    /// Fail each attempt with this probability.
+    Probability(f64),
+}
+
+#[derive(Debug)]
+struct Inner {
+    spec: String,
+    seed: u64,
+    shard_rules: Vec<ShardRule>,
+    publish: Option<PublishRule>,
+    publish_draws: AtomicU64,
+    corrupt_rounds: Vec<u64>,
+}
+
+/// A malformed fault spec, with the offending clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The clause that failed to parse.
+    pub clause: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed fault clause `{}`: {}", self.clause, self.reason)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// The seeded fault-injection handle. Cheap to clone (an `Arc` bump when
+/// enabled, a `None` copy when disabled) and safe to consult from any thread.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<Inner>>,
+}
+
+impl FaultInjector {
+    /// The no-op injector: every query answers "no fault". This is what
+    /// production gets — the fault checks compile down to an `Option` test.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Builds the injector from the `HAM_FAULTS` environment variable:
+    /// unset or empty yields [`Self::disabled`].
+    ///
+    /// # Panics
+    /// Panics on a malformed spec — a chaos run with a typo'd spec must fail
+    /// loudly at startup, not silently run fault-free.
+    pub fn from_env() -> Self {
+        match std::env::var("HAM_FAULTS") {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).unwrap_or_else(|e| panic!("HAM_FAULTS: {e}")),
+            _ => Self::disabled(),
+        }
+    }
+
+    /// Parses a fault spec (see the crate docs for the grammar). An
+    /// empty/whitespace spec yields [`Self::disabled`].
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
+        let mut seed = 0u64;
+        let mut shard_rules = Vec::new();
+        let mut publish = None;
+        let mut corrupt_rounds = Vec::new();
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let err = |reason: &str| FaultSpecError { clause: clause.to_string(), reason: reason.to_string() };
+            let (key, value) = clause.split_once('=').ok_or_else(|| err("expected key=value"))?;
+            match key.trim() {
+                "seed" => seed = value.trim().parse().map_err(|_| err("seed must be a u64"))?,
+                "shard_slow" => {
+                    let mut parts = value.split(':');
+                    let shard = parse_shard_selector(parts.next().unwrap_or(""), &err)?;
+                    let delay = parse_duration(parts.next().ok_or_else(|| err("missing delay duration"))?, &err)?;
+                    let probability = parse_optional_probability(parts.next(), &err)?;
+                    if parts.next().is_some() {
+                        return Err(err("too many `:` fields"));
+                    }
+                    shard_rules.push(ShardRule {
+                        shard,
+                        kind: ShardFaultKind::Delay(delay),
+                        probability,
+                        draws: AtomicU64::new(0),
+                    });
+                }
+                "shard_panic" => {
+                    let mut parts = value.split(':');
+                    let shard = parse_shard_selector(parts.next().unwrap_or(""), &err)?;
+                    let probability = parse_optional_probability(parts.next(), &err)?;
+                    if parts.next().is_some() {
+                        return Err(err("too many `:` fields"));
+                    }
+                    shard_rules.push(ShardRule {
+                        shard,
+                        kind: ShardFaultKind::Panic,
+                        probability,
+                        draws: AtomicU64::new(0),
+                    });
+                }
+                "publish_fail" => {
+                    let value = value.trim();
+                    publish = Some(if let Some(n) = value.strip_prefix('n') {
+                        PublishRule::FirstN(n.parse().map_err(|_| err("publish_fail=n<count> needs a u64 count"))?)
+                    } else if let Some(p) = value.strip_prefix('p') {
+                        PublishRule::Probability(parse_probability(p, &err)?)
+                    } else {
+                        return Err(err("publish_fail takes n<count> or p<prob>"));
+                    });
+                }
+                "snapshot_corrupt" => {
+                    let round = value
+                        .trim()
+                        .strip_prefix('r')
+                        .ok_or_else(|| err("snapshot_corrupt takes r<round>"))?
+                        .parse()
+                        .map_err(|_| err("snapshot_corrupt round must be a u64"))?;
+                    corrupt_rounds.push(round);
+                }
+                other => return Err(err(&format!("unknown fault kind `{other}`"))),
+            }
+        }
+        if shard_rules.is_empty() && publish.is_none() && corrupt_rounds.is_empty() {
+            return Ok(Self::disabled());
+        }
+        Ok(Self {
+            inner: Some(Arc::new(Inner {
+                spec: spec.to_string(),
+                seed,
+                shard_rules,
+                publish,
+                publish_draws: AtomicU64::new(0),
+                corrupt_rounds,
+            })),
+        })
+    }
+
+    /// Whether any fault rule is armed. Consumers use this to route onto the
+    /// fault-aware code path; a disabled injector must add nothing but this
+    /// branch to the hot path.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The spec this injector was built from (`None` when disabled).
+    pub fn spec(&self) -> Option<&str> {
+        self.inner.as_deref().map(|inner| inner.spec.as_str())
+    }
+
+    /// The fault (if any) to apply to the next scoring call against `shard`.
+    /// Rules are evaluated in spec order; the first one that fires wins.
+    pub fn shard_fault(&self, shard: usize) -> Option<ShardFault> {
+        let inner = self.inner.as_deref()?;
+        for (index, rule) in inner.shard_rules.iter().enumerate() {
+            if rule.shard.is_some_and(|s| s != shard) {
+                continue;
+            }
+            if !fires(inner.seed, index as u64, &rule.draws, rule.probability) {
+                continue;
+            }
+            return Some(match rule.kind {
+                ShardFaultKind::Delay(d) => ShardFault::Delay(d),
+                ShardFaultKind::Panic => ShardFault::Panic,
+            });
+        }
+        None
+    }
+
+    /// Whether the next publish attempt should fail. Each call consumes one
+    /// attempt: `publish_fail=n2` fails exactly the first two calls
+    /// process-wide (any retry loop with more than two attempts succeeds).
+    pub fn fail_publish(&self) -> bool {
+        let Some(inner) = self.inner.as_deref() else { return false };
+        match inner.publish {
+            None => false,
+            Some(PublishRule::FirstN(n)) => inner.publish_draws.fetch_add(1, Ordering::Relaxed) < n,
+            // rule index u64::MAX keeps publish draws disjoint from every
+            // shard rule's stream under the same seed
+            Some(PublishRule::Probability(p)) => fires(inner.seed, u64::MAX, &inner.publish_draws, p),
+        }
+    }
+
+    /// Whether online round `round`'s candidate snapshot should be corrupted
+    /// (`snapshot_corrupt=r<round>`).
+    pub fn corrupt_snapshot(&self, round: u64) -> bool {
+        self.inner.as_deref().is_some_and(|inner| inner.corrupt_rounds.contains(&round))
+    }
+}
+
+/// Whether a probabilistic rule fires on its next draw: deterministic in
+/// (seed, rule index, draw count) — no global RNG, no wall clock.
+fn fires(seed: u64, rule_index: u64, draws: &AtomicU64, probability: f64) -> bool {
+    if probability >= 1.0 {
+        // still consume a draw so adding `:p1.0` does not shift later draws
+        draws.fetch_add(1, Ordering::Relaxed);
+        return true;
+    }
+    if probability <= 0.0 {
+        draws.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    let n = draws.fetch_add(1, Ordering::Relaxed);
+    let x = splitmix64(seed ^ rule_index.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ n);
+    // map the top 53 bits to [0, 1)
+    let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+    unit < probability
+}
+
+/// SplitMix64: the standard 64-bit finalizer-style generator — one
+/// multiply-xor-shift chain per draw, perfectly reproducible.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn parse_shard_selector(field: &str, err: &impl Fn(&str) -> FaultSpecError) -> Result<Option<usize>, FaultSpecError> {
+    let field = field.trim();
+    if field == "*" {
+        Ok(None)
+    } else {
+        field.parse().map(Some).map_err(|_| err("shard selector must be a shard index or `*`"))
+    }
+}
+
+fn parse_duration(field: &str, err: &impl Fn(&str) -> FaultSpecError) -> Result<Duration, FaultSpecError> {
+    let field = field.trim();
+    let (digits, unit): (&str, fn(u64) -> Duration) = if let Some(d) = field.strip_suffix("ms") {
+        (d, Duration::from_millis)
+    } else if let Some(d) = field.strip_suffix("us") {
+        (d, Duration::from_micros)
+    } else if let Some(d) = field.strip_suffix('s') {
+        (d, Duration::from_secs)
+    } else {
+        return Err(err("duration needs a ms/us/s suffix"));
+    };
+    digits.parse().map(unit).map_err(|_| err("duration must be <u64><ms|us|s>"))
+}
+
+fn parse_optional_probability(
+    field: Option<&str>,
+    err: &impl Fn(&str) -> FaultSpecError,
+) -> Result<f64, FaultSpecError> {
+    match field {
+        None => Ok(1.0),
+        Some(p) => parse_probability(
+            p.trim().strip_prefix('p').ok_or_else(|| err("probability field must look like p0.25"))?,
+            err,
+        ),
+    }
+}
+
+fn parse_probability(digits: &str, err: &impl Fn(&str) -> FaultSpecError) -> Result<f64, FaultSpecError> {
+    let p: f64 = digits.parse().map_err(|_| err("probability must be a float"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(err("probability must be within [0, 1]"));
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_and_empty_specs_inject_nothing() {
+        for injector in
+            [FaultInjector::disabled(), FaultInjector::parse("").unwrap(), FaultInjector::parse("  ").unwrap()]
+        {
+            assert!(!injector.is_enabled());
+            assert_eq!(injector.shard_fault(0), None);
+            assert!(!injector.fail_publish());
+            assert!(!injector.corrupt_snapshot(1));
+        }
+    }
+
+    #[test]
+    fn shard_slow_targets_one_shard_or_all() {
+        let one = FaultInjector::parse("shard_slow=2:5ms").unwrap();
+        assert_eq!(one.shard_fault(2), Some(ShardFault::Delay(Duration::from_millis(5))));
+        assert_eq!(one.shard_fault(0), None);
+        let all = FaultInjector::parse("shard_slow=*:250us").unwrap();
+        for s in 0..4 {
+            assert_eq!(all.shard_fault(s), Some(ShardFault::Delay(Duration::from_micros(250))));
+        }
+    }
+
+    #[test]
+    fn shard_panic_rule_fires() {
+        let injector = FaultInjector::parse("seed=3;shard_panic=1").unwrap();
+        assert_eq!(injector.shard_fault(1), Some(ShardFault::Panic));
+        assert_eq!(injector.shard_fault(0), None);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let injector = FaultInjector::parse("shard_panic=0;shard_slow=*:1ms").unwrap();
+        assert_eq!(injector.shard_fault(0), Some(ShardFault::Panic));
+        assert_eq!(injector.shard_fault(1), Some(ShardFault::Delay(Duration::from_millis(1))));
+    }
+
+    #[test]
+    fn probabilistic_draws_are_deterministic_per_seed() {
+        let draw_pattern = |seed: u64| -> Vec<bool> {
+            let injector = FaultInjector::parse(&format!("seed={seed};shard_slow=*:1ms:p0.5")).unwrap();
+            (0..64).map(|_| injector.shard_fault(0).is_some()).collect()
+        };
+        assert_eq!(draw_pattern(7), draw_pattern(7), "same seed, same faults");
+        assert_ne!(draw_pattern(7), draw_pattern(8), "different seed, different faults");
+        let hits = draw_pattern(7).iter().filter(|&&h| h).count();
+        assert!((16..=48).contains(&hits), "p0.5 over 64 draws fired {hits} times");
+    }
+
+    #[test]
+    fn publish_fail_first_n_is_exhausted_by_retries() {
+        let injector = FaultInjector::parse("publish_fail=n2").unwrap();
+        assert!(injector.fail_publish());
+        assert!(injector.fail_publish());
+        assert!(!injector.fail_publish(), "third attempt succeeds");
+        assert!(!injector.fail_publish());
+    }
+
+    #[test]
+    fn snapshot_corrupt_names_rounds() {
+        let injector = FaultInjector::parse("snapshot_corrupt=r2;snapshot_corrupt=r5").unwrap();
+        assert!(injector.corrupt_snapshot(2));
+        assert!(injector.corrupt_snapshot(5));
+        assert!(!injector.corrupt_snapshot(1));
+        assert!(!injector.corrupt_snapshot(3));
+    }
+
+    #[test]
+    fn clones_share_the_draw_state() {
+        let injector = FaultInjector::parse("publish_fail=n1").unwrap();
+        let clone = injector.clone();
+        assert!(clone.fail_publish());
+        assert!(!injector.fail_publish(), "the clone consumed the single failure");
+    }
+
+    #[test]
+    fn malformed_specs_name_the_clause() {
+        for (spec, fragment) in [
+            ("shard_slow=0", "missing delay"),
+            ("shard_slow=0:5", "suffix"),
+            ("shard_slow=x:5ms", "shard selector"),
+            ("shard_slow=0:5ms:0.5", "p0.25"),
+            ("shard_panic=*:p1.5", "within [0, 1]"),
+            ("publish_fail=2", "n<count> or p<prob>"),
+            ("snapshot_corrupt=2", "r<round>"),
+            ("warp_drive=1", "unknown fault kind"),
+            ("seed", "key=value"),
+        ] {
+            let e = FaultInjector::parse(spec).unwrap_err();
+            assert!(e.to_string().contains(fragment), "{spec}: {e}");
+        }
+    }
+}

@@ -41,10 +41,15 @@
 //!    first touched at global step 10 000 gets the same damped first update
 //!    a row touched at step 1 gets),
 //! 4. the updated parameters are frozen into a
-//!    [`ServingModel`](ham_serve::ServingModel) and published through the
-//!    [`ModelRegistry`] — a live [`RecServer`](ham_serve::RecServer) on the
-//!    same registry keeps answering throughout; in-flight requests finish on
-//!    the snapshot they started with.
+//!    [`ServingModel`](ham_serve::ServingModel), **shadow-gated** against
+//!    the currently served snapshot on a held-out slice of the fresh data
+//!    (see [`PublishGate`] — a candidate that regresses past the tolerance
+//!    never reaches the registry), and published through the
+//!    [`ModelRegistry`] with capped-backoff retries — a live
+//!    [`RecServer`](ham_serve::RecServer) on the same registry keeps
+//!    answering throughout; in-flight requests finish on the snapshot they
+//!    started with, and [`ModelRegistry::rollback_to`] can republish any
+//!    archived version if a published model misbehaves in production.
 //!
 //! ## Determinism contract
 //!
@@ -69,6 +74,7 @@
 //!     shards: 2,
 //!     quantize_serving: false,
 //!     seed: 7,
+//!     gate: ham_online::PublishGate::default(),
 //! };
 //! let mut trainer = OnlineTrainer::bootstrap(&initial, config);
 //! let server = RecServer::start(trainer.registry(), ServerConfig::default());
@@ -88,10 +94,11 @@ use ham_core::{HamConfig, HamModel, TrainConfig, TrainerState};
 use ham_data::append::AppendableDataset;
 use ham_data::batch::BatchSampler;
 use ham_data::dataset::{ItemId, SequenceDataset, UserId};
-use ham_serve::{ModelRegistry, ServingModel};
+use ham_faults::FaultInjector;
+use ham_serve::{ModelRegistry, RecommendRequest, ServingModel};
 use ham_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of the online loop.
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +119,70 @@ pub struct OnlineConfig {
     /// Master seed: model init, growth rows and every round's shuffle /
     /// negative stream derive from it deterministically.
     pub seed: u64,
+    /// Publish gating: shadow evaluation of every candidate snapshot plus
+    /// retry/backoff behaviour of the registry swap.
+    pub gate: PublishGate,
+}
+
+/// How candidate snapshots are gated before they reach the registry, and
+/// how a failing registry swap is retried.
+///
+/// Before publishing, the trainer **shadow-evaluates** the candidate against
+/// the currently served model on a held-out probe set built from the
+/// freshest interaction per user (the last item of each fresh sequence,
+/// predicted from everything before it). A candidate that scores markedly
+/// worse than the live model — beyond [`Self::tolerance`] — is rejected:
+/// the round's training is kept (the next round trains on top of it), but
+/// serving stays on the healthy snapshot. Probes are restricted to users
+/// and items the **live** model already knows, so both models answer every
+/// probe and the comparison is apples-to-apples.
+#[derive(Debug, Clone, Copy)]
+pub struct PublishGate {
+    /// Shadow-evaluate candidates before publishing (`true` by default).
+    /// With `false`, every trained round publishes unconditionally (the
+    /// pre-gate behaviour).
+    pub shadow_eval: bool,
+    /// Top-k cutoff of the shadow evaluation's hit metric.
+    pub probe_k: usize,
+    /// Minimum probe count for the gate to act; with fewer fresh probes the
+    /// comparison is noise and the candidate publishes ungated.
+    pub min_probes: usize,
+    /// Maximum tolerated regression, as a fraction of the probe count:
+    /// reject when `(live_hits - candidate_hits) / probes > tolerance`.
+    pub tolerance: f64,
+    /// Registry-swap retry budget (the swap itself is infallible today, but
+    /// the fault injector exercises transient publish failures and real
+    /// transports will too).
+    pub max_publish_retries: u32,
+    /// First retry backoff; doubled per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for PublishGate {
+    fn default() -> Self {
+        Self {
+            shadow_eval: true,
+            probe_k: 10,
+            min_probes: 8,
+            tolerance: 0.10,
+            max_publish_retries: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What the shadow evaluation of one round's candidate snapshot measured.
+#[derive(Debug, Clone, Copy)]
+pub struct ShadowEval {
+    /// Held-out probes both models were scored on.
+    pub probes: usize,
+    /// Probes whose target the **candidate** ranked in its top-`probe_k`.
+    pub candidate_hits: usize,
+    /// Probes whose target the **live** model ranked in its top-`probe_k`.
+    pub live_hits: usize,
 }
 
 /// What one incremental round did.
@@ -132,6 +203,19 @@ pub struct RoundReport {
     /// registry swap itself is nanoseconds; this is dominated by sharding
     /// the candidate matrix).
     pub publish_seconds: f64,
+    /// Whether this round's snapshot reached the registry.
+    pub published: bool,
+    /// Whether the shadow gate rejected the candidate (serving stayed on
+    /// the previous version; training is kept).
+    pub publish_rejected: bool,
+    /// Registry-swap attempts that failed transiently and were retried.
+    pub publish_retries: u32,
+    /// Whether the swap still failed after exhausting
+    /// [`PublishGate::max_publish_retries`] (serving stayed on the previous
+    /// version; the next trained round will try again with newer weights).
+    pub publish_failed: bool,
+    /// The shadow evaluation, when one ran this round.
+    pub shadow: Option<ShadowEval>,
     /// Per-epoch loss/throughput statistics of the round.
     pub epochs: Vec<ham_core::EpochStats>,
 }
@@ -166,6 +250,9 @@ struct OnlineMetrics {
     instances_trained_total: Counter,
     table_growth_rows_total: Counter,
     publishes_total: Counter,
+    publish_rejected_total: Counter,
+    publish_retries_total: Counter,
+    publish_failed_total: Counter,
     serving_staleness_seconds: Gauge,
 }
 
@@ -181,6 +268,9 @@ impl OnlineMetrics {
             instances_trained_total: registry.counter("online_instances_trained_total"),
             table_growth_rows_total: registry.counter("online_table_growth_rows_total"),
             publishes_total: registry.counter("online_publishes_total"),
+            publish_rejected_total: registry.counter("online_publish_rejected_total"),
+            publish_retries_total: registry.counter("online_publish_retries_total"),
+            publish_failed_total: registry.counter("online_publish_failed_total"),
             serving_staleness_seconds: registry.gauge("online_serving_staleness_seconds"),
         })
     }
@@ -195,7 +285,12 @@ pub struct OnlineTrainer {
     round: u64,
     telemetry: Telemetry,
     metrics: Option<OnlineMetrics>,
+    faults: FaultInjector,
     last_publish: Option<Instant>,
+    /// `(users, items)` the **currently served** snapshot was frozen with —
+    /// the bound the shadow gate's probes must respect (a probe outside it
+    /// would panic the live model's query builder instead of comparing).
+    live_dims: (usize, usize),
 }
 
 impl OnlineTrainer {
@@ -207,14 +302,27 @@ impl OnlineTrainer {
     /// Panics if `initial` has no users or items, or the configuration is
     /// invalid.
     pub fn bootstrap(initial: &SequenceDataset, config: OnlineConfig) -> Self {
-        Self::bootstrap_with_telemetry(initial, config, Telemetry::from_env())
+        Self::bootstrap_instrumented(initial, config, Telemetry::from_env(), FaultInjector::from_env())
     }
 
     /// [`Self::bootstrap`] with an explicit [`Telemetry`] handle. With an
     /// enabled handle every round records `online_*` metrics into its
     /// registry (the bootstrap round included); a disabled handle makes
-    /// recording a no-op.
+    /// recording a no-op. Fault injection follows the environment
+    /// (`HAM_FAULTS`).
     pub fn bootstrap_with_telemetry(initial: &SequenceDataset, config: OnlineConfig, telemetry: Telemetry) -> Self {
+        Self::bootstrap_instrumented(initial, config, telemetry, FaultInjector::from_env())
+    }
+
+    /// [`Self::bootstrap_with_telemetry`] with an explicit [`FaultInjector`]
+    /// — the full-control constructor used by the chaos suite to inject
+    /// deterministic publish failures and snapshot corruption.
+    pub fn bootstrap_instrumented(
+        initial: &SequenceDataset,
+        config: OnlineConfig,
+        telemetry: Telemetry,
+        faults: FaultInjector,
+    ) -> Self {
         let data = AppendableDataset::from_dataset(initial);
         let state = TrainerState::new(
             data.num_users().max(1),
@@ -238,7 +346,9 @@ impl OnlineTrainer {
             round: 0,
             telemetry,
             metrics,
+            faults,
             last_publish: None,
+            live_dims: (1, 1),
         };
         trainer.run_round();
         trainer
@@ -259,6 +369,7 @@ impl OnlineTrainer {
             checkpoint.adam,
             config.seed,
         );
+        let live_dims = (state.num_users(), state.num_items());
         let serving = freeze(checkpoint.model, config.shards, config.quantize_serving, checkpoint.round);
         let metrics = OnlineMetrics::resolve(&telemetry);
         Self {
@@ -269,7 +380,9 @@ impl OnlineTrainer {
             round: checkpoint.round,
             telemetry,
             metrics,
+            faults: FaultInjector::from_env(),
             last_publish: None,
+            live_dims,
         }
     }
 
@@ -334,8 +447,9 @@ impl OnlineTrainer {
     }
 
     /// Runs one incremental round: grow → train the fresh windows →
-    /// publish. With nothing fresh to train the round is a no-op (no
-    /// publish, version unchanged). See the module docs for the loop.
+    /// shadow-gate → publish. With nothing fresh to train the round is a
+    /// no-op (no publish, version unchanged). See the module docs for the
+    /// loop and [`PublishGate`] for the gate.
     pub fn run_round(&mut self) -> RoundReport {
         let fresh_interactions = self.data.fresh_interactions();
         let round = self.round + 1;
@@ -345,6 +459,18 @@ impl OnlineTrainer {
         self.state.grow_to(self.data.num_users().max(1), self.data.num_items().max(1));
         let grown_rows = (self.state.num_users() + self.state.num_items()).saturating_sub(rows_before);
         let delta = self.data.delta_view(self.config.model.n_h, self.config.model.n_p);
+        // Held-out probes for the shadow gate: each fresh user's latest
+        // interaction, predicted from everything before it, restricted to
+        // the users/items the *live* snapshot knows so both models answer
+        // every probe. Built before training so the candidate cannot be
+        // graded on windows it just memorised in this very round — the
+        // probe target is still unseen by the *previous* rounds' weights
+        // the live model serves.
+        let probes = if self.config.gate.shadow_eval && round > 1 {
+            build_probes(&delta, self.live_dims.0, self.live_dims.1)
+        } else {
+            Vec::new()
+        };
         let (instances_trained, epochs) = if delta.is_empty() {
             (0, Vec::new())
         } else {
@@ -363,23 +489,71 @@ impl OnlineTrainer {
         };
         let train_seconds = train_started.elapsed().as_secs_f64();
 
-        // Publish: freeze the updated parameters and hot-swap the registry.
-        // Round 1 (bootstrap) replaces the placeholder model installed by
-        // `bootstrap`, so the first *served* version is already trained.
+        // Publish: freeze the updated parameters, shadow-gate the candidate
+        // against the live snapshot and hot-swap the registry (with retries
+        // — the injector exercises transient failures). Round 1 (bootstrap)
+        // replaces the placeholder model installed by `bootstrap`, so the
+        // first *served* version is already trained; it has no live model
+        // to gate against.
         let publish_started = Instant::now();
+        let gate = self.config.gate;
         let mut version = self.registry.version();
         let mut published = false;
+        let mut publish_rejected = false;
+        let mut publish_retries = 0u32;
+        let mut publish_failed = false;
+        let mut shadow = None;
         if instances_trained > 0 || round == 1 {
-            let serving = freeze(self.state.snapshot(), self.config.shards, self.config.quantize_serving, round);
-            version = if round == 1 {
-                // keep version 1 == first trained model
-                self.registry = Arc::new(ModelRegistry::new(serving));
-                self.registry.version()
+            let snapshot = self.state.snapshot();
+            let serving = if self.faults.corrupt_snapshot(round) {
+                freeze_corrupted(snapshot, self.config.shards, self.config.quantize_serving, round)
             } else {
-                self.registry.publish(serving)
+                freeze(snapshot, self.config.shards, self.config.quantize_serving, round)
             };
-            published = true;
-            self.last_publish = Some(Instant::now());
+            let accepted = if gate.shadow_eval && round > 1 && probes.len() >= gate.min_probes.max(1) {
+                let eval = shadow_evaluate(&self.registry.current().model, &serving, &probes, gate.probe_k);
+                let regression = eval.live_hits.saturating_sub(eval.candidate_hits) as f64;
+                let rejected = regression > gate.tolerance.max(0.0) * eval.probes as f64;
+                shadow = Some(eval);
+                !rejected
+            } else {
+                true
+            };
+            if accepted {
+                let mut serving = Some(serving);
+                loop {
+                    if !self.faults.fail_publish() {
+                        let serving = serving.take().expect("publish attempted twice");
+                        version = if round == 1 {
+                            // keep version 1 == first trained model
+                            self.registry = Arc::new(ModelRegistry::new(serving));
+                            self.registry.version()
+                        } else {
+                            self.registry.publish(serving)
+                        };
+                        published = true;
+                        self.last_publish = Some(Instant::now());
+                        self.live_dims = (self.state.num_users(), self.state.num_items());
+                        break;
+                    }
+                    if publish_retries >= gate.max_publish_retries {
+                        // Out of budget: serving stays on the previous
+                        // version; the next trained round retries with
+                        // newer weights. Nothing is stranded — the
+                        // registry swap is all-or-nothing.
+                        publish_failed = true;
+                        break;
+                    }
+                    let backoff = gate
+                        .backoff_base
+                        .saturating_mul(1u32 << publish_retries.min(16))
+                        .min(gate.backoff_cap.max(gate.backoff_base));
+                    std::thread::sleep(backoff);
+                    publish_retries += 1;
+                }
+            } else {
+                publish_rejected = true;
+            }
         }
         let publish_seconds = publish_started.elapsed().as_secs_f64();
         self.round = round;
@@ -391,13 +565,82 @@ impl OnlineTrainer {
             metrics.train_micros.record((train_seconds * 1e6) as u64);
             metrics.publish_micros.record((publish_seconds * 1e6) as u64);
             metrics.round_micros.record(round_started.elapsed().as_micros() as u64);
+            metrics.publish_retries_total.add(publish_retries as u64);
+            if publish_rejected {
+                metrics.publish_rejected_total.inc();
+            }
+            if publish_failed {
+                metrics.publish_failed_total.inc();
+            }
             if published {
                 metrics.publishes_total.inc();
                 metrics.serving_staleness_seconds.set(0);
             }
         }
-        RoundReport { round, version, fresh_interactions, instances_trained, train_seconds, publish_seconds, epochs }
+        RoundReport {
+            round,
+            version,
+            fresh_interactions,
+            instances_trained,
+            train_seconds,
+            publish_seconds,
+            published,
+            publish_rejected,
+            publish_retries,
+            publish_failed,
+            shadow,
+            epochs,
+        }
     }
+}
+
+/// Builds the shadow gate's probe set from a round's fresh delta: one probe
+/// per affected user — the last item of the user's full sequence as the
+/// target, everything before it as the history — restricted to users and
+/// items within `(known_users, known_items)` (the live snapshot's tables)
+/// so both sides of the comparison can answer.
+fn build_probes(
+    delta: &ham_data::append::DeltaView,
+    known_users: usize,
+    known_items: usize,
+) -> Vec<(UserId, Vec<ItemId>, ItemId)> {
+    delta
+        .users
+        .iter()
+        .zip(&delta.seen)
+        .filter_map(|(&user, seen)| {
+            let (&target, history) = seen.split_last()?;
+            let answerable = user < known_users
+                && target < known_items
+                && !history.is_empty()
+                && history.iter().all(|&item| item < known_items);
+            answerable.then(|| (user, history.to_vec(), target))
+        })
+        .collect()
+}
+
+/// Scores `live` and `candidate` on the same probes: a hit is the probe's
+/// target ranked inside the top-`k`. Seen-item masking is off — a target
+/// repeating an earlier interaction must stay rankable.
+fn shadow_evaluate(
+    live: &ServingModel,
+    candidate: &ServingModel,
+    probes: &[(UserId, Vec<ItemId>, ItemId)],
+    k: usize,
+) -> ShadowEval {
+    let mut candidate_hits = 0usize;
+    let mut live_hits = 0usize;
+    for (user, history, target) in probes {
+        let mut request = RecommendRequest::new(*user, history.clone(), k.max(1));
+        request.exclude_seen = false;
+        if live.recommend(&request).iter().any(|scored| scored.item == *target) {
+            live_hits += 1;
+        }
+        if candidate.recommend(&request).iter().any(|scored| scored.item == *target) {
+            candidate_hits += 1;
+        }
+    }
+    ShadowEval { probes: probes.len(), candidate_hits, live_hits }
 }
 
 /// Freezes a model snapshot into a named, sharded serving snapshot. Takes
@@ -406,6 +649,27 @@ impl OnlineTrainer {
 fn freeze(model: HamModel, shards: usize, quantize: bool, round: u64) -> ServingModel {
     let serving = ServingModel::from_scorer(&format!("ham-online-r{round}"), Arc::new(model), shards.max(1))
         .expect("HAM models always expose a linear head");
+    if quantize {
+        serving.with_quantized_catalog()
+    } else {
+        serving
+    }
+}
+
+/// Freezes a deliberately **corrupted** snapshot: the query vectors are
+/// negated, so the candidate ranks its catalogue in reverse and regresses
+/// hard on any probe set. Only reachable through the fault injector's
+/// `snapshot_corrupt=r<round>` rule — it exists so the chaos suite can
+/// prove the shadow gate keeps a regressing candidate out of the registry.
+fn freeze_corrupted(model: HamModel, shards: usize, quantize: bool, round: u64) -> ServingModel {
+    let candidates = model.candidate_item_embeddings().clone();
+    let model = Arc::new(model);
+    let serving = ServingModel::from_parts(
+        &format!("ham-online-r{round}-corrupted"),
+        &candidates,
+        shards.max(1),
+        move |user, history| model.query_vector(user, history).iter().map(|q| -q).collect(),
+    );
     if quantize {
         serving.with_quantized_catalog()
     } else {

@@ -1,0 +1,218 @@
+//! Chaos suite of the train → publish → serve loop: deterministic publish
+//! failures, snapshot corruption caught by the shadow gate, and rollback.
+
+use ham_core::{HamConfig, HamVariant, TrainConfig};
+use ham_data::SequenceDataset;
+use ham_faults::FaultInjector;
+use ham_online::{OnlineConfig, OnlineTrainer, PublishGate};
+use ham_serve::{RecServer, RecommendRequest, ServerConfig};
+use ham_telemetry::Telemetry;
+use std::time::Duration;
+
+const USERS: usize = 16;
+const ITEMS: usize = 48;
+
+/// Every user cycles through a small personal item vocabulary, so repeat
+/// interactions are learnable and the shadow gate's probes are meaningful.
+fn dataset() -> SequenceDataset {
+    let sequences: Vec<Vec<usize>> = (0..USERS).map(|u| (0..12).map(|t| (u * 3 + t % 3) % ITEMS).collect()).collect();
+    SequenceDataset::new("chaos-online", sequences, ITEMS)
+}
+
+fn config(seed: u64) -> OnlineConfig {
+    OnlineConfig {
+        model: HamConfig::for_variant(HamVariant::HamM).with_dimensions(8, 4, 2, 2, 1),
+        train: TrainConfig { epochs: 2, batch_size: 32, ..TrainConfig::default() },
+        shards: 2,
+        quantize_serving: false,
+        seed,
+        gate: PublishGate {
+            // Half the catalogue as the hit cutoff and zero tolerance: the
+            // negated (corrupted) candidate ranks every probe target near
+            // the bottom, so any live signal at all rejects it.
+            probe_k: ITEMS / 2,
+            min_probes: 4,
+            tolerance: 0.0,
+            ..PublishGate::default()
+        },
+    }
+}
+
+/// One fresh repeat interaction per user (items the user already knows).
+fn ingest_fresh(trainer: &mut OnlineTrainer, round_salt: usize) {
+    for u in 0..USERS {
+        trainer.ingest(u, (u * 3 + round_salt % 3) % ITEMS);
+    }
+}
+
+/// Transient publish failures are retried with backoff and the round still
+/// publishes; the serve side sees a consistent registry throughout.
+#[test]
+fn transient_publish_failures_are_retried_and_absorbed() {
+    let faults = FaultInjector::parse("seed=7;publish_fail=n2").expect("valid spec");
+    let mut trainer = OnlineTrainer::bootstrap_instrumented(&dataset(), config(42), Telemetry::disabled(), faults);
+    // Bootstrap consumed the two failing draws in its retry loop and then
+    // published: the first served version is still the first trained model.
+    assert_eq!(trainer.registry().version(), 1);
+    let server = RecServer::start(trainer.registry(), ServerConfig::default());
+    let response = server.submit(RecommendRequest::new(0, vec![0, 1], 5)).expect("admitted");
+    assert_eq!(response.model_version, 1);
+    assert_eq!(response.items.len(), 5);
+
+    ingest_fresh(&mut trainer, 1);
+    let report = trainer.run_round();
+    assert!(report.published, "no failing draws left for round 2");
+    assert_eq!(report.publish_retries, 0);
+    let response = server.submit(RecommendRequest::new(1, vec![3], 5)).expect("admitted");
+    assert_eq!(response.model_version, report.version, "serve follows the published version");
+}
+
+/// When the retry budget is exhausted the publish is abandoned cleanly:
+/// serving stays on the previous snapshot, nothing is stranded, and the
+/// next trained round publishes fresh weights.
+#[test]
+fn exhausted_publish_retries_fail_cleanly_and_recover_next_round() {
+    // Default budget is 3 retries → 4 attempts per round; 5 failing draws
+    // sink round 1 entirely and leave one failure for round 2 to retry past.
+    let faults = FaultInjector::parse("seed=7;publish_fail=n5").expect("valid spec");
+    let mut trainer = OnlineTrainer::bootstrap_instrumented(&dataset(), config(42), Telemetry::disabled(), faults);
+    // The bootstrap publish failed: the placeholder registry still serves.
+    let server = RecServer::start(trainer.registry(), ServerConfig::default());
+    let placeholder = server.submit(RecommendRequest::new(0, vec![], 1)).expect("never stranded");
+    assert_eq!(placeholder.model_version, 1, "placeholder version still answers");
+
+    ingest_fresh(&mut trainer, 1);
+    let report = trainer.run_round();
+    assert!(report.published, "round 2 retries past the one remaining failing draw");
+    assert_eq!(report.publish_retries, 1);
+    assert!(!report.publish_failed);
+    let response = server.submit(RecommendRequest::new(2, vec![6, 7], 5)).expect("admitted");
+    assert_eq!(response.model_version, report.version);
+    assert_eq!(response.items.len(), 5);
+}
+
+/// The report of the failed round itself records the abandonment.
+#[test]
+fn failed_publish_is_reported_not_hidden() {
+    let faults = FaultInjector::parse("seed=7;publish_fail=n4").expect("valid spec");
+    let trainer = OnlineTrainer::bootstrap_instrumented(&dataset(), config(42), Telemetry::disabled(), faults);
+    // All 4 bootstrap attempts consumed the failing draws: publish failed,
+    // but training happened — the next round starts from trained weights.
+    assert_eq!(trainer.rounds(), 1);
+    assert_eq!(trainer.registry().version(), 1, "placeholder still v1; nothing half-published");
+}
+
+/// A corrupted candidate snapshot (injected at round 2) is caught by the
+/// shadow gate: it never reaches the registry, serving stays healthy, and
+/// the next round publishes normally.
+#[test]
+fn corrupted_snapshot_is_rejected_by_the_shadow_gate() {
+    let faults = FaultInjector::parse("seed=7;snapshot_corrupt=r2").expect("valid spec");
+    let mut trainer = OnlineTrainer::bootstrap_instrumented(&dataset(), config(42), Telemetry::disabled(), faults);
+    let healthy_version = trainer.registry().version();
+    let server = RecServer::start(trainer.registry(), ServerConfig::default());
+    let healthy = server.submit(RecommendRequest::new(0, vec![0, 1], 5)).expect("admitted");
+
+    ingest_fresh(&mut trainer, 1);
+    let report = trainer.run_round();
+    let shadow = report.shadow.expect("round 2 shadow-evaluates");
+    assert!(shadow.probes >= 4, "every fresh user contributes a probe");
+    assert!(
+        shadow.candidate_hits < shadow.live_hits,
+        "the negated candidate must regress ({} vs {} hits on {} probes)",
+        shadow.candidate_hits,
+        shadow.live_hits,
+        shadow.probes
+    );
+    assert!(report.publish_rejected, "the regressing candidate is rejected");
+    assert!(!report.published);
+    assert_eq!(report.version, healthy_version, "serving stays on the healthy snapshot");
+    let still_healthy = server.submit(RecommendRequest::new(0, vec![0, 1], 5)).expect("admitted");
+    assert_eq!(still_healthy.model_version, healthy_version);
+    assert_eq!(
+        still_healthy.items.iter().map(|s| s.item).collect::<Vec<_>>(),
+        healthy.items.iter().map(|s| s.item).collect::<Vec<_>>(),
+        "the served rankings are untouched by the rejected candidate"
+    );
+
+    // Round 3 trains on top (the rejected round's training is kept) and
+    // publishes a healthy snapshot.
+    ingest_fresh(&mut trainer, 2);
+    let next = trainer.run_round();
+    assert!(next.published, "the corruption was a one-round injection");
+    assert!(!next.publish_rejected);
+    assert_eq!(next.version, healthy_version + 1);
+}
+
+/// Fault injection perturbs *publishing*, never the trained weights: a run
+/// through publish failures and a rejected corrupt snapshot ends bit-
+/// identical to an undisturbed twin consuming the same stream.
+#[test]
+fn faults_never_leak_into_the_trained_weights() {
+    let faults = FaultInjector::parse("seed=7;publish_fail=n1;snapshot_corrupt=r2").expect("valid spec");
+    let mut chaotic = OnlineTrainer::bootstrap_instrumented(&dataset(), config(42), Telemetry::disabled(), faults);
+    let mut clean =
+        OnlineTrainer::bootstrap_instrumented(&dataset(), config(42), Telemetry::disabled(), FaultInjector::disabled());
+    for round_salt in 1..=3 {
+        ingest_fresh(&mut chaotic, round_salt);
+        ingest_fresh(&mut clean, round_salt);
+        chaotic.run_round();
+        clean.run_round();
+    }
+    let chaotic_model = chaotic.model();
+    let clean_model = clean.model();
+    assert_eq!(
+        chaotic_model.candidate_item_embeddings().as_slice(),
+        clean_model.candidate_item_embeddings().as_slice(),
+        "trained parameters are a pure function of the stream, faults or not"
+    );
+}
+
+/// Rollback closes the loop: after a round published, `rollback_to` brings
+/// an archived version back under live serve traffic.
+#[test]
+fn rollback_after_online_publish_restores_the_previous_round() {
+    let mut trainer = OnlineTrainer::bootstrap(&dataset(), config(42));
+    let registry = trainer.registry();
+    let server = RecServer::start(trainer.registry(), ServerConfig::default());
+    let request = RecommendRequest::new(3, vec![9, 10], 6);
+    let v1 = server.submit(request.clone()).expect("admitted");
+    assert_eq!(v1.model_version, 1);
+
+    ingest_fresh(&mut trainer, 1);
+    let report = trainer.run_round();
+    assert!(report.published);
+    let v2 = server.submit(request.clone()).expect("admitted");
+    assert_eq!(v2.model_version, report.version);
+
+    let rolled = registry.rollback_to(1).expect("v1 is archived");
+    let back = server.submit(request).expect("admitted");
+    assert_eq!(back.model_version, rolled);
+    assert_eq!(
+        back.items.iter().map(|s| (s.item, s.score.to_bits())).collect::<Vec<_>>(),
+        v1.items.iter().map(|s| (s.item, s.score.to_bits())).collect::<Vec<_>>(),
+        "rollback serves the bootstrap snapshot's exact bits"
+    );
+}
+
+/// Deadline-bounded serving stays exact under the online loop's snapshots:
+/// a generously-deadlined request against a published model answers
+/// un-degraded with every shard.
+#[test]
+fn online_snapshots_serve_exactly_under_deadlines() {
+    let trainer = OnlineTrainer::bootstrap(&dataset(), config(42));
+    let server = RecServer::start(trainer.registry(), ServerConfig::default());
+    let reference = trainer.registry().current();
+    for user in 0..USERS {
+        let request = RecommendRequest::new(user, vec![user % ITEMS], 5);
+        let exact = reference.model.recommend(&request);
+        let response = server.submit(request.with_deadline(Duration::from_secs(5))).expect("admitted");
+        assert!(!response.degraded);
+        assert_eq!(response.shards_answered, 2);
+        assert_eq!(
+            response.items.iter().map(|s| (s.item, s.score.to_bits())).collect::<Vec<_>>(),
+            exact.iter().map(|s| (s.item, s.score.to_bits())).collect::<Vec<_>>(),
+            "user {user}"
+        );
+    }
+}

@@ -3,7 +3,7 @@
 use ham_core::{HamConfig, HamModel, HamVariant, TrainConfig};
 use ham_data::synthetic::DatasetProfile;
 use ham_data::SequenceDataset;
-use ham_online::{OnlineConfig, OnlineTrainer};
+use ham_online::{OnlineConfig, OnlineTrainer, PublishGate};
 use ham_serve::{RecServer, RecommendRequest, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -15,6 +15,7 @@ fn tiny_config(seed: u64) -> OnlineConfig {
         shards: 2,
         quantize_serving: false,
         seed,
+        gate: PublishGate::default(),
     }
 }
 

@@ -1,0 +1,339 @@
+//! Deadline-bounded, fault-isolated shard scoring — the graceful-degradation
+//! path of the serving layer.
+//!
+//! The classic scoring path (`ServingModel::recommend_batch_traced`) runs
+//! every shard to completion on the caller or the shared work-stealing pool:
+//! correct and fast, but a shard that stalls (or panics on a worker) holds
+//! the whole batch hostage — there is no way to abandon a `pool.scope` that
+//! has not finished. This module adds the bounded alternative the server
+//! routes to whenever a batch carries a deadline or fault injection is armed:
+//!
+//! * a dedicated **bulkhead executor** ([`ShardExecutor`]) scores shard
+//!   blocks on its own threads, so a stalled shard task never occupies the
+//!   process-wide pool other subsystems (training, evaluation) share;
+//! * the batch coordinator waits for shard results **only until the shard
+//!   deadline**; shards that miss it (or panic) are dropped and the k-way
+//!   merge runs over the survivors — a bounded, *flagged* degradation
+//!   ([`BoundedOutcome::degraded`]) instead of a hang or a silent lie;
+//! * abandoned tasks observe a cancellation flag and bail out of injected
+//!   delays and scoring work within ~1ms, so a backlog of timed-out shard
+//!   tasks drains quickly instead of wedging the executor.
+//!
+//! ## Exactness when nothing degrades
+//!
+//! When every shard answers within budget, the result is **bit-identical to
+//! the classic path**: the per-shard blocks come from the same kernels
+//! (GEMV for a batch of one, packed-panel GEMM otherwise, quantized variants
+//! on a quantized catalogue), the local ranking and k-way merge are the very
+//! functions the classic path uses, and the quantized pre-selection re-ranks
+//! through the same exact f32 kernel. The chaos suite pins this: under any
+//! injected single-shard fault, a response is either bit-identical to the
+//! exact path or explicitly flagged degraded.
+
+use crate::shard::{clear_seen, mark_seen, merge_top_k, ScoredItem, ShardedCatalog};
+use ham_data::dataset::ItemId;
+use ham_faults::FaultInjector;
+use ham_tensor::{Matrix, QuantizedQuery};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A dedicated thread pool for deadline-bounded shard scoring.
+///
+/// Deliberately **not** the process-wide work-stealing pool: its `scope`
+/// blocks until every task finishes, which is exactly the semantics a
+/// deadline must escape, and a slow shard parked on a shared worker would
+/// starve unrelated work. This bulkhead owns its backlog; abandoned tasks
+/// self-cancel (see [`ShardedCatalog::score_shard_block_faulted`]) so the
+/// queue drains even under sustained shard slowness.
+pub(crate) struct ShardExecutor {
+    shared: Arc<ExecutorShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+type Task = Box<dyn FnOnce() + Send>;
+
+struct ExecutorShared {
+    /// (task queue, shutdown flag) under one lock so workers can check both.
+    tasks: Mutex<(VecDeque<Task>, bool)>,
+    arrived: Condvar,
+}
+
+impl ShardExecutor {
+    /// Spawns `workers.max(1)` bulkhead threads.
+    pub(crate) fn new(workers: usize) -> Self {
+        let shared = Arc::new(ExecutorShared { tasks: Mutex::new((VecDeque::new(), false)), arrived: Condvar::new() });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ham-shard-exec-{i}"))
+                    .spawn(move || loop {
+                        let task = {
+                            let mut guard = shared.tasks.lock().expect("shard executor queue poisoned");
+                            loop {
+                                if let Some(task) = guard.0.pop_front() {
+                                    break task;
+                                }
+                                if guard.1 {
+                                    return;
+                                }
+                                guard = shared.arrived.wait(guard).expect("shard executor queue poisoned");
+                            }
+                        };
+                        // Tasks contain their own catch_unwind; a panic never
+                        // reaches (and never kills) the worker.
+                        task();
+                    })
+                    .expect("failed to spawn shard executor worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    fn submit(&self, task: Task) {
+        let mut guard = self.shared.tasks.lock().expect("shard executor queue poisoned");
+        guard.0.push_back(task);
+        self.shared.arrived.notify_one();
+    }
+}
+
+impl Drop for ShardExecutor {
+    fn drop(&mut self) {
+        {
+            let mut guard = self.shared.tasks.lock().expect("shard executor queue poisoned");
+            guard.1 = true;
+            // Unsubmitted work is dropped: the only caller joins every batch
+            // before shutdown, so anything still queued here was cancelled.
+            guard.0.clear();
+            self.shared.arrived.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _unused = worker.join();
+        }
+    }
+}
+
+/// What one shard task reported back to its batch.
+enum SlotState {
+    /// Task not finished (yet, or ever — the batch stops waiting at the
+    /// deadline regardless).
+    Pending,
+    /// Scored block + scoring wall time in microseconds.
+    Scores(Matrix, u64),
+    /// The task panicked (injected or organic); the shard is dropped.
+    Panicked,
+    /// The task observed cancellation and skipped its work.
+    Skipped,
+}
+
+/// The rendezvous between a batch coordinator and its shard tasks.
+struct SlotBoard {
+    slots: Mutex<Vec<SlotState>>,
+    done: Condvar,
+    cancelled: AtomicBool,
+}
+
+impl SlotBoard {
+    fn new(shards: usize) -> Self {
+        Self {
+            slots: Mutex::new((0..shards).map(|_| SlotState::Pending).collect()),
+            done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    fn fill(&self, shard: usize, state: SlotState) {
+        let mut slots = self.slots.lock().expect("slot board poisoned");
+        // A cancelled task can report after the coordinator has already
+        // drained the board; its slot is gone and the result is discarded.
+        // Indexing here would panic *outside* the task's catch_unwind and
+        // kill a bulkhead worker.
+        if let Some(slot) = slots.get_mut(shard) {
+            *slot = state;
+        }
+        self.done.notify_all();
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until every slot is non-pending, or `deadline` passes.
+    fn wait(&self, deadline: Option<Instant>) {
+        let mut slots = self.slots.lock().expect("slot board poisoned");
+        loop {
+            if !slots.iter().any(|s| matches!(s, SlotState::Pending)) {
+                return;
+            }
+            match deadline {
+                None => slots = self.done.wait(slots).expect("slot board poisoned"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return;
+                    }
+                    let (returned, _timeout) =
+                        self.done.wait_timeout(slots, deadline - now).expect("slot board poisoned");
+                    slots = returned;
+                }
+            }
+        }
+    }
+}
+
+/// The result of one deadline-bounded batch.
+pub(crate) struct BoundedOutcome {
+    /// Per-request rankings over the surviving shards, batch order.
+    pub rankings: Vec<Vec<ScoredItem>>,
+    /// Shards whose scores made it into the merge (empty shards count — they
+    /// answer vacuously).
+    pub shards_answered: usize,
+    /// Total shards in the catalogue.
+    pub shards_total: usize,
+    /// Shard ids dropped because they missed the deadline budget.
+    pub timed_out: Vec<usize>,
+    /// Shard ids dropped because their scoring task panicked.
+    pub panicked: Vec<usize>,
+    /// `(shard id, scoring micros)` of the shards that answered in time.
+    pub shard_micros: Vec<(usize, u64)>,
+    /// Wall time of the ranking + merge stage, microseconds.
+    pub merge_micros: u64,
+    /// Wall time of the exact re-rank (quantized catalogues only).
+    pub rerank_micros: u64,
+}
+
+impl BoundedOutcome {
+    /// Whether any shard was dropped from the merge.
+    pub fn degraded(&self) -> bool {
+        self.shards_answered < self.shards_total
+    }
+}
+
+/// Scores `queries` against every shard on the bulkhead executor, waits at
+/// most until `shard_deadline` (forever when `None` — then only panics can
+/// degrade), and ranks each request over the shards that answered.
+///
+/// `seen_items[i]` / `ks[i]` follow the same per-row convention as the
+/// classic batched path.
+pub(crate) fn score_bounded(
+    catalog: &Arc<ShardedCatalog>,
+    queries: Matrix,
+    ks: &[usize],
+    seen_items: &[Option<&[ItemId]>],
+    executor: &ShardExecutor,
+    shard_deadline: Option<Instant>,
+    faults: &FaultInjector,
+) -> BoundedOutcome {
+    let b = queries.rows();
+    let shards_total = catalog.num_shards();
+    let quantized = catalog.is_quantized();
+    let qqueries: Option<Arc<Vec<QuantizedQuery>>> =
+        quantized.then(|| Arc::new((0..b).map(|i| QuantizedQuery::quantize(queries.row(i))).collect()));
+    let queries = Arc::new(queries);
+    let board = Arc::new(SlotBoard::new(shards_total));
+    for shard in 0..shards_total {
+        if catalog.shards()[shard].is_empty() {
+            // An empty shard answers vacuously — no task, no fault surface.
+            board.fill(shard, SlotState::Scores(Matrix::zeros(b, 0), 0));
+            continue;
+        }
+        let catalog = Arc::clone(catalog);
+        let queries = Arc::clone(&queries);
+        let qqueries = qqueries.clone();
+        let board = Arc::clone(&board);
+        let faults = faults.clone();
+        executor.submit(Box::new(move || {
+            if board.cancelled() {
+                board.fill(shard, SlotState::Skipped);
+                return;
+            }
+            let started = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                catalog.score_shard_block_faulted(
+                    shard,
+                    &queries,
+                    qqueries.as_deref().map(Vec::as_slice),
+                    &faults,
+                    &|| board.cancelled(),
+                )
+            }));
+            let state = match result {
+                Ok(Some(block)) => SlotState::Scores(block, started.elapsed().as_micros() as u64),
+                Ok(None) => SlotState::Skipped,
+                Err(_) => SlotState::Panicked,
+            };
+            board.fill(shard, state);
+        }));
+    }
+    board.wait(shard_deadline);
+    // Whatever is still pending has missed the budget: flip the cancellation
+    // flag so those tasks drain cheaply, then classify the slots.
+    board.cancelled.store(true, Ordering::Relaxed);
+    let slots = {
+        let mut slots = board.slots.lock().expect("slot board poisoned");
+        std::mem::take(&mut *slots)
+    };
+    let mut survivors: Vec<(usize, Matrix)> = Vec::with_capacity(shards_total);
+    let mut timed_out = Vec::new();
+    let mut panicked = Vec::new();
+    let mut shard_micros = Vec::new();
+    for (shard, state) in slots.into_iter().enumerate() {
+        match state {
+            SlotState::Scores(block, micros) => {
+                shard_micros.push((shard, micros));
+                survivors.push((shard, block));
+            }
+            SlotState::Panicked => panicked.push(shard),
+            SlotState::Pending | SlotState::Skipped => timed_out.push(shard),
+        }
+    }
+    let shards_answered = survivors.len();
+
+    // Rank + merge each request over the surviving shards — the same
+    // shard-local ranking, merge and (quantized) exact re-rank as the classic
+    // path, restricted to the shards that answered.
+    let merge_started = Instant::now();
+    let mut rerank_micros = 0u64;
+    let mut seen_scratch = vec![false; catalog.num_items()];
+    let mut rankings = Vec::with_capacity(b);
+    for i in 0..b {
+        let seen = match seen_items[i] {
+            Some(items) => {
+                mark_seen(&mut seen_scratch, items);
+                Some(seen_scratch.as_slice())
+            }
+            None => None,
+        };
+        let select_k = if quantized { ks[i].saturating_mul(2) } else { ks[i] };
+        let per_shard: Vec<Vec<ScoredItem>> =
+            survivors.iter().map(|(shard, block)| catalog.shard_top_k(*shard, block.row(i), select_k, seen)).collect();
+        let merged = merge_top_k(&per_shard, select_k);
+        let ranked = if quantized {
+            let rerank_started = Instant::now();
+            let ranked = catalog.rerank_exact(merged, queries.row(i), ks[i], seen);
+            rerank_micros += rerank_started.elapsed().as_micros() as u64;
+            ranked
+        } else {
+            merged
+        };
+        if let Some(items) = seen_items[i] {
+            clear_seen(&mut seen_scratch, items);
+        }
+        rankings.push(ranked);
+    }
+    let merge_micros = (merge_started.elapsed().as_micros() as u64).saturating_sub(rerank_micros);
+
+    BoundedOutcome {
+        rankings,
+        shards_answered,
+        shards_total,
+        timed_out,
+        panicked,
+        shard_micros,
+        merge_micros,
+        rerank_micros,
+    }
+}

@@ -27,6 +27,17 @@
 //!   GEMM per shard (scored in parallel on the process-wide work-stealing
 //!   pool, `ham_tensor::pool`), and every [`RecommendResponse`] carries its
 //!   queue/service latency split.
+//! * deadlines & degradation — requests carry deadlines
+//!   ([`RecommendRequest::with_deadline`] or
+//!   [`ServerConfig::default_deadline`]): expired-in-queue requests are shed
+//!   with [`server::SubmitError::DeadlineExpired`], and a deadline-carrying
+//!   batch is scored on a bulkhead executor where a shard that misses its
+//!   budget (or panics) is dropped from the k-way merge — the response comes
+//!   back flagged [`RecommendResponse::degraded`] with
+//!   [`RecommendResponse::shards_answered`] naming how complete it is.
+//!   [`ModelRegistry::rollback_to`] republishes an archived snapshot when a
+//!   freshly published model misbehaves. Deterministic fault injection for
+//!   all of this lives in `ham-faults` (`HAM_FAULTS=<spec>`).
 //!
 //! ## Quickstart
 //!
@@ -52,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+mod degrade;
 pub mod model;
 pub mod registry;
 pub mod request;
@@ -60,7 +72,7 @@ pub mod shard;
 pub mod trace;
 
 pub use model::{ServeScratch, ServingModel};
-pub use registry::{ModelRegistry, PublishedModel};
+pub use registry::{ModelRegistry, PublishedModel, RollbackError};
 pub use request::{LatencyStats, RecommendRequest, RecommendResponse};
 pub use server::{RecServer, ServerConfig, ServerStats, SubmitError};
 pub use shard::{merge_top_k, ScoredItem, Shard, ShardedCatalog};

@@ -33,7 +33,10 @@ use std::sync::Arc;
 /// path (pinned by the serving tests as a recall guardrail).
 pub struct ServingModel {
     name: String,
-    catalog: ShardedCatalog,
+    /// Behind an `Arc`: the deadline-bounded degraded path hands each shard
+    /// task its own catalogue handle, so a task that outlives its batch (a
+    /// timed-out slow shard) can never dangle.
+    catalog: Arc<ShardedCatalog>,
     query: ham_core::scorer::QueryFn<'static>,
 }
 
@@ -60,7 +63,7 @@ impl ServingModel {
         S: Send + Sync + 'static,
         F: for<'m> Fn(&'m S) -> Option<LinearHead<'m>> + Send + Sync + 'static,
     {
-        let catalog = ShardedCatalog::from_matrix(head_fn(&model)?.candidates(), num_shards);
+        let catalog = Arc::new(ShardedCatalog::from_matrix(head_fn(&model)?.candidates(), num_shards));
         let query = Box::new(move |user: usize, history: &[ItemId]| {
             head_fn(&model).expect("model's linear head disappeared after construction").query_vector(user, history)
         });
@@ -77,7 +80,7 @@ impl ServingModel {
     ) -> Self {
         Self {
             name: name.to_string(),
-            catalog: ShardedCatalog::from_matrix(candidates, num_shards),
+            catalog: Arc::new(ShardedCatalog::from_matrix(candidates, num_shards)),
             query: Box::new(query),
         }
     }
@@ -88,7 +91,10 @@ impl ServingModel {
     /// 1 byte/element — and serving results stay bit-identical to the exact
     /// path under the recall guardrail.
     pub fn with_quantized_catalog(mut self) -> Self {
-        self.catalog = self.catalog.with_quantization();
+        // Publish-time construction: the Arc is freshly made and unshared,
+        // so this is a move, not a catalogue copy.
+        let catalog = Arc::try_unwrap(self.catalog).unwrap_or_else(|shared| (*shared).clone());
+        self.catalog = Arc::new(catalog.with_quantization());
         self
     }
 
@@ -105,6 +111,12 @@ impl ServingModel {
     /// The sharded candidate catalogue.
     pub fn catalog(&self) -> &ShardedCatalog {
         &self.catalog
+    }
+
+    /// A shareable handle to the catalogue — what the deadline-bounded
+    /// scoring path hands to its per-shard tasks.
+    pub fn catalog_arc(&self) -> Arc<ShardedCatalog> {
+        Arc::clone(&self.catalog)
     }
 
     /// Catalogue size.
@@ -290,7 +302,13 @@ mod tests {
             let serving = ServingModel::from_scorer("ham", Arc::clone(&model), shards).expect("HAM has a head");
             let history = vec![1usize, 5, 9, 9, 2];
             for exclude in [true, false] {
-                let request = RecommendRequest { user: 2, history: history.clone(), k: 10, exclude_seen: exclude };
+                let request = RecommendRequest {
+                    user: 2,
+                    history: history.clone(),
+                    k: 10,
+                    exclude_seen: exclude,
+                    deadline: None,
+                };
                 let served: Vec<usize> = serving.recommend(&request).iter().map(|s| s.item).collect();
                 assert_eq!(served, model.recommend_top_k(2, &history, 10, exclude), "shards = {shards}");
             }
@@ -310,7 +328,13 @@ mod tests {
     fn from_parts_serves_a_custom_head() {
         let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]);
         let serving = ServingModel::from_parts("toy", &w, 2, |_, _| vec![1.0, 0.5]);
-        let top = serving.recommend(&RecommendRequest { user: 0, history: vec![], k: 3, exclude_seen: false });
+        let top = serving.recommend(&RecommendRequest {
+            user: 0,
+            history: vec![],
+            k: 3,
+            exclude_seen: false,
+            deadline: None,
+        });
         let ids: Vec<usize> = top.iter().map(|s| s.item).collect();
         assert_eq!(ids, vec![2, 0, 1]);
         assert_eq!(top[0].score, 3.0);

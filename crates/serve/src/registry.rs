@@ -9,29 +9,67 @@
 //! request ever observes a half-updated model.
 
 use crate::model::ServingModel;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// How many recent publications the registry archives for
+/// [`ModelRegistry::rollback_to`]. Snapshots share their `ServingModel`
+/// behind an `Arc`, so the archive costs one pointer per publish — the
+/// model memory is only retained while a snapshot is still in the window.
+const HISTORY_CAPACITY: usize = 8;
 
 /// A [`ServingModel`] together with its publication version.
 #[derive(Debug)]
 pub struct PublishedModel {
-    /// The model snapshot.
-    pub model: ServingModel,
+    /// The model snapshot. Behind an `Arc` so the rollback archive and the
+    /// live slot can share one model without cloning catalogue matrices.
+    pub model: Arc<ServingModel>,
     /// Monotonically increasing publication number (first publish = 1).
     pub version: u64,
+    /// `Some(v)` when this publication is a rollback that restored the
+    /// snapshot originally published as version `v`.
+    pub rollback_of: Option<u64>,
 }
 
-/// The registry: one live model slot with atomic hot-swap semantics.
+/// [`ModelRegistry::rollback_to`] failure: the requested version is not in
+/// the archive window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollbackError {
+    /// The version that was asked for.
+    pub version: u64,
+    /// The versions currently available to roll back to (oldest first).
+    pub available: Vec<u64>,
+}
+
+impl std::fmt::Display for RollbackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rollback target version {} not in the archive (available: {:?})", self.version, self.available)
+    }
+}
+
+impl std::error::Error for RollbackError {}
+
+/// The registry: one live model slot with atomic hot-swap semantics, plus a
+/// bounded archive of recent publications for rollback.
 #[derive(Debug)]
 pub struct ModelRegistry {
     slot: Mutex<Arc<PublishedModel>>,
     versions: AtomicU64,
+    /// The last [`HISTORY_CAPACITY`] publications, oldest first. Guarded by
+    /// taking `slot`'s lock first everywhere both are held.
+    history: Mutex<VecDeque<Arc<PublishedModel>>>,
 }
 
 impl ModelRegistry {
     /// Creates a registry with an initial model (version 1).
     pub fn new(initial: ServingModel) -> Self {
-        Self { slot: Mutex::new(Arc::new(PublishedModel { model: initial, version: 1 })), versions: AtomicU64::new(1) }
+        let first = Arc::new(PublishedModel { model: Arc::new(initial), version: 1, rollback_of: None });
+        Self {
+            slot: Mutex::new(Arc::clone(&first)),
+            versions: AtomicU64::new(1),
+            history: Mutex::new(VecDeque::from([first])),
+        }
     }
 
     /// The currently published model. The returned `Arc` stays valid (and
@@ -51,13 +89,55 @@ impl ModelRegistry {
     pub fn publish(&self, model: ServingModel) -> u64 {
         let mut slot = self.slot.lock().expect("registry slot poisoned");
         let version = self.versions.fetch_add(1, Ordering::SeqCst) + 1;
-        *slot = Arc::new(PublishedModel { model, version });
+        let published = Arc::new(PublishedModel { model: Arc::new(model), version, rollback_of: None });
+        self.archive(&published);
+        *slot = published;
         version
+    }
+
+    /// Rolls the live slot back to the snapshot originally published as
+    /// `version`, **re-publishing it under a new (higher) version number** —
+    /// versions stay monotonic, so serving-staleness accounting and
+    /// "which publish am I on" logic never see time move backwards. The new
+    /// publication's [`PublishedModel::rollback_of`] names the restored
+    /// version. Returns the new version number.
+    ///
+    /// Only the last [`HISTORY_CAPACITY`] publications are available;
+    /// rolling back to the live version itself is allowed (an explicit
+    /// re-pin). The model is shared by `Arc` — no catalogue copy.
+    pub fn rollback_to(&self, version: u64) -> Result<u64, RollbackError> {
+        let mut slot = self.slot.lock().expect("registry slot poisoned");
+        let target = {
+            let history = self.history.lock().expect("registry history poisoned");
+            match history.iter().rev().find(|p| p.version == version) {
+                Some(target) => Arc::clone(&target.model),
+                None => return Err(RollbackError { version, available: history.iter().map(|p| p.version).collect() }),
+            }
+        };
+        let new_version = self.versions.fetch_add(1, Ordering::SeqCst) + 1;
+        let published = Arc::new(PublishedModel { model: target, version: new_version, rollback_of: Some(version) });
+        self.archive(&published);
+        *slot = published;
+        Ok(new_version)
+    }
+
+    /// The versions currently in the rollback archive, oldest first (the
+    /// live version is always the last entry).
+    pub fn history_versions(&self) -> Vec<u64> {
+        self.history.lock().expect("registry history poisoned").iter().map(|p| p.version).collect()
     }
 
     /// Version of the latest publish.
     pub fn version(&self) -> u64 {
         self.versions.load(Ordering::SeqCst)
+    }
+
+    fn archive(&self, published: &Arc<PublishedModel>) {
+        let mut history = self.history.lock().expect("registry history poisoned");
+        if history.len() == HISTORY_CAPACITY {
+            history.pop_front();
+        }
+        history.push_back(Arc::clone(published));
     }
 }
 
@@ -82,9 +162,51 @@ mod tests {
         assert_eq!(before.version, 1);
         assert_eq!(after.version, 2);
         // The old snapshot is still fully usable by its holders.
-        let req = crate::request::RecommendRequest { user: 0, history: vec![], k: 1, exclude_seen: false };
+        let req =
+            crate::request::RecommendRequest { user: 0, history: vec![], k: 1, exclude_seen: false, deadline: None };
         assert_eq!(before.model.recommend(&req)[0].score, 2.0);
         assert_eq!(after.model.recommend(&req)[0].score, 10.0);
+    }
+
+    #[test]
+    fn rollback_republishes_an_archived_snapshot_under_a_new_version() {
+        let registry = ModelRegistry::new(toy_model(1.0));
+        registry.publish(toy_model(2.0));
+        registry.publish(toy_model(3.0));
+        assert_eq!(registry.history_versions(), vec![1, 2, 3]);
+        let rolled = registry.rollback_to(2).expect("version 2 archived");
+        assert_eq!(rolled, 4, "rollback publishes forward, never rewinds the version counter");
+        let live = registry.current();
+        assert_eq!(live.version, 4);
+        assert_eq!(live.rollback_of, Some(2));
+        // The restored snapshot really is version 2's model.
+        let req =
+            crate::request::RecommendRequest { user: 0, history: vec![], k: 1, exclude_seen: false, deadline: None };
+        assert_eq!(live.model.recommend(&req)[0].score, 4.0, "row 1 of toy_model(2.0) scores 4.0");
+        assert_eq!(registry.history_versions(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rollback_to_unknown_version_reports_whats_available() {
+        let registry = ModelRegistry::new(toy_model(1.0));
+        registry.publish(toy_model(2.0));
+        let err = registry.rollback_to(9).unwrap_err();
+        assert_eq!(err.version, 9);
+        assert_eq!(err.available, vec![1, 2]);
+        assert_eq!(registry.version(), 2, "a failed rollback publishes nothing");
+    }
+
+    #[test]
+    fn archive_window_is_bounded_and_drops_the_oldest() {
+        let registry = ModelRegistry::new(toy_model(1.0));
+        for i in 0..10 {
+            registry.publish(toy_model(i as f32 + 2.0));
+        }
+        let versions = registry.history_versions();
+        assert_eq!(versions.len(), super::HISTORY_CAPACITY);
+        assert_eq!(versions.last(), Some(&11));
+        assert!(registry.rollback_to(1).is_err(), "version 1 aged out of the archive");
+        assert!(registry.rollback_to(*versions.first().unwrap()).is_ok());
     }
 
     #[test]
@@ -98,7 +220,8 @@ mod tests {
                 }
             })
         };
-        let req = crate::request::RecommendRequest { user: 0, history: vec![], k: 2, exclude_seen: false };
+        let req =
+            crate::request::RecommendRequest { user: 0, history: vec![], k: 2, exclude_seen: false, deadline: None };
         for _ in 0..200 {
             let snapshot = registry.current();
             let top = snapshot.model.recommend(&req);

@@ -2,6 +2,7 @@
 
 use crate::shard::ScoredItem;
 use ham_data::dataset::ItemId;
+use std::time::Duration;
 
 /// One recommendation request: "give me the top `k` items for this user".
 #[derive(Debug, Clone)]
@@ -14,12 +15,29 @@ pub struct RecommendRequest {
     pub k: usize,
     /// Mask items already present in `history` (the usual serving protocol).
     pub exclude_seen: bool,
+    /// Per-request latency deadline, measured from enqueue. `None` falls
+    /// back to [`ServerConfig::default_deadline`]. A request still queued at
+    /// its deadline is shed ([`SubmitError::DeadlineExpired`]); a request
+    /// picked up near its deadline grants the shard-scoring stage only the
+    /// remaining budget and may come back [`degraded`].
+    ///
+    /// [`ServerConfig::default_deadline`]: crate::server::ServerConfig::default_deadline
+    /// [`SubmitError::DeadlineExpired`]: crate::server::SubmitError::DeadlineExpired
+    /// [`degraded`]: RecommendResponse::degraded
+    pub deadline: Option<Duration>,
 }
 
 impl RecommendRequest {
-    /// A request with the default serving protocol (seen items excluded).
+    /// A request with the default serving protocol (seen items excluded, no
+    /// per-request deadline override).
     pub fn new(user: usize, history: Vec<ItemId>, k: usize) -> Self {
-        Self { user, history, k, exclude_seen: true }
+        Self { user, history, k, exclude_seen: true, deadline: None }
+    }
+
+    /// Sets a per-request deadline (overrides the server default).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -37,6 +55,15 @@ pub struct RecommendResponse {
     pub queue_micros: u64,
     /// Microseconds spent scoring/ranking the batch this request rode in.
     pub service_micros: u64,
+    /// `true` when the response was assembled without every shard: a shard
+    /// missed its deadline budget or panicked and was dropped from the
+    /// k-way merge (the surviving shards' ranking is still exact *for those
+    /// shards*), or the request's solo retry panicked and the list is empty.
+    /// Never silently wrong: a degraded response always says so.
+    pub degraded: bool,
+    /// How many shards contributed to the ranking. Equals the model's shard
+    /// count on a healthy response; smaller exactly when [`Self::degraded`].
+    pub shards_answered: usize,
 }
 
 impl RecommendResponse {

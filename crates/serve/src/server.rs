@@ -12,12 +12,16 @@
 //! hot-swaps between batches never pause traffic — and every response carries
 //! its own queue/service latency split.
 
+use crate::degrade::{score_bounded, ShardExecutor};
 use crate::model::ServeScratch;
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, PublishedModel};
 use crate::request::{RecommendRequest, RecommendResponse};
+use crate::shard::ScoredItem;
 use crate::trace::StageTrace;
+use ham_faults::FaultInjector;
 use ham_telemetry::{Counter, Gauge, Histogram, SpanTree, Telemetry};
 use ham_tensor::pool::global_pool;
+use ham_tensor::Matrix;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -42,11 +46,39 @@ pub struct ServerConfig {
     /// (and every queued request's latency) grow without bound when load
     /// exceeds what the dispatcher can drain.
     pub max_queue: usize,
+    /// Deadline applied to every request that does not carry its own
+    /// ([`RecommendRequest::deadline`]), measured from enqueue. A request
+    /// still queued past its deadline is shed with
+    /// [`SubmitError::DeadlineExpired`] before any scoring is spent on it;
+    /// a request picked up close to its deadline grants the shard-scoring
+    /// stage only the remaining budget (see
+    /// [`Self::shard_budget_fraction`]) and may come back
+    /// [`degraded`](RecommendResponse::degraded). `None` (the default)
+    /// leaves requests without their own deadline unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Fraction of a batch's tightest remaining deadline budget granted to
+    /// the shard-scoring stage; the holdback covers ranking, merging and
+    /// delivery. The batch budget is the minimum over its requests'
+    /// remaining deadlines at pickup. Clamped to `[0.05, 1.0]`.
+    pub shard_budget_fraction: f64,
+    /// Worker threads of the bulkhead executor that scores shards under a
+    /// deadline (spawned lazily by the first bounded batch — requests
+    /// without deadlines and with no faults armed never pay for it).
+    /// `0` (the default) sizes it to the model's shard count, capped at 8.
+    pub shard_workers: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { max_batch: 64, coalesce_wait: Duration::from_micros(200), parallel_shards: true, max_queue: 1024 }
+        Self {
+            max_batch: 64,
+            coalesce_wait: Duration::from_micros(200),
+            parallel_shards: true,
+            max_queue: 1024,
+            default_deadline: None,
+            shard_budget_fraction: 0.7,
+            shard_workers: 0,
+        }
     }
 }
 
@@ -62,6 +94,14 @@ pub enum SubmitError {
     },
     /// The server is shutting down and no longer admits requests.
     ShuttingDown,
+    /// The request's deadline ([`RecommendRequest::deadline`] or
+    /// [`ServerConfig::default_deadline`]) expired while it was still
+    /// queued; the dispatcher shed it before spending any scoring work —
+    /// by the time a result existed the caller would no longer want it.
+    DeadlineExpired {
+        /// How long the request had waited when it was shed.
+        waited_micros: u64,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -71,6 +111,9 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "request shed: queue at capacity ({max_queue})")
             }
             SubmitError::ShuttingDown => write!(f, "request rejected: server shutting down"),
+            SubmitError::DeadlineExpired { waited_micros } => {
+                write!(f, "request shed: deadline expired after {waited_micros}µs in queue")
+            }
         }
     }
 }
@@ -81,12 +124,17 @@ impl std::error::Error for SubmitError {}
 struct Pending {
     request: RecommendRequest,
     enqueued: Instant,
+    /// Absolute expiry (request override or server default), resolved at
+    /// admission so the dispatcher's expiry check is one comparison.
+    deadline: Option<Instant>,
     slot: Arc<ResponseSlot>,
 }
 
 /// A one-shot rendezvous between the submitting thread and the dispatcher.
+/// Carries a `Result` so the dispatcher can answer an admitted request with
+/// a post-admission rejection (deadline expiry) as well as a response.
 struct ResponseSlot {
-    filled: Mutex<Option<RecommendResponse>>,
+    filled: Mutex<Option<Result<RecommendResponse, SubmitError>>>,
     ready: Condvar,
 }
 
@@ -95,12 +143,12 @@ impl ResponseSlot {
         Self { filled: Mutex::new(None), ready: Condvar::new() }
     }
 
-    fn deliver(&self, response: RecommendResponse) {
+    fn deliver(&self, response: Result<RecommendResponse, SubmitError>) {
         *self.filled.lock().expect("response slot poisoned") = Some(response);
         self.ready.notify_one();
     }
 
-    fn wait(&self) -> RecommendResponse {
+    fn wait(&self) -> Result<RecommendResponse, SubmitError> {
         let mut filled = self.filled.lock().expect("response slot poisoned");
         loop {
             if let Some(response) = filled.take() {
@@ -121,7 +169,24 @@ struct ServerCounters {
     shed: Counter,
     completed: Counter,
     panic_isolated: Counter,
+    /// Requests shed in-queue at their deadline (the error budget's "never
+    /// served" bucket).
+    deadline_expired: Counter,
+    /// Responses answered without every shard (the "served degraded"
+    /// bucket).
+    degraded: Counter,
+    /// Shards dropped from a merge for missing their deadline budget.
+    shard_deadline_miss: Counter,
+    /// Shards dropped from a merge because their scoring task panicked.
+    shard_panic: Counter,
     queue_depth: Gauge,
+}
+
+/// Per-shard metric handles, resolved lazily per shard id.
+#[derive(Debug, Clone)]
+struct ShardMetrics {
+    score_micros: Histogram,
+    deadline_miss: Counter,
 }
 
 /// Histograms resolved once at server start when telemetry is enabled.
@@ -136,6 +201,11 @@ struct ServeMetrics {
     stage_merge: Histogram,
     stage_rerank: Histogram,
     stage_solo: Histogram,
+    /// Lazily resolved per-shard handles (`serve_shard_{s}_score_micros`,
+    /// `serve_shard_{s}_deadline_miss_total`), indexed by shard id — the
+    /// attribution that makes a slow shard visible *by name* before the
+    /// multi-node split lands.
+    per_shard: Mutex<Vec<Option<ShardMetrics>>>,
 }
 
 impl ServeMetrics {
@@ -147,6 +217,10 @@ impl ServeMetrics {
         registry.register_counter("serve_requests_shed_total", &counters.shed);
         registry.register_counter("serve_requests_completed_total", &counters.completed);
         registry.register_counter("serve_requests_panic_isolated_total", &counters.panic_isolated);
+        registry.register_counter("serve_requests_deadline_expired_total", &counters.deadline_expired);
+        registry.register_counter("serve_responses_degraded_total", &counters.degraded);
+        registry.register_counter("serve_shard_deadline_miss_total", &counters.shard_deadline_miss);
+        registry.register_counter("serve_shard_panic_total", &counters.shard_panic);
         registry.register_gauge("serve_queue_depth", &counters.queue_depth);
         Some(Self {
             queue_micros: registry.histogram("serve_queue_micros"),
@@ -158,7 +232,26 @@ impl ServeMetrics {
             stage_merge: registry.histogram("serve_stage_merge_micros"),
             stage_rerank: registry.histogram("serve_stage_rerank_micros"),
             stage_solo: registry.histogram("serve_stage_solo_gemv_micros"),
+            per_shard: Mutex::new(Vec::new()),
         })
+    }
+
+    /// The metric handles for one shard id (resolved in `telemetry`'s
+    /// registry on first use, cached after).
+    fn shard(&self, telemetry: &Telemetry, shard: usize) -> ShardMetrics {
+        let mut per_shard = self.per_shard.lock().expect("per-shard metrics poisoned");
+        if per_shard.len() <= shard {
+            per_shard.resize(shard + 1, None);
+        }
+        per_shard[shard]
+            .get_or_insert_with(|| {
+                let registry = telemetry.registry().expect("ServeMetrics exists only with telemetry enabled");
+                ShardMetrics {
+                    score_micros: registry.histogram(&format!("serve_shard_{shard}_score_micros")),
+                    deadline_miss: registry.counter(&format!("serve_shard_{shard}_deadline_miss_total")),
+                }
+            })
+            .clone()
     }
 }
 
@@ -173,8 +266,18 @@ pub struct ServerStats {
     /// Requests answered (every admitted request eventually is).
     pub completed: u64,
     /// Requests whose solo retry also panicked and were answered with an
-    /// empty ranking.
+    /// empty ranking (delivered with [`RecommendResponse::degraded`] set).
     pub panic_isolated: u64,
+    /// Admitted requests shed in-queue at their deadline
+    /// ([`SubmitError::DeadlineExpired`]).
+    pub deadline_expired: u64,
+    /// Responses served without every shard's answer
+    /// ([`RecommendResponse::degraded`]).
+    pub degraded: u64,
+    /// Shard-batch scoring tasks dropped for missing their deadline budget.
+    pub shard_deadline_misses: u64,
+    /// Shard-batch scoring tasks dropped because they panicked.
+    pub shard_panics: u64,
     /// Requests currently waiting in the queue.
     pub queue_depth: usize,
 }
@@ -188,6 +291,7 @@ struct ServerShared {
     counters: ServerCounters,
     telemetry: Telemetry,
     metrics: Option<ServeMetrics>,
+    faults: FaultInjector,
 }
 
 /// An embeddable online recommendation server: micro-batching queue,
@@ -203,21 +307,36 @@ pub struct RecServer {
 
 impl RecServer {
     /// Starts the dispatcher for the models published in `registry`.
-    /// Telemetry follows the environment: `HAM_TELEMETRY=1` lights up the
-    /// metric set of [`Self::start_with_telemetry`], anything else serves
-    /// with a no-op handle.
+    /// Telemetry follows the environment (`HAM_TELEMETRY=1` lights up the
+    /// metric set of [`Self::start_with_telemetry`]), and so does fault
+    /// injection (`HAM_FAULTS=<spec>` arms the deterministic injector —
+    /// test/chaos builds only; unset serves faithfully).
     pub fn start(registry: Arc<ModelRegistry>, config: ServerConfig) -> Self {
-        Self::start_with_telemetry(registry, config, Telemetry::from_env())
+        Self::start_instrumented(registry, config, Telemetry::from_env(), FaultInjector::from_env())
     }
 
     /// [`Self::start`] with an explicit [`Telemetry`] handle. An enabled
     /// handle gets the always-on counters registered
     /// (`serve_requests_{admitted,shed,completed,panic_isolated}_total`,
+    /// `serve_requests_deadline_expired_total`,
+    /// `serve_responses_degraded_total`, `serve_shard_*_total`,
     /// `serve_queue_depth`), per-request latency histograms
     /// (`serve_{queue,service,total}_micros`, `serve_batch_size`), stage
-    /// histograms (`serve_stage_*_micros`) and per-request span trees in the
-    /// handle's flight recorder.
+    /// histograms (`serve_stage_*_micros`), per-shard score histograms and
+    /// per-request span trees in the handle's flight recorder.
     pub fn start_with_telemetry(registry: Arc<ModelRegistry>, config: ServerConfig, telemetry: Telemetry) -> Self {
+        Self::start_instrumented(registry, config, telemetry, FaultInjector::from_env())
+    }
+
+    /// [`Self::start_with_telemetry`] with an explicit [`FaultInjector`] —
+    /// the full-control constructor used by the chaos suite and benches to
+    /// arm deterministic faults without going through the environment.
+    pub fn start_instrumented(
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+        telemetry: Telemetry,
+        faults: FaultInjector,
+    ) -> Self {
         assert!(config.max_batch > 0, "RecServer: max_batch must be positive");
         assert!(config.max_queue > 0, "RecServer: max_queue must be positive");
         let counters = ServerCounters::default();
@@ -231,6 +350,7 @@ impl RecServer {
             counters,
             telemetry,
             metrics,
+            faults,
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -271,12 +391,14 @@ impl RecServer {
                 self.shared.counters.shed.inc();
                 return Err(SubmitError::QueueFull { max_queue: self.shared.config.max_queue });
             }
-            queue.push_back(Pending { request, enqueued: Instant::now(), slot: Arc::clone(&slot) });
+            let now = Instant::now();
+            let deadline = request.deadline.or(self.shared.config.default_deadline).map(|budget| now + budget);
+            queue.push_back(Pending { request, enqueued: now, deadline, slot: Arc::clone(&slot) });
             self.shared.counters.admitted.inc();
             self.shared.counters.queue_depth.set(queue.len() as i64);
             self.shared.arrived.notify_all();
         }
-        Ok(slot.wait())
+        slot.wait()
     }
 
     /// Cumulative admitted/shed/completed/panic-isolated counts and the
@@ -289,6 +411,10 @@ impl RecServer {
             shed: self.shared.counters.shed.get(),
             completed: self.shared.counters.completed.get(),
             panic_isolated: self.shared.counters.panic_isolated.get(),
+            deadline_expired: self.shared.counters.deadline_expired.get(),
+            degraded: self.shared.counters.degraded.get(),
+            shard_deadline_misses: self.shared.counters.shard_deadline_miss.get(),
+            shard_panics: self.shared.counters.shard_panic.get(),
             queue_depth: self.shared.counters.queue_depth.get().max(0) as usize,
         }
     }
@@ -330,6 +456,9 @@ fn dispatch_loop(shared: &ServerShared) {
     // scores every shard into the same reused buffer and marks/clears the
     // seen bitmap in O(history) — no per-request allocation on the hot path.
     let mut scratch = ServeScratch::new();
+    // The bulkhead executor for deadline-bounded shard scoring, spawned by
+    // the first batch that needs it and reused for the dispatcher's life.
+    let mut executor: Option<ShardExecutor> = None;
     loop {
         let batch = {
             let mut queue = shared.queue.lock().expect("server queue poisoned");
@@ -357,50 +486,56 @@ fn dispatch_loop(shared: &ServerShared) {
         if batch.is_empty() {
             continue;
         }
-        serve_batch(shared, batch, &mut scratch);
+        serve_batch(shared, batch, &mut scratch, &mut executor);
     }
 }
 
-fn serve_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut ServeScratch) {
+/// How completely one request of a batch was served.
+#[derive(Debug, Clone, Copy)]
+struct ResponseMeta {
+    degraded: bool,
+    shards_answered: usize,
+}
+
+fn serve_batch(
+    shared: &ServerShared,
+    batch: Vec<Pending>,
+    scratch: &mut ServeScratch,
+    executor: &mut Option<ShardExecutor>,
+) {
     let published = shared.registry.current();
     let picked_up = Instant::now();
     // Move the requests out of their queue entries — the batch is scored
-    // from the originals, no per-request clone on the hot path.
+    // from the originals, no per-request clone on the hot path. Requests
+    // already past their deadline are shed here: by the time a result
+    // existed the caller would have moved on, so scoring them would only
+    // tax their batch-mates.
     let mut requests = Vec::with_capacity(batch.len());
     let mut waiters = Vec::with_capacity(batch.len());
     for pending in batch {
+        if pending.deadline.is_some_and(|deadline| picked_up >= deadline) {
+            let waited_micros = picked_up.duration_since(pending.enqueued).as_micros() as u64;
+            shared.counters.deadline_expired.inc();
+            pending.slot.deliver(Err(SubmitError::DeadlineExpired { waited_micros }));
+            continue;
+        }
         requests.push(pending.request);
-        waiters.push((pending.enqueued, pending.slot));
+        waiters.push((pending.enqueued, pending.deadline, pending.slot));
     }
-    let pool = shared.config.parallel_shards.then(global_pool);
-    // A malformed request (unknown user, history the model rejects) panics
-    // inside the model's query builder. The dispatcher is the only serving
-    // thread, so a panic here must not unwind it: every waiter in the batch
-    // would block forever and the server would wedge. Catch the batch panic
-    // and retry each request solo so one poisoned request cannot take down
-    // its batch-mates; a request that still panics alone gets an empty
-    // ranking back (and the panic is reported on stderr by the hook).
+    if requests.is_empty() {
+        return;
+    }
+    // The batch's scoring budget is its tightest member's deadline. Any
+    // deadline (or armed fault injection) routes to the bounded bulkhead
+    // path; a deadline-free, fault-free batch keeps the classic zero-copy
+    // path — it pays nothing for the machinery it does not use.
+    let batch_deadline = waiters.iter().filter_map(|(_, deadline, _)| *deadline).min();
     let mut trace = shared.metrics.as_ref().map(|_| StageTrace::new());
-    let rankings = catch_unwind(AssertUnwindSafe(|| {
-        published.model.recommend_batch_traced(&requests, pool, scratch, trace.as_mut())
-    }))
-    .unwrap_or_else(|_| {
-        // The panic may have unwound between marking and clearing the
-        // scratch's seen bitmap; restore the all-clear invariant before
-        // the solo retries (which take the allocating path on purpose —
-        // this branch is cold and must stay panic-isolated per request).
-        scratch.reset();
-        requests
-            .iter()
-            .map(|request| match catch_unwind(AssertUnwindSafe(|| published.model.recommend(request))) {
-                Ok(items) => items,
-                Err(_) => {
-                    shared.counters.panic_isolated.inc();
-                    Vec::new()
-                }
-            })
-            .collect()
-    });
+    let (rankings, metas) = if batch_deadline.is_some() || shared.faults.is_enabled() {
+        serve_bounded(shared, &published, &requests, picked_up, batch_deadline, executor, trace.as_mut())
+    } else {
+        serve_classic(shared, &published, &requests, scratch, trace.as_mut())
+    };
     let service_micros = picked_up.elapsed().as_micros() as u64;
     let batch_len = waiters.len() as u64;
     if let (Some(metrics), Some(trace)) = (&shared.metrics, &trace) {
@@ -415,10 +550,13 @@ fn serve_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut ServeSc
                 if trace.rerank_micros > 0 {
                     metrics.stage_rerank.record(trace.rerank_micros);
                 }
+                for &(shard, micros) in &trace.shard_score_micros {
+                    metrics.shard(&shared.telemetry, shard).score_micros.record(micros);
+                }
             }
         }
     }
-    for ((enqueued, slot), items) in waiters.into_iter().zip(rankings) {
+    for (((enqueued, _deadline, slot), items), meta) in waiters.into_iter().zip(rankings).zip(metas) {
         let queue_micros = picked_up.duration_since(enqueued).as_micros() as u64;
         if let (Some(metrics), Some(trace)) = (&shared.metrics, &trace) {
             metrics.queue_micros.record(queue_micros);
@@ -427,12 +565,146 @@ fn serve_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut ServeSc
                 flight.record(request_span_tree(queue_micros, service_micros, trace));
             }
         }
+        if meta.degraded {
+            shared.counters.degraded.inc();
+        }
         // Count before delivering: `deliver` unblocks the submitter, which
         // may read `stats()` immediately — its own completion must already
         // be visible.
         shared.counters.completed.inc();
-        slot.deliver(RecommendResponse { items, model_version: published.version, queue_micros, service_micros });
+        slot.deliver(Ok(RecommendResponse {
+            items,
+            model_version: published.version,
+            queue_micros,
+            service_micros,
+            degraded: meta.degraded,
+            shards_answered: meta.shards_answered,
+        }));
     }
+}
+
+/// The classic full-fidelity path: one traced batched scoring call on the
+/// shared pool, panic-isolated per batch then per request.
+fn serve_classic(
+    shared: &ServerShared,
+    published: &PublishedModel,
+    requests: &[RecommendRequest],
+    scratch: &mut ServeScratch,
+    trace: Option<&mut StageTrace>,
+) -> (Vec<Vec<ScoredItem>>, Vec<ResponseMeta>) {
+    let num_shards = published.model.catalog().num_shards();
+    let pool = shared.config.parallel_shards.then(global_pool);
+    // A malformed request (unknown user, history the model rejects) panics
+    // inside the model's query builder. The dispatcher is the only serving
+    // thread, so a panic here must not unwind it: every waiter in the batch
+    // would block forever and the server would wedge. Catch the batch panic
+    // and retry each request solo so one poisoned request cannot take down
+    // its batch-mates.
+    match catch_unwind(AssertUnwindSafe(|| published.model.recommend_batch_traced(requests, pool, scratch, trace))) {
+        Ok(rankings) => {
+            let meta = ResponseMeta { degraded: false, shards_answered: num_shards };
+            (rankings, vec![meta; requests.len()])
+        }
+        Err(_) => {
+            // The panic may have unwound between marking and clearing the
+            // scratch's seen bitmap; restore the all-clear invariant before
+            // the solo retries.
+            scratch.reset();
+            solo_retry(shared, published, requests, num_shards)
+        }
+    }
+}
+
+/// Per-request panic isolation: each request is retried alone (the
+/// allocating path on purpose — this branch is cold), and a request that
+/// still panics is answered with an empty ranking **flagged degraded** so
+/// the caller can tell it apart from a genuinely empty result.
+fn solo_retry(
+    shared: &ServerShared,
+    published: &PublishedModel,
+    requests: &[RecommendRequest],
+    num_shards: usize,
+) -> (Vec<Vec<ScoredItem>>, Vec<ResponseMeta>) {
+    let mut rankings = Vec::with_capacity(requests.len());
+    let mut metas = Vec::with_capacity(requests.len());
+    for request in requests {
+        match catch_unwind(AssertUnwindSafe(|| published.model.recommend(request))) {
+            Ok(items) => {
+                rankings.push(items);
+                metas.push(ResponseMeta { degraded: false, shards_answered: num_shards });
+            }
+            Err(_) => {
+                shared.counters.panic_isolated.inc();
+                rankings.push(Vec::new());
+                metas.push(ResponseMeta { degraded: true, shards_answered: 0 });
+            }
+        }
+    }
+    (rankings, metas)
+}
+
+/// The deadline-bounded path: shard blocks are scored on the bulkhead
+/// executor with at most `shard_budget_fraction` of the batch's remaining
+/// deadline budget; shards that miss it (or panic) are dropped from the
+/// merge and the response is flagged degraded. With every shard answering,
+/// the result is bit-identical to the classic path (see [`crate::degrade`]).
+#[allow(clippy::too_many_arguments)]
+fn serve_bounded(
+    shared: &ServerShared,
+    published: &PublishedModel,
+    requests: &[RecommendRequest],
+    picked_up: Instant,
+    batch_deadline: Option<Instant>,
+    executor: &mut Option<ShardExecutor>,
+    trace: Option<&mut StageTrace>,
+) -> (Vec<Vec<ScoredItem>>, Vec<ResponseMeta>) {
+    let model = &published.model;
+    let catalog = model.catalog_arc();
+    let num_shards = catalog.num_shards();
+    // Query assembly runs user code (the query closure) — panic-isolate it
+    // exactly like the classic path and fall back to solo retries.
+    let assembly_started = Instant::now();
+    let queries = match catch_unwind(AssertUnwindSafe(|| {
+        let mut queries = Matrix::zeros(requests.len(), catalog.dim());
+        for (i, request) in requests.iter().enumerate() {
+            queries.row_mut(i).copy_from_slice(&model.query_vector(request.user, &request.history));
+        }
+        queries
+    })) {
+        Ok(queries) => queries,
+        Err(_) => return solo_retry(shared, published, requests, num_shards),
+    };
+    let assembly_micros = assembly_started.elapsed().as_micros() as u64;
+    let ks: Vec<usize> = requests.iter().map(|r| r.k).collect();
+    let seen: Vec<Option<&[usize]>> = requests.iter().map(|r| r.exclude_seen.then_some(r.history.as_slice())).collect();
+    let executor = executor.get_or_insert_with(|| {
+        ShardExecutor::new(match shared.config.shard_workers {
+            0 => num_shards.clamp(1, 8),
+            n => n,
+        })
+    });
+    // The scoring stage gets a fraction of the remaining budget; the
+    // holdback covers ranking, merge and delivery.
+    let shard_deadline = batch_deadline.map(|deadline| {
+        let budget = deadline.saturating_duration_since(picked_up);
+        picked_up + budget.mul_f64(shared.config.shard_budget_fraction.clamp(0.05, 1.0))
+    });
+    let outcome = score_bounded(&catalog, queries, &ks, &seen, executor, shard_deadline, &shared.faults);
+    shared.counters.shard_deadline_miss.add(outcome.timed_out.len() as u64);
+    shared.counters.shard_panic.add(outcome.panicked.len() as u64);
+    if let Some(metrics) = &shared.metrics {
+        for &shard in &outcome.timed_out {
+            metrics.shard(&shared.telemetry, shard).deadline_miss.inc();
+        }
+    }
+    if let Some(trace) = trace {
+        trace.batch_assembly_micros = assembly_micros;
+        trace.shard_score_micros = outcome.shard_micros.clone();
+        trace.merge_micros = outcome.merge_micros;
+        trace.rerank_micros = outcome.rerank_micros;
+    }
+    let meta = ResponseMeta { degraded: outcome.degraded(), shards_answered: outcome.shards_answered };
+    (outcome.rankings, vec![meta; requests.len()])
 }
 
 /// Shapes one request's timing into the flight-recorder span tree:
@@ -540,8 +812,85 @@ mod tests {
         let server = Arc::new(RecServer::start(Arc::new(ModelRegistry::new(model)), ServerConfig::default()));
         let poisoned = server.submit(RecommendRequest::new(99, vec![], 3)).expect("request admitted");
         assert!(poisoned.items.is_empty(), "rejected request answers empty, not hangs");
+        assert!(poisoned.degraded, "a panic-isolated empty answer is flagged, not a silent empty list");
+        assert_eq!(poisoned.shards_answered, 0);
         let healthy = server.submit(RecommendRequest::new(1, vec![], 3)).expect("request admitted");
         assert_eq!(healthy.items.len(), 3, "server keeps serving after a poisoned request");
+        assert!(!healthy.degraded, "healthy responses are not flagged");
+        assert_eq!(server.stats().degraded, 1);
+    }
+
+    /// An admitted request whose deadline passes while it is still queued is
+    /// shed with an explicit reason instead of being served late.
+    #[test]
+    fn expired_in_queue_requests_are_shed_with_deadline_reason() {
+        // A slow model (2ms per query) with max_batch 1 so a burst queues.
+        let w = Matrix::from_vec(16, 1, (0..16).map(|i| i as f32).collect());
+        let model = ServingModel::from_parts("slow", &w, 2, |_, _| {
+            std::thread::sleep(Duration::from_millis(2));
+            vec![1.0]
+        });
+        let config = ServerConfig { max_batch: 1, coalesce_wait: Duration::ZERO, ..ServerConfig::default() };
+        let server = Arc::new(RecServer::start(Arc::new(ModelRegistry::new(model)), config));
+        let barrier = Arc::new(std::sync::Barrier::new(12));
+        let handles: Vec<_> = (0..12)
+            .map(|user| {
+                let server = Arc::clone(&server);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    // 4ms deadline against ~2ms service: the first couple of
+                    // requests fit, the back of the queue cannot.
+                    server.submit(RecommendRequest::new(user % 8, vec![], 3).with_deadline(Duration::from_millis(4)))
+                })
+            })
+            .collect();
+        let mut served = 0u64;
+        let mut expired = 0u64;
+        for handle in handles {
+            match handle.join().expect("submitter panicked") {
+                Ok(response) => {
+                    // A request picked up close to its deadline may come back
+                    // degraded (the 2ms query build eats its shard budget);
+                    // an un-degraded answer must be complete.
+                    if !response.degraded {
+                        assert_eq!(response.items.len(), 3, "un-degraded requests are complete");
+                    }
+                    served += 1;
+                }
+                Err(SubmitError::DeadlineExpired { waited_micros }) => {
+                    assert!(waited_micros >= 4_000, "a shed request waited at least its deadline");
+                    expired += 1;
+                }
+                Err(other) => panic!("unexpected rejection: {other}"),
+            }
+        }
+        assert_eq!(served + expired, 12);
+        assert!(expired > 0, "a 12-deep queue at 2ms/request must expire 4ms deadlines");
+        assert!(served > 0, "the front of the queue fits its deadline");
+        let stats = server.stats();
+        assert_eq!(stats.deadline_expired, expired, "server ledger counts every expiry");
+        assert_eq!(stats.completed, served);
+    }
+
+    /// A healthy model under a generous deadline takes the bounded path and
+    /// still answers exactly: complete, un-degraded, all shards accounted.
+    #[test]
+    fn bounded_path_with_generous_deadline_is_not_degraded() {
+        let registry = registry(50);
+        let reference = registry.current();
+        let server = RecServer::start(Arc::clone(&registry), ServerConfig::default());
+        for user in 0..8 {
+            let request = RecommendRequest::new(user, vec![user, user + 10], 7);
+            let expected = reference.model.recommend(&request);
+            let response = server.submit(request.with_deadline(Duration::from_secs(5))).expect("request admitted");
+            assert!(!response.degraded);
+            assert_eq!(response.shards_answered, 3, "all shards answered");
+            let got: Vec<usize> = response.items.iter().map(|s| s.item).collect();
+            let want: Vec<usize> = expected.iter().map(|s| s.item).collect();
+            assert_eq!(got, want, "bounded path is bit-identical for user {user}");
+        }
+        assert_eq!(server.stats().degraded, 0);
     }
 
     #[test]

@@ -42,11 +42,12 @@
 
 use crate::trace::StageTrace;
 use ham_data::dataset::ItemId;
+use ham_faults::{FaultInjector, ShardFault};
 use ham_tensor::kernels;
 use ham_tensor::ops::{top_k_indices, top_k_indices_masked};
 use ham_tensor::pool::ThreadPool;
 use ham_tensor::{Matrix, QuantizedMatrix, QuantizedQuery};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One recommended item with its model score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -181,6 +182,71 @@ impl ShardedCatalog {
         queries.matmul_transposed(&self.shards[shard].rows)
     }
 
+    /// The degraded path's per-shard scoring unit: applies any injected
+    /// fault for `shard` (a [`ShardFault::Delay`] sleeps cooperatively, a
+    /// [`ShardFault::Panic`] panics — the caller runs this under
+    /// `catch_unwind`), then scores the whole query block against the shard.
+    ///
+    /// Scoring picks the kernel by batch size so the result is bit-identical
+    /// to the corresponding exact path: a single query goes through the
+    /// fused GEMV (`matvec_transposed` / `quantized_matvec_into`, the very
+    /// kernels `top_k_with_buf` uses — GEMM-of-one-row is *not* bit-equal to
+    /// GEMV), a larger batch through the packed-panel GEMM the batched paths
+    /// use. `qqueries` must be `Some` exactly when the catalogue is
+    /// quantized.
+    ///
+    /// Returns `None` when `cancelled` turned true during an injected delay:
+    /// the batch already gave up on this shard, so the remaining sleep and
+    /// the scoring work are skipped to free the executor worker quickly.
+    pub(crate) fn score_shard_block_faulted(
+        &self,
+        shard: usize,
+        queries: &Matrix,
+        qqueries: Option<&[QuantizedQuery]>,
+        faults: &FaultInjector,
+        cancelled: &dyn Fn() -> bool,
+    ) -> Option<Matrix> {
+        match faults.shard_fault(shard) {
+            Some(ShardFault::Delay(delay)) => {
+                // Sleep in small slices, checking for cancellation between
+                // them: a shard whose batch already timed out must stop
+                // clogging the bulkhead executor within ~1ms, not `delay`.
+                let until = Instant::now() + delay;
+                loop {
+                    if cancelled() {
+                        return None;
+                    }
+                    let now = Instant::now();
+                    if now >= until {
+                        break;
+                    }
+                    std::thread::sleep((until - now).min(Duration::from_millis(1)));
+                }
+            }
+            Some(ShardFault::Panic) => panic!("ham-faults: injected panic in shard {shard}"),
+            None => {}
+        }
+        if cancelled() {
+            return None;
+        }
+        let b = queries.rows();
+        let s = &self.shards[shard];
+        Some(match qqueries {
+            Some(qq) => {
+                let panel = s.quantized.as_ref().expect("quantized scoring on an unquantized catalogue");
+                let mut block = Matrix::zeros(b, panel.rows());
+                if b == 1 {
+                    kernels::quantized_matvec_into(panel, &qq[0], block.row_mut(0));
+                } else {
+                    kernels::quantized_matmul_transposed_into(qq, panel, &mut block);
+                }
+                block
+            }
+            None if b == 1 => Matrix::from_vec(1, s.len(), s.rows.matvec_transposed(queries.row(0))),
+            None => queries.matmul_transposed(&s.rows),
+        })
+    }
+
     /// Ranks one shard's score slice locally: top `min(k, len)` items as
     /// global ids, masking seen items shard-locally through the global
     /// bitmap (fused mask+select — the score slice is never written).
@@ -307,8 +373,10 @@ impl ShardedCatalog {
     /// Re-scores `candidates` with the exact f32 per-row dot (the same
     /// dispatched kernel chain as the exact GEMV path — bit-identical per
     /// row), re-applies the mask, and keeps the top `k` under the exact
-    /// comparator.
-    fn rerank_exact(
+    /// comparator. Crate-visible so the deadline-bounded degraded path
+    /// (`degrade`) re-ranks its quantized pre-selection with the very same
+    /// code and stays bit-identical when no shard was dropped.
+    pub(crate) fn rerank_exact(
         &self,
         candidates: Vec<ScoredItem>,
         query: &[f32],
@@ -548,7 +616,7 @@ impl ShardedCatalog {
 }
 
 /// Marks every in-catalogue id of `items` in the bitmap (O(history)).
-fn mark_seen(bits: &mut [bool], items: &[ItemId]) {
+pub(crate) fn mark_seen(bits: &mut [bool], items: &[ItemId]) {
     for &item in items {
         if item < bits.len() {
             bits[item] = true;
@@ -557,7 +625,7 @@ fn mark_seen(bits: &mut [bool], items: &[ItemId]) {
 }
 
 /// Clears the marks of [`mark_seen`], leaving the bitmap all-clear again.
-fn clear_seen(bits: &mut [bool], items: &[ItemId]) {
+pub(crate) fn clear_seen(bits: &mut [bool], items: &[ItemId]) {
     for &item in items {
         if item < bits.len() {
             bits[item] = false;
