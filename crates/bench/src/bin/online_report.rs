@@ -123,6 +123,7 @@ fn main() {
         train: TrainConfig { epochs: scale.epochs_per_round, batch_size: 256, ..TrainConfig::default() },
         shards: 2,
         quantize_serving: false,
+        ivf: None,
         seed: SEED,
         gate: ham_online::PublishGate::default(),
     };

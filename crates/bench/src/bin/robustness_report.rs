@@ -175,6 +175,7 @@ fn gate_demo() -> String {
         train: TrainConfig { epochs: 2, batch_size: 32, ..TrainConfig::default() },
         shards: 2,
         quantize_serving: false,
+        ivf: None,
         seed: 42,
         gate: PublishGate { probe_k: items / 2, min_probes: 4, tolerance: 0.0, ..PublishGate::default() },
     };

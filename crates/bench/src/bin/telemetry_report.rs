@@ -6,9 +6,12 @@
 //! * **Serve overhead** — the same online micro-batched serving run measured
 //!   with a disabled telemetry handle and with a fully enabled one (all
 //!   counters, histograms, stage spans and the flight recorder live). The
-//!   two arms are measured round-robin inside the same rep loop (best-of
-//!   per arm) so the shared VM's drift hits both alike. The headline is the
-//!   p50 overhead of the enabled arm, which must stay within 2%.
+//!   arms are interleaved inside every rep (the arm order alternating
+//!   rep-to-rep so slow drift cancels instead of taxing one arm), and the
+//!   headline is the **median of the per-rep paired p50 differences** — a
+//!   best-of per independent arm would let two unrelated lucky minima
+//!   fabricate an overhead (or a speedup) out of scheduler noise. The
+//!   median paired overhead must stay within 2%.
 //! * **Full-loop snapshot** — one train → publish → serve round through
 //!   [`OnlineTrainer`] with a global telemetry handle installed, a shed-
 //!   provoking flood against a tiny admission queue, and a staleness
@@ -89,9 +92,37 @@ fn serve_pass(server: &Arc<RecServer>, histories: &[Vec<usize>], scale: &BenchSc
     samples
 }
 
-/// Measures serve latency with telemetry off vs fully on, paired round-robin
-/// with best-of-`reps` p50 per arm. Returns (off, on) stats.
-fn measure_overhead(scale: &BenchScale) -> (LatencyStats, LatencyStats) {
+/// One paired overhead measurement: per-rep (off, on) latency stats and the
+/// per-rep paired p50 difference, summarized by its median.
+struct OverheadMeasurement {
+    rep_off: Vec<LatencyStats>,
+    rep_on: Vec<LatencyStats>,
+    /// Per-rep paired p50 overhead, percent: `(on − off) / off · 100`.
+    rep_overhead_pct: Vec<f64>,
+    /// Median of the per-rep paired differences — the gated headline.
+    median_overhead_pct: f64,
+}
+
+fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("overhead percentages are finite"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Measures serve latency with telemetry off vs fully on. The two arms are
+/// interleaved inside every rep and the rep's **paired** p50 difference is
+/// what gets summarized — two independent best-ofs would each chase their
+/// own lucky scheduler window, and their difference would measure noise, not
+/// telemetry (a previously committed run "passed" the gate at −3.99% that
+/// way: the instrumented arm cannot actually be 4% faster). Alternating
+/// which arm runs first cancels slow drift (cache warmth, turbo, noisy
+/// neighbours) within the pair instead of always taxing the second arm.
+fn measure_overhead(scale: &BenchScale) -> OverheadMeasurement {
     let (model, histories) = bench_model(scale);
     let shards = 2;
     let build_server = |telemetry: Telemetry| {
@@ -106,20 +137,26 @@ fn measure_overhead(scale: &BenchScale) -> (LatencyStats, LatencyStats) {
     serve_pass(&server_off, &histories, scale);
     serve_pass(&server_on, &histories, scale);
 
-    let mut best_off: Option<LatencyStats> = None;
-    let mut best_on: Option<LatencyStats> = None;
-    let keep_best = |slot: &mut Option<LatencyStats>, stats: LatencyStats| {
-        if slot.is_none_or(|b| stats.p50_micros < b.p50_micros) {
-            *slot = Some(stats);
-        }
-    };
-    for _ in 0..scale.reps {
-        let off = LatencyStats::from_micros(serve_pass(&server_off, &histories, scale)).expect("samples");
-        keep_best(&mut best_off, off);
-        let on = LatencyStats::from_micros(serve_pass(&server_on, &histories, scale)).expect("samples");
-        keep_best(&mut best_on, on);
+    let mut rep_off = Vec::with_capacity(scale.reps);
+    let mut rep_on = Vec::with_capacity(scale.reps);
+    let mut rep_overhead_pct = Vec::with_capacity(scale.reps);
+    for rep in 0..scale.reps {
+        let stats = |samples: Vec<u64>| LatencyStats::from_micros(samples).expect("samples");
+        let (off, on) = if rep % 2 == 0 {
+            let off = stats(serve_pass(&server_off, &histories, scale));
+            let on = stats(serve_pass(&server_on, &histories, scale));
+            (off, on)
+        } else {
+            let on = stats(serve_pass(&server_on, &histories, scale));
+            let off = stats(serve_pass(&server_off, &histories, scale));
+            (off, on)
+        };
+        rep_overhead_pct.push((on.p50_micros as f64 - off.p50_micros as f64) / off.p50_micros as f64 * 100.0);
+        rep_off.push(off);
+        rep_on.push(on);
     }
-    (best_off.unwrap(), best_on.unwrap())
+    let median_overhead_pct = median(&rep_overhead_pct);
+    OverheadMeasurement { rep_off, rep_on, rep_overhead_pct, median_overhead_pct }
 }
 
 /// Floods a tiny admission queue until at least one request sheds; the
@@ -166,6 +203,7 @@ fn full_loop_snapshot(quick: bool) -> MetricsSnapshot {
         train: TrainConfig { epochs: 1, batch_size: 64, ..TrainConfig::default() },
         shards: 2,
         quantize_serving: true,
+        ivf: None,
         seed: 7,
         gate: ham_online::PublishGate::default(),
     };
@@ -216,10 +254,17 @@ fn main() {
         if quick { " (quick)" } else { "" }
     );
 
-    eprintln!("measuring serve p50 with telemetry off vs on, paired round-robin ({} reps)...", scale.reps);
-    let (off, on) = measure_overhead(&scale);
-    let overhead_pct = (on.p50_micros as f64 - off.p50_micros as f64) / off.p50_micros as f64 * 100.0;
-    eprintln!("p50 off {}us, on {}us: overhead {:.2}%", off.p50_micros, on.p50_micros, overhead_pct);
+    eprintln!(
+        "measuring serve p50 with telemetry off vs on, paired per rep ({} reps, alternating order)...",
+        scale.reps
+    );
+    let overhead = measure_overhead(&scale);
+    let overhead_pct = overhead.median_overhead_pct;
+    eprintln!(
+        "per-rep paired p50 overhead {:?}%: median {:.2}%",
+        overhead.rep_overhead_pct.iter().map(|p| (p * 100.0).round() / 100.0).collect::<Vec<_>>(),
+        overhead_pct
+    );
 
     eprintln!("running the instrumented train → publish → serve loop...");
     let snapshot = full_loop_snapshot(quick);
@@ -232,9 +277,11 @@ fn main() {
     let mut out = String::from("{\n");
     out.push_str(
         "  \"description\": \"ham-telemetry cost and coverage: online serve p50 measured with a disabled vs \
-         fully enabled telemetry handle (paired round-robin, best-of per arm; counters, latency histograms, \
-         stage spans and the flight recorder all live on the enabled arm), plus the full metrics snapshot of \
-         one instrumented train->publish->serve round with kernel-dispatch tier counters joined in.\",\n",
+         fully enabled telemetry handle (arms interleaved within every rep, order alternating rep-to-rep; \
+         the gated headline is the median of the per-rep paired p50 differences, so unrelated lucky minima \
+         in the two arms cannot fabricate an overhead or a speedup; counters, latency histograms, stage \
+         spans and the flight recorder all live on the enabled arm), plus the full metrics snapshot of one \
+         instrumented train->publish->serve round with kernel-dispatch tier counters joined in.\",\n",
     );
     out.push_str(&format!(
         "  \"d\": {D},\n  \"k\": {K},\n  \"items\": {},\n  \"users\": {},\n  \"pool_threads\": {threads},\n  \
@@ -243,18 +290,27 @@ fn main() {
         scale.users,
         active_tier()
     ));
+    let p50s = |reps: &[LatencyStats]| reps.iter().map(|s| s.p50_micros).collect::<Vec<_>>();
+    let median_p50 = |reps: &[LatencyStats]| median(&reps.iter().map(|s| s.p50_micros as f64).collect::<Vec<_>>());
+    let median_p99 = |reps: &[LatencyStats]| median(&reps.iter().map(|s| s.p99_micros as f64).collect::<Vec<_>>());
     out.push_str(&format!(
         "  \"serve_overhead\": {{\"reps\": {}, \"requests_per_rep\": {}, \
-         \"p50_off_micros\": {}, \"p50_on_micros\": {}, \"p99_off_micros\": {}, \"p99_on_micros\": {}, \
-         \"p50_overhead_pct\": {:.2}, \"within_2pct\": {}}},\n",
+         \"rep_p50_off_micros\": {:?}, \"rep_p50_on_micros\": {:?}, \
+         \"median_p50_off_micros\": {:.1}, \"median_p50_on_micros\": {:.1}, \
+         \"median_p99_off_micros\": {:.1}, \"median_p99_on_micros\": {:.1}, \
+         \"rep_paired_overhead_pct\": [{}], \
+         \"median_paired_overhead_pct\": {:.2}, \"within_2pct\": {}}},\n",
         scale.reps,
         scale.clients * scale.requests_per_client,
-        off.p50_micros,
-        on.p50_micros,
-        off.p99_micros,
-        on.p99_micros,
+        p50s(&overhead.rep_off),
+        p50s(&overhead.rep_on),
+        median_p50(&overhead.rep_off),
+        median_p50(&overhead.rep_on),
+        median_p99(&overhead.rep_off),
+        median_p99(&overhead.rep_on),
+        overhead.rep_overhead_pct.iter().map(|p| format!("{p:.2}")).collect::<Vec<_>>().join(", "),
         overhead_pct,
-        on.p50_micros as f64 <= off.p50_micros as f64 * 1.02
+        overhead_pct <= 2.0
     ));
     out.push_str(&format!(
         "  \"full_round\": {{\"shed\": {shed}, \"publishes\": {publishes}, \

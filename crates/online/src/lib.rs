@@ -73,6 +73,7 @@
 //!     train: TrainConfig { epochs: 1, batch_size: 16, ..TrainConfig::default() },
 //!     shards: 2,
 //!     quantize_serving: false,
+//!     ivf: None,
 //!     seed: 7,
 //!     gate: ham_online::PublishGate::default(),
 //! };
@@ -95,7 +96,7 @@ use ham_data::append::AppendableDataset;
 use ham_data::batch::BatchSampler;
 use ham_data::dataset::{ItemId, SequenceDataset, UserId};
 use ham_faults::FaultInjector;
-use ham_serve::{ModelRegistry, RecommendRequest, ServingModel};
+use ham_serve::{IvfConfig, ModelRegistry, RecommendRequest, ServingModel};
 use ham_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -116,6 +117,13 @@ pub struct OnlineConfig {
     /// candidate-matrix traffic per request; results stay bit-identical to
     /// the exact path under the serving layer's recall guardrail).
     pub quantize_serving: bool,
+    /// Build an IVF cluster index over every published snapshot's catalogue
+    /// (rebuilt at each publish from the fresh embedding rows) and serve
+    /// through cluster-routed approximate retrieval. `None` falls back to
+    /// the environment (`HAM_RETRIEVAL=ivf` / `HAM_IVF_NPROBE`), which the
+    /// serving layer reads when the snapshot is frozen; the explicit config
+    /// wins over the environment when both are set.
+    pub ivf: Option<IvfConfig>,
     /// Master seed: model init, growth rows and every round's shuffle /
     /// negative stream derive from it deterministically.
     pub seed: u64,
@@ -370,7 +378,7 @@ impl OnlineTrainer {
             config.seed,
         );
         let live_dims = (state.num_users(), state.num_items());
-        let serving = freeze(checkpoint.model, config.shards, config.quantize_serving, checkpoint.round);
+        let serving = freeze(checkpoint.model, config.shards, config.quantize_serving, config.ivf, checkpoint.round);
         let metrics = OnlineMetrics::resolve(&telemetry);
         Self {
             config,
@@ -506,9 +514,9 @@ impl OnlineTrainer {
         if instances_trained > 0 || round == 1 {
             let snapshot = self.state.snapshot();
             let serving = if self.faults.corrupt_snapshot(round) {
-                freeze_corrupted(snapshot, self.config.shards, self.config.quantize_serving, round)
+                freeze_corrupted(snapshot, self.config.shards, self.config.quantize_serving, self.config.ivf, round)
             } else {
-                freeze(snapshot, self.config.shards, self.config.quantize_serving, round)
+                freeze(snapshot, self.config.shards, self.config.quantize_serving, self.config.ivf, round)
             };
             let accepted = if gate.shadow_eval && round > 1 && probes.len() >= gate.min_probes.max(1) {
                 let eval = shadow_evaluate(&self.registry.current().model, &serving, &probes, gate.probe_k);
@@ -646,13 +654,13 @@ fn shadow_evaluate(
 /// Freezes a model snapshot into a named, sharded serving snapshot. Takes
 /// the snapshot by value: it is already an owned copy, so publishing must
 /// not memcpy the embedding tables a second time.
-fn freeze(model: HamModel, shards: usize, quantize: bool, round: u64) -> ServingModel {
+fn freeze(model: HamModel, shards: usize, quantize: bool, ivf: Option<IvfConfig>, round: u64) -> ServingModel {
     let serving = ServingModel::from_scorer(&format!("ham-online-r{round}"), Arc::new(model), shards.max(1))
         .expect("HAM models always expose a linear head");
-    if quantize {
-        serving.with_quantized_catalog()
-    } else {
-        serving
+    let serving = if quantize { serving.with_quantized_catalog() } else { serving };
+    match ivf {
+        Some(config) => serving.with_cluster_index(&config),
+        None => serving,
     }
 }
 
@@ -661,7 +669,13 @@ fn freeze(model: HamModel, shards: usize, quantize: bool, round: u64) -> Serving
 /// hard on any probe set. Only reachable through the fault injector's
 /// `snapshot_corrupt=r<round>` rule — it exists so the chaos suite can
 /// prove the shadow gate keeps a regressing candidate out of the registry.
-fn freeze_corrupted(model: HamModel, shards: usize, quantize: bool, round: u64) -> ServingModel {
+fn freeze_corrupted(
+    model: HamModel,
+    shards: usize,
+    quantize: bool,
+    ivf: Option<IvfConfig>,
+    round: u64,
+) -> ServingModel {
     let candidates = model.candidate_item_embeddings().clone();
     let model = Arc::new(model);
     let serving = ServingModel::from_parts(
@@ -670,10 +684,10 @@ fn freeze_corrupted(model: HamModel, shards: usize, quantize: bool, round: u64) 
         shards.max(1),
         move |user, history| model.query_vector(user, history).iter().map(|q| -q).collect(),
     );
-    if quantize {
-        serving.with_quantized_catalog()
-    } else {
-        serving
+    let serving = if quantize { serving.with_quantized_catalog() } else { serving };
+    match ivf {
+        Some(config) => serving.with_cluster_index(&config),
+        None => serving,
     }
 }
 

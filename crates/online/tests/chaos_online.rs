@@ -25,6 +25,7 @@ fn config(seed: u64) -> OnlineConfig {
         train: TrainConfig { epochs: 2, batch_size: 32, ..TrainConfig::default() },
         shards: 2,
         quantize_serving: false,
+        ivf: None,
         seed,
         gate: PublishGate {
             // Half the catalogue as the hit cutoff and zero tolerance: the

@@ -30,7 +30,7 @@
 //! injected single-shard fault, a response is either bit-identical to the
 //! exact path or explicitly flagged degraded.
 
-use crate::shard::{clear_seen, mark_seen, merge_top_k, ScoredItem, ShardedCatalog};
+use crate::shard::{clear_seen, mark_seen, merge_top_k, ScoredItem, ShardBlock, ShardedCatalog};
 use ham_data::dataset::ItemId;
 use ham_faults::FaultInjector;
 use ham_tensor::{Matrix, QuantizedQuery};
@@ -121,8 +121,9 @@ enum SlotState {
     /// Task not finished (yet, or ever — the batch stops waiting at the
     /// deadline regardless).
     Pending,
-    /// Scored block + scoring wall time in microseconds.
-    Scores(Matrix, u64),
+    /// Scored block (dense, or pre-ranked on IVF catalogues) + scoring wall
+    /// time in microseconds.
+    Scores(ShardBlock, u64),
     /// The task panicked (injected or organic); the shard is dropped.
     Panicked,
     /// The task observed cancellation and skipped its work.
@@ -233,16 +234,26 @@ pub(crate) fn score_bounded(
     let qqueries: Option<Arc<Vec<QuantizedQuery>>> =
         quantized.then(|| Arc::new((0..b).map(|i| QuantizedQuery::quantize(queries.row(i))).collect()));
     let queries = Arc::new(queries);
+    // Shard tasks are 'static closures, so the per-request ranking inputs the
+    // IVF in-task path needs — the pre-selection widths and owned copies of
+    // the seen histories — ride along behind Arcs (O(total history) copied
+    // once per batch; the dense path ignores them).
+    let select_ks: Arc<Vec<usize>> =
+        Arc::new(ks.iter().map(|&k| if quantized { k.saturating_mul(2) } else { k }).collect());
+    let owned_seen: Arc<Vec<Option<Vec<ItemId>>>> =
+        Arc::new(seen_items.iter().map(|items| items.map(<[ItemId]>::to_vec)).collect());
     let board = Arc::new(SlotBoard::new(shards_total));
     for shard in 0..shards_total {
         if catalog.shards()[shard].is_empty() {
             // An empty shard answers vacuously — no task, no fault surface.
-            board.fill(shard, SlotState::Scores(Matrix::zeros(b, 0), 0));
+            board.fill(shard, SlotState::Scores(ShardBlock::Dense(Matrix::zeros(b, 0)), 0));
             continue;
         }
         let catalog = Arc::clone(catalog);
         let queries = Arc::clone(&queries);
         let qqueries = qqueries.clone();
+        let select_ks = Arc::clone(&select_ks);
+        let owned_seen = Arc::clone(&owned_seen);
         let board = Arc::clone(&board);
         let faults = faults.clone();
         executor.submit(Box::new(move || {
@@ -256,6 +267,8 @@ pub(crate) fn score_bounded(
                     shard,
                     &queries,
                     qqueries.as_deref().map(Vec::as_slice),
+                    &select_ks,
+                    &owned_seen,
                     &faults,
                     &|| board.cancelled(),
                 )
@@ -276,7 +289,7 @@ pub(crate) fn score_bounded(
         let mut slots = board.slots.lock().expect("slot board poisoned");
         std::mem::take(&mut *slots)
     };
-    let mut survivors: Vec<(usize, Matrix)> = Vec::with_capacity(shards_total);
+    let mut survivors: Vec<(usize, ShardBlock)> = Vec::with_capacity(shards_total);
     let mut timed_out = Vec::new();
     let mut panicked = Vec::new();
     let mut shard_micros = Vec::new();
@@ -307,9 +320,16 @@ pub(crate) fn score_bounded(
             }
             None => None,
         };
-        let select_k = if quantized { ks[i].saturating_mul(2) } else { ks[i] };
-        let per_shard: Vec<Vec<ScoredItem>> =
-            survivors.iter().map(|(shard, block)| catalog.shard_top_k(*shard, block.row(i), select_k, seen)).collect();
+        let select_k = select_ks[i];
+        let per_shard: Vec<Vec<ScoredItem>> = survivors
+            .iter()
+            .map(|(shard, block)| match block {
+                ShardBlock::Dense(block) => catalog.shard_top_k(*shard, block.row(i), select_k, seen),
+                // IVF shards ranked in-task with the same select_k and seen
+                // history; the shortlist is already the shard's merge input.
+                ShardBlock::Ranked(lists) => lists[i].clone(),
+            })
+            .collect();
         let merged = merge_top_k(&per_shard, select_k);
         let ranked = if quantized {
             let rerank_started = Instant::now();

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod degrade;
+pub mod ivf;
 pub mod model;
 pub mod registry;
 pub mod request;
@@ -71,6 +72,7 @@ pub mod server;
 pub mod shard;
 pub mod trace;
 
+pub use ivf::{IvfConfig, PROBE_ALL};
 pub use model::{ServeScratch, ServingModel};
 pub use registry::{ModelRegistry, PublishedModel, RollbackError};
 pub use request::{LatencyStats, RecommendRequest, RecommendResponse};

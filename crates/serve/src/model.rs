@@ -1,5 +1,6 @@
 //! A model packaged for serving: sharded candidate catalogue + query builder.
 
+use crate::ivf::IvfConfig;
 use crate::request::RecommendRequest;
 use crate::shard::{ScoredItem, ShardedCatalog};
 use ham_core::{LinearHead, Scorer, SeenMask};
@@ -63,7 +64,7 @@ impl ServingModel {
         S: Send + Sync + 'static,
         F: for<'m> Fn(&'m S) -> Option<LinearHead<'m>> + Send + Sync + 'static,
     {
-        let catalog = Arc::new(ShardedCatalog::from_matrix(head_fn(&model)?.candidates(), num_shards));
+        let catalog = Arc::new(catalog_from_env(head_fn(&model)?.candidates(), num_shards));
         let query = Box::new(move |user: usize, history: &[ItemId]| {
             head_fn(&model).expect("model's linear head disappeared after construction").query_vector(user, history)
         });
@@ -80,9 +81,20 @@ impl ServingModel {
     ) -> Self {
         Self {
             name: name.to_string(),
-            catalog: Arc::new(ShardedCatalog::from_matrix(candidates, num_shards)),
+            catalog: Arc::new(catalog_from_env(candidates, num_shards)),
             query: Box::new(query),
         }
+    }
+
+    /// Packages a pre-built catalogue (possibly quantized and/or clustered)
+    /// with a query closure — how the benchmark sweeps re-dial `nprobe`
+    /// without rebuilding the k-means index per setting.
+    pub fn from_catalog(
+        name: &str,
+        catalog: ShardedCatalog,
+        query: impl Fn(usize, &[ItemId]) -> Vec<f32> + Send + Sync + 'static,
+    ) -> Self {
+        Self { name: name.to_string(), catalog: Arc::new(catalog), query: Box::new(query) }
     }
 
     /// Freezes an int8 snapshot of every shard and switches serving to the
@@ -98,9 +110,39 @@ impl ServingModel {
         self
     }
 
+    /// Builds the inverted-file cluster index over every shard and switches
+    /// serving to the cluster-routed IVF paths (see
+    /// [`ShardedCatalog::with_cluster_index`]). With the default
+    /// `nprobe = all` the served bits are unchanged; narrower probes trade
+    /// measured recall for sub-linear retrieval cost.
+    pub fn with_cluster_index(mut self, config: &IvfConfig) -> Self {
+        let catalog = Arc::try_unwrap(self.catalog).unwrap_or_else(|shared| (*shared).clone());
+        self.catalog = Arc::new(catalog.with_cluster_index(config));
+        self
+    }
+
+    /// Re-dials the probe width of an already-clustered catalogue (cheap —
+    /// no index rebuild).
+    pub fn with_nprobe(mut self, nprobe: usize) -> Self {
+        let catalog = Arc::try_unwrap(self.catalog).unwrap_or_else(|shared| (*shared).clone());
+        self.catalog = Arc::new(catalog.with_nprobe(nprobe));
+        self
+    }
+
     /// Whether requests take the quantized pre-selection path.
     pub fn is_quantized(&self) -> bool {
         self.catalog.is_quantized()
+    }
+
+    /// Whether requests take the cluster-routed IVF paths.
+    pub fn is_clustered(&self) -> bool {
+        self.catalog.is_clustered()
+    }
+
+    /// Clusters a request visits across all shards (0 on exact serving) —
+    /// the retrieval metadata responses report.
+    pub fn clusters_probed(&self) -> usize {
+        self.catalog.clusters_probed()
     }
 
     /// Human-readable model name (shown in benchmark reports).
@@ -148,7 +190,7 @@ impl ServingModel {
     /// [`matvec_transposed_into`]: ham_tensor::kernels::matvec_transposed_into
     pub fn recommend_with(&self, request: &RecommendRequest, scratch: &mut ServeScratch) -> Vec<ScoredItem> {
         let q = self.query_vector(request.user, &request.history);
-        let ServeScratch { scores, seen, qquery } = scratch;
+        let ServeScratch { scores, seen, qquery, route } = scratch;
         let seen_bits = if request.exclude_seen {
             seen.resize(self.catalog.num_items());
             seen.mark(&request.history);
@@ -156,10 +198,11 @@ impl ServingModel {
         } else {
             None
         };
-        let out = if self.catalog.is_quantized() {
-            self.catalog.quantized_top_k_with_buf(&q, request.k, seen_bits, scores, qquery)
-        } else {
-            self.catalog.top_k_with_buf(&q, request.k, seen_bits, scores)
+        let out = match (self.catalog.is_clustered(), self.catalog.is_quantized()) {
+            (true, true) => self.catalog.ivf_quantized_top_k_with_buf(&q, request.k, seen_bits, scores, qquery, route),
+            (true, false) => self.catalog.ivf_top_k_with_buf(&q, request.k, seen_bits, scores, route),
+            (false, true) => self.catalog.quantized_top_k_with_buf(&q, request.k, seen_bits, scores, qquery),
+            (false, false) => self.catalog.top_k_with_buf(&q, request.k, seen_bits, scores),
         };
         if request.exclude_seen {
             seen.clear(&request.history);
@@ -254,12 +297,15 @@ pub struct ServeScratch {
     /// Reusable quantized-query buffer for the quantized serving path
     /// (re-quantized in place per request — no allocation after warmup).
     qquery: QuantizedQuery,
+    /// Reusable centroid-score buffer for the cluster-routed IVF path
+    /// (grown once to the largest per-shard cluster count).
+    route: Vec<f32>,
 }
 
 impl ServeScratch {
     /// An empty scratch; buffers are grown on first use.
     pub fn new() -> Self {
-        Self { scores: Vec::new(), seen: SeenMask::new(0), qquery: QuantizedQuery::quantize(&[]) }
+        Self { scores: Vec::new(), seen: SeenMask::new(0), qquery: QuantizedQuery::quantize(&[]), route: Vec::new() }
     }
 
     /// Restores the all-clear invariant (used after a serving call panicked
@@ -272,6 +318,18 @@ impl ServeScratch {
 impl Default for ServeScratch {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Shards `w` and, when the process-wide retrieval override is armed
+/// (`HAM_RETRIEVAL=ivf`), builds the cluster index at construction — with
+/// the exact `nprobe = all` endpoint unless `HAM_IVF_NPROBE` narrows it, so
+/// the override forces the IVF *code paths* without changing served bits.
+fn catalog_from_env(w: &Matrix, num_shards: usize) -> ShardedCatalog {
+    let catalog = ShardedCatalog::from_matrix(w, num_shards);
+    match IvfConfig::from_env() {
+        Some(config) => catalog.with_cluster_index(&config),
+        None => catalog,
     }
 }
 

@@ -64,6 +64,13 @@ pub struct RecommendResponse {
     /// How many shards contributed to the ranking. Equals the model's shard
     /// count on a healthy response; smaller exactly when [`Self::degraded`].
     pub shards_answered: usize,
+    /// How many IVF clusters the request visited across all shards
+    /// (`min(nprobe, clusters)` summed per shard — deterministic per
+    /// published model, since routing picks *which* clusters, never how
+    /// many). `0` when the model serves exactly (no cluster index), so a
+    /// non-zero value is the explicit "this ranking came from approximate
+    /// retrieval" marker.
+    pub clusters_probed: usize,
 }
 
 impl RecommendResponse {

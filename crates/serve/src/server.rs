@@ -579,6 +579,7 @@ fn serve_batch(
             service_micros,
             degraded: meta.degraded,
             shards_answered: meta.shards_answered,
+            clusters_probed: published.model.clusters_probed(),
         }));
     }
 }

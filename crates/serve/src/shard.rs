@@ -40,11 +40,12 @@
 //! are integer-accumulated and therefore bit-identical across tiers and
 //! shard counts by construction.
 
+use crate::ivf::{ClusterIndex, IvfConfig, PROBE_ALL};
 use crate::trace::StageTrace;
 use ham_data::dataset::ItemId;
 use ham_faults::{FaultInjector, ShardFault};
 use ham_tensor::kernels;
-use ham_tensor::ops::{top_k_indices, top_k_indices_masked};
+use ham_tensor::ops::{top_k_indices, top_k_indices_masked, top_k_indices_masked_with};
 use ham_tensor::pool::ThreadPool;
 use ham_tensor::{Matrix, QuantizedMatrix, QuantizedQuery};
 use std::time::{Duration, Instant};
@@ -66,6 +67,9 @@ pub struct Shard {
     /// Int8 snapshot of `rows` for the quantized pre-selection path
     /// (`None` until [`ShardedCatalog::with_quantization`]).
     quantized: Option<QuantizedMatrix>,
+    /// Inverted-file index over `rows` for cluster-routed retrieval
+    /// (`None` until [`ShardedCatalog::with_cluster_index`]).
+    ivf: Option<ClusterIndex>,
 }
 
 impl Shard {
@@ -93,6 +97,11 @@ impl Shard {
     pub fn quantized(&self) -> Option<&QuantizedMatrix> {
         self.quantized.as_ref()
     }
+
+    /// Number of IVF clusters over this shard (0 when no index was built).
+    pub fn num_clusters(&self) -> usize {
+        self.ivf.as_ref().map_or(0, ClusterIndex::num_clusters)
+    }
 }
 
 /// The candidate matrix `W` split row-wise into shards.
@@ -101,6 +110,10 @@ pub struct ShardedCatalog {
     shards: Vec<Shard>,
     num_items: usize,
     dim: usize,
+    /// Clusters visited per shard per request on the IVF paths
+    /// ([`crate::ivf::PROBE_ALL`] = every cluster, the exact endpoint).
+    /// Ignored until a cluster index is built.
+    nprobe: usize,
 }
 
 impl ShardedCatalog {
@@ -120,20 +133,78 @@ impl ShardedCatalog {
         for s in 0..num_shards {
             let len = base + usize::from(s < extra);
             let rows = Matrix::from_vec(len, d, w.as_slice()[offset * d..(offset + len) * d].to_vec());
-            shards.push(Shard { offset, rows, quantized: None });
+            shards.push(Shard { offset, rows, quantized: None, ivf: None });
             offset += len;
         }
-        Self { shards, num_items: n, dim: d }
+        Self { shards, num_items: n, dim: d, nprobe: PROBE_ALL }
     }
 
     /// Snapshots every shard's rows as an int8 panel, enabling the quantized
     /// pre-selection path. The f32 rows stay authoritative — the exact
-    /// re-rank and the f32 serving paths keep reading them.
+    /// re-rank and the f32 serving paths keep reading them. A cluster index
+    /// built earlier gets its panels quantized too, so the IVF and quantized
+    /// tiers compose in either construction order.
     pub fn with_quantization(mut self) -> Self {
         for shard in &mut self.shards {
             shard.quantized = Some(QuantizedMatrix::quantize(&shard.rows));
+            if let Some(ivf) = &mut shard.ivf {
+                ivf.quantize_panels();
+            }
         }
         self
+    }
+
+    /// Builds a per-shard inverted-file index ([`ClusterIndex`]) with the
+    /// deterministic seeded k-means and switches serving to the
+    /// cluster-routed IVF paths, visiting `config.nprobe` clusters per shard
+    /// per request. With `nprobe = all` (the [`IvfConfig::auto`] default)
+    /// results stay bit-identical to the exact paths; narrower probes trade
+    /// measured recall for sub-linear scan cost.
+    pub fn with_cluster_index(mut self, config: &IvfConfig) -> Self {
+        for shard in &mut self.shards {
+            let mut index = ClusterIndex::build(&shard.rows, config, shard.offset as u64);
+            if shard.quantized.is_some() {
+                index.quantize_panels();
+            }
+            shard.ivf = Some(index);
+        }
+        self.nprobe = config.nprobe.max(1);
+        self
+    }
+
+    /// Re-dials the probe width on an already-built index (cheap — no
+    /// rebuild). No-op semantics aside, serving with `nprobe = all` is the
+    /// verified exact endpoint.
+    pub fn with_nprobe(mut self, nprobe: usize) -> Self {
+        self.nprobe = nprobe.max(1);
+        self
+    }
+
+    /// Clusters visited per shard per request on the IVF paths.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Whether every shard carries a cluster index (serving then routes
+    /// through the IVF paths).
+    pub fn is_clustered(&self) -> bool {
+        self.shards.iter().all(|s| s.ivf.is_some())
+    }
+
+    /// Total (non-empty) clusters across shards, 0 when unclustered.
+    pub fn num_clusters(&self) -> usize {
+        self.shards.iter().map(Shard::num_clusters).sum()
+    }
+
+    /// Clusters a request visits across all shards: `min(nprobe, clusters)`
+    /// summed per shard. Deterministic per catalogue (routing picks *which*
+    /// clusters, never how many), so responses can report it as retrieval
+    /// metadata. 0 when the catalogue is unclustered (exact serving).
+    pub fn clusters_probed(&self) -> usize {
+        if !self.is_clustered() {
+            return 0;
+        }
+        self.shards.iter().map(|s| self.nprobe.min(s.num_clusters())).sum()
     }
 
     /// Whether the shards carry int8 panels ([`Self::with_quantization`]).
@@ -198,14 +269,25 @@ impl ShardedCatalog {
     /// Returns `None` when `cancelled` turned true during an injected delay:
     /// the batch already gave up on this shard, so the remaining sleep and
     /// the scoring work are skipped to free the executor worker quickly.
+    ///
+    /// On a clustered catalogue the shard routes, scores and **ranks**
+    /// in-task ([`ShardBlock::Ranked`]): the coordinator has no dense block
+    /// to rank unvisited rows from, so the per-request shortlists (to
+    /// `select_ks[i]`, seen items masked via `seen_items[i]`) come back
+    /// pre-built — computed with the very same routing GEMV, panel kernels
+    /// and fused mask+select as the unbounded IVF paths, so an undegraded
+    /// bounded response stays bit-identical to the classic one.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn score_shard_block_faulted(
         &self,
         shard: usize,
         queries: &Matrix,
         qqueries: Option<&[QuantizedQuery]>,
+        select_ks: &[usize],
+        seen_items: &[Option<Vec<ItemId>>],
         faults: &FaultInjector,
         cancelled: &dyn Fn() -> bool,
-    ) -> Option<Matrix> {
+    ) -> Option<ShardBlock> {
         match faults.shard_fault(shard) {
             Some(ShardFault::Delay(delay)) => {
                 // Sleep in small slices, checking for cancellation between
@@ -231,7 +313,12 @@ impl ShardedCatalog {
         }
         let b = queries.rows();
         let s = &self.shards[shard];
-        Some(match qqueries {
+        if s.ivf.is_some() {
+            return Some(ShardBlock::Ranked(
+                self.ivf_rank_shard_in_task(shard, queries, qqueries, select_ks, seen_items),
+            ));
+        }
+        Some(ShardBlock::Dense(match qqueries {
             Some(qq) => {
                 let panel = s.quantized.as_ref().expect("quantized scoring on an unquantized catalogue");
                 let mut block = Matrix::zeros(b, panel.rows());
@@ -244,7 +331,100 @@ impl ShardedCatalog {
             }
             None if b == 1 => Matrix::from_vec(1, s.len(), s.rows.matvec_transposed(queries.row(0))),
             None => queries.matmul_transposed(&s.rows),
-        })
+        }))
+    }
+
+    /// The clustered half of [`Self::score_shard_block_faulted`]: routes,
+    /// scores and ranks one shard's batch entirely inside the bulkhead task.
+    /// Kernel choice follows the batch size exactly like the dense path —
+    /// per-cluster GEMV for a batch of one (matching the solo IVF path's
+    /// bits), per-cluster packed GEMM otherwise (matching the batched IVF
+    /// path's bits).
+    fn ivf_rank_shard_in_task(
+        &self,
+        shard: usize,
+        queries: &Matrix,
+        qqueries: Option<&[QuantizedQuery]>,
+        select_ks: &[usize],
+        seen_items: &[Option<Vec<ItemId>>],
+    ) -> Vec<Vec<ScoredItem>> {
+        let b = queries.rows();
+        let s = &self.shards[shard];
+        let index = s.ivf.as_ref().expect("ivf_rank_shard_in_task on an unclustered shard");
+        let c = index.num_clusters();
+        if c == 0 {
+            return vec![Vec::new(); b];
+        }
+        let probe = self.nprobe.min(c);
+        let mut union = vec![false; c];
+        let visited: Vec<Vec<usize>> = (0..b)
+            .map(|i| {
+                let route = index.centroids().matvec_transposed(queries.row(i));
+                let v = top_k_indices(&route, probe);
+                for &j in &v {
+                    union[j] = true;
+                }
+                v
+            })
+            .collect();
+        let blocks: Vec<Option<Matrix>> = (0..c)
+            .map(|j| {
+                if !union[j] {
+                    return None;
+                }
+                Some(match qqueries {
+                    Some(qq) => {
+                        let panel = index.qpanel(j);
+                        let mut block = Matrix::zeros(b, panel.rows());
+                        if b == 1 {
+                            kernels::quantized_matvec_into(panel, &qq[0], block.row_mut(0));
+                        } else {
+                            kernels::quantized_matmul_transposed_into(qq, panel, &mut block);
+                        }
+                        block
+                    }
+                    None if b == 1 => Matrix::from_vec(
+                        1,
+                        index.cluster_ids(j).len(),
+                        index.panel(j).matvec_transposed(queries.row(0)),
+                    ),
+                    None => queries.matmul_transposed(index.panel(j)),
+                })
+            })
+            .collect();
+        // Shard-local seen bitmap, marked and cleared per request in
+        // O(history ∩ shard).
+        let mut local_seen = vec![false; s.len()];
+        let mark = |bits: &mut [bool], items: &[ItemId], value: bool| {
+            for &item in items {
+                if item >= s.offset && item < s.offset + bits.len() {
+                    bits[item - s.offset] = value;
+                }
+            }
+        };
+        let mut out = Vec::with_capacity(b);
+        for i in 0..b {
+            let seen = seen_items[i].as_deref();
+            if let Some(items) = seen {
+                mark(&mut local_seen, items, true);
+            }
+            let mut lists = Vec::with_capacity(visited[i].len());
+            for &j in &visited[i] {
+                let block = blocks[j].as_ref().expect("visited cluster left unscored");
+                lists.push(rank_panel(
+                    s.offset,
+                    index.cluster_ids(j),
+                    block.row(i),
+                    select_ks[i],
+                    seen.is_some().then_some(local_seen.as_slice()),
+                ));
+            }
+            if let Some(items) = seen {
+                mark(&mut local_seen, items, false);
+            }
+            out.push(merge_top_k(&lists, select_ks[i]));
+        }
+        out
     }
 
     /// Ranks one shard's score slice locally: top `min(k, len)` items as
@@ -307,6 +487,9 @@ impl ShardedCatalog {
         seen: Option<&[bool]>,
         scores_buf: &mut Vec<f32>,
     ) -> Vec<ScoredItem> {
+        if self.is_clustered() {
+            return self.ivf_top_k_with_buf(query, k, seen, scores_buf, &mut Vec::new());
+        }
         let max_len = self.shards.iter().map(Shard::len).max().unwrap_or(0);
         if scores_buf.len() < max_len {
             scores_buf.resize(max_len, 0.0);
@@ -352,6 +535,9 @@ impl ShardedCatalog {
         scores_buf: &mut Vec<f32>,
         qquery: &mut QuantizedQuery,
     ) -> Vec<ScoredItem> {
+        if self.is_clustered() {
+            return self.ivf_quantized_top_k_with_buf(query, k, seen, scores_buf, qquery, &mut Vec::new());
+        }
         let pre_k = k.saturating_mul(2);
         qquery.requantize(query);
         let max_len = self.shards.iter().map(Shard::len).max().unwrap_or(0);
@@ -368,6 +554,260 @@ impl ShardedCatalog {
             .collect();
         let candidates = merge_top_k(&per_shard, pre_k);
         self.rerank_exact(candidates, query, k, seen)
+    }
+
+    /// Exact-or-approximate global top-k through the cluster-routed IVF
+    /// paths: per shard, one centroid GEMV routes to the top-`nprobe`
+    /// clusters, only those panels are scored (per-row GEMV — the same
+    /// kernel, so panel scores equal shard scores bit for bit), each panel
+    /// is ranked through the fused mask+select with the panel→global id
+    /// translation, and the per-cluster shortlists run through the usual
+    /// k-way merge. With `nprobe = all` this is bit-identical — ids, order,
+    /// scores — to [`Self::top_k_with_buf`] (pinned by the serving suite).
+    ///
+    /// `route_buf` is the reusable centroid-score buffer (grown once to the
+    /// largest per-shard cluster count), so a serving loop holding a scratch
+    /// performs no score allocation per request.
+    ///
+    /// # Panics
+    /// Panics if no cluster index was built ([`Self::with_cluster_index`]).
+    pub fn ivf_top_k_with_buf(
+        &self,
+        query: &[f32],
+        k: usize,
+        seen: Option<&[bool]>,
+        scores_buf: &mut Vec<f32>,
+        route_buf: &mut Vec<f32>,
+    ) -> Vec<ScoredItem> {
+        self.grow_ivf_bufs(scores_buf, route_buf);
+        let per_shard: Vec<Vec<ScoredItem>> = (0..self.shards.len())
+            .map(|s| self.ivf_shard_candidates(s, query, k, seen, scores_buf, route_buf, None))
+            .collect();
+        merge_top_k(&per_shard, k)
+    }
+
+    /// The quantized composition of the IVF path: routing and cluster
+    /// selection as in [`Self::ivf_top_k_with_buf`], but each visited panel
+    /// is scored through its int8 snapshot pre-selecting the quantized
+    /// top-`2k`, and the merged candidates get the **exact f32 re-rank** —
+    /// so the int8 path becomes sub-linear too, with the same recall
+    /// guardrail semantics as shard-level quantized serving.
+    ///
+    /// # Panics
+    /// Panics if the catalogue was not both quantized and clustered.
+    pub fn ivf_quantized_top_k_with_buf(
+        &self,
+        query: &[f32],
+        k: usize,
+        seen: Option<&[bool]>,
+        scores_buf: &mut Vec<f32>,
+        qquery: &mut QuantizedQuery,
+        route_buf: &mut Vec<f32>,
+    ) -> Vec<ScoredItem> {
+        let pre_k = k.saturating_mul(2);
+        qquery.requantize(query);
+        self.grow_ivf_bufs(scores_buf, route_buf);
+        let per_shard: Vec<Vec<ScoredItem>> = (0..self.shards.len())
+            .map(|s| self.ivf_shard_candidates(s, query, pre_k, seen, scores_buf, route_buf, Some(qquery)))
+            .collect();
+        let candidates = merge_top_k(&per_shard, pre_k);
+        self.rerank_exact(candidates, query, k, seen)
+    }
+
+    /// Grows the score and routing buffers to the largest panel / cluster
+    /// count across shards (once; subsequent calls are no-ops).
+    fn grow_ivf_bufs(&self, scores_buf: &mut Vec<f32>, route_buf: &mut Vec<f32>) {
+        let max_panel = self.shards.iter().filter_map(|s| s.ivf.as_ref()).map(ClusterIndex::max_panel_len).max();
+        let max_clusters = self.shards.iter().map(Shard::num_clusters).max().unwrap_or(0);
+        if let Some(max_panel) = max_panel {
+            if scores_buf.len() < max_panel {
+                scores_buf.resize(max_panel, 0.0);
+            }
+        }
+        if route_buf.len() < max_clusters {
+            route_buf.resize(max_clusters, 0.0);
+        }
+    }
+
+    /// One shard's IVF shortlist for one query: route, visit the top-`nprobe`
+    /// clusters, rank each visited panel to `select_k` (through the int8
+    /// panel when `qquery` is given), and merge the per-cluster lists into
+    /// the shard's top-`select_k`. Masked items participate at `-inf` through
+    /// the panel-local→global id translation, so tie-breaks and degenerate
+    /// padding match the shard-level fused mask+select exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn ivf_shard_candidates(
+        &self,
+        s: usize,
+        query: &[f32],
+        select_k: usize,
+        seen: Option<&[bool]>,
+        scores_buf: &mut [f32],
+        route_buf: &mut [f32],
+        qquery: Option<&QuantizedQuery>,
+    ) -> Vec<ScoredItem> {
+        let shard = &self.shards[s];
+        let index = shard.ivf.as_ref().expect("IVF serving on a catalogue without a cluster index");
+        let c = index.num_clusters();
+        if c == 0 {
+            return Vec::new();
+        }
+        let route = &mut route_buf[..c];
+        index.centroids().matvec_transposed_into(query, route);
+        let visited = top_k_indices(route, self.nprobe.min(c));
+        let local_seen = seen.map(|bits| &bits[shard.offset..shard.offset + shard.len()]);
+        let mut lists = Vec::with_capacity(visited.len());
+        for j in visited {
+            let ids = index.cluster_ids(j);
+            let scores = &mut scores_buf[..ids.len()];
+            match qquery {
+                Some(qq) => kernels::quantized_matvec_into(index.qpanel(j), qq, scores),
+                None => index.panel(j).matvec_transposed_into(query, scores),
+            }
+            lists.push(rank_panel(shard.offset, ids, scores, select_k, local_seen));
+        }
+        merge_top_k(&lists, select_k)
+    }
+
+    /// The batched IVF path shared by [`Self::top_k_batch_traced`] and
+    /// [`Self::quantized_top_k_batch_traced`] on clustered catalogues: per
+    /// shard, every request routes with its own centroid GEMV (the same
+    /// kernel and bits as the solo path — batching never changes *which*
+    /// clusters a request visits), then the union of visited clusters is
+    /// scored with one packed-panel GEMM per cluster over the whole batch.
+    /// Panel GEMM bits equal the shard GEMM bits row for row (ascending-`k`
+    /// accumulation is grouping-independent), so at `nprobe = all` this is
+    /// bit-identical to the dense batched paths.
+    fn ivf_top_k_batch_traced(
+        &self,
+        queries: &Matrix,
+        ks: &[usize],
+        seen_items: &[Option<&[ItemId]>],
+        pool: Option<&ThreadPool>,
+        trace: Option<&mut StageTrace>,
+        quantized: bool,
+    ) -> Vec<Vec<ScoredItem>> {
+        let b = queries.rows();
+        let qqueries: Option<Vec<QuantizedQuery>> =
+            quantized.then(|| (0..b).map(|i| QuantizedQuery::quantize(queries.row(i))).collect());
+        let mut blocks: Vec<Option<(IvfShardBlock, u64)>> = self.shards.iter().map(|_| None).collect();
+        let parallel_useful = self.shards.iter().filter(|s| !s.is_empty()).count() > 1;
+        let score_shard = |s: usize| {
+            let started = Instant::now();
+            let block = self.ivf_score_shard_batch(s, queries, qqueries.as_deref());
+            (block, started.elapsed().as_micros() as u64)
+        };
+        match pool {
+            Some(pool) if parallel_useful => pool.scope(|scope| {
+                for (s, block) in blocks.iter_mut().enumerate() {
+                    let score_shard = &score_shard;
+                    scope.spawn(move || *block = Some(score_shard(s)));
+                }
+            }),
+            _ => {
+                for (s, block) in blocks.iter_mut().enumerate() {
+                    *block = Some(score_shard(s));
+                }
+            }
+        }
+        let mut shard_micros = Vec::new();
+        let blocks: Vec<IvfShardBlock> = blocks
+            .into_iter()
+            .enumerate()
+            .map(|(s, b)| {
+                let (block, micros) = b.expect("shard scoring task never ran");
+                shard_micros.push((s, micros));
+                block
+            })
+            .collect();
+        let rank_started = trace.is_some().then(Instant::now);
+        let mut rerank_micros = 0u64;
+        let mut scratch = vec![false; self.num_items];
+        let mut out = Vec::with_capacity(b);
+        for i in 0..b {
+            let seen = match seen_items[i] {
+                Some(items) => {
+                    mark_seen(&mut scratch, items);
+                    Some(scratch.as_slice())
+                }
+                None => None,
+            };
+            let select_k = if quantized { ks[i].saturating_mul(2) } else { ks[i] };
+            // Flat merge over every visited cluster of every shard: the merge
+            // comparator is a total order, so this equals the hierarchical
+            // per-shard merge bit for bit.
+            let mut lists = Vec::new();
+            for (s, shard) in self.shards.iter().enumerate() {
+                let Some(index) = shard.ivf.as_ref() else { continue };
+                let local_seen = seen.map(|bits| &bits[shard.offset..shard.offset + shard.len()]);
+                for &j in &blocks[s].visited[i] {
+                    let block = blocks[s].blocks[j].as_ref().expect("visited cluster left unscored");
+                    lists.push(rank_panel(shard.offset, index.cluster_ids(j), block.row(i), select_k, local_seen));
+                }
+            }
+            let candidates = merge_top_k(&lists, select_k);
+            let merged = if quantized {
+                let rerank_started = trace.is_some().then(Instant::now);
+                let ranked = self.rerank_exact(candidates, queries.row(i), ks[i], seen);
+                if let Some(at) = rerank_started {
+                    rerank_micros += at.elapsed().as_micros() as u64;
+                }
+                ranked
+            } else {
+                candidates
+            };
+            if let Some(items) = seen_items[i] {
+                clear_seen(&mut scratch, items);
+            }
+            out.push(merged);
+        }
+        if let Some(trace) = trace {
+            trace.shard_score_micros = shard_micros;
+            let rank_micros = rank_started.map_or(0, |at| at.elapsed().as_micros() as u64);
+            trace.merge_micros = rank_micros.saturating_sub(rerank_micros);
+            trace.rerank_micros = rerank_micros;
+        }
+        out
+    }
+
+    /// One shard's batched IVF scoring: per-request routing GEMVs, then one
+    /// panel GEMM per cluster in the union of visited clusters.
+    fn ivf_score_shard_batch(&self, s: usize, queries: &Matrix, qqueries: Option<&[QuantizedQuery]>) -> IvfShardBlock {
+        let b = queries.rows();
+        let index = self.shards[s].ivf.as_ref().expect("IVF serving on a catalogue without a cluster index");
+        let c = index.num_clusters();
+        if c == 0 {
+            return IvfShardBlock { visited: vec![Vec::new(); b], blocks: Vec::new() };
+        }
+        let probe = self.nprobe.min(c);
+        let mut union = vec![false; c];
+        let visited: Vec<Vec<usize>> = (0..b)
+            .map(|i| {
+                let route = index.centroids().matvec_transposed(queries.row(i));
+                let v = top_k_indices(&route, probe);
+                for &j in &v {
+                    union[j] = true;
+                }
+                v
+            })
+            .collect();
+        let blocks: Vec<Option<Matrix>> = (0..c)
+            .map(|j| {
+                if !union[j] {
+                    return None;
+                }
+                Some(match qqueries {
+                    Some(qq) => {
+                        let panel = index.qpanel(j);
+                        let mut block = Matrix::zeros(b, panel.rows());
+                        kernels::quantized_matmul_transposed_into(qq, panel, &mut block);
+                        block
+                    }
+                    None => queries.matmul_transposed(index.panel(j)),
+                })
+            })
+            .collect();
+        IvfShardBlock { visited, blocks }
     }
 
     /// Re-scores `candidates` with the exact f32 per-row dot (the same
@@ -444,6 +884,9 @@ impl ShardedCatalog {
         let b = queries.rows();
         assert_eq!(ks.len(), b, "quantized_top_k_batch: {} k values for {} queries", ks.len(), b);
         assert_eq!(seen_items.len(), b, "quantized_top_k_batch: {} seen lists for {} queries", seen_items.len(), b);
+        if self.is_clustered() {
+            return self.ivf_top_k_batch_traced(queries, ks, seen_items, pool, trace, true);
+        }
         let qqueries: Vec<QuantizedQuery> = (0..b).map(|i| QuantizedQuery::quantize(queries.row(i))).collect();
         let mut blocks: Vec<Option<(Matrix, u64)>> = self.shards.iter().map(|_| None).collect();
         let parallel_useful = self.shards.iter().filter(|s| !s.is_empty()).count() > 1;
@@ -549,6 +992,9 @@ impl ShardedCatalog {
         let b = queries.rows();
         assert_eq!(ks.len(), b, "top_k_batch: {} k values for {} queries", ks.len(), b);
         assert_eq!(seen_items.len(), b, "top_k_batch: {} seen lists for {} queries", seen_items.len(), b);
+        if self.is_clustered() {
+            return self.ivf_top_k_batch_traced(queries, ks, seen_items, pool, trace, false);
+        }
         let mut blocks: Vec<Option<(Matrix, u64)>> = self.shards.iter().map(|_| None).collect();
         // A single (or single non-empty) shard has nothing to overlap — skip
         // the pool handoff and score inline on the caller.
@@ -613,6 +1059,56 @@ impl ShardedCatalog {
         }
         out
     }
+}
+
+/// What one shard task hands back to the deadline-bounded coordinator
+/// (`degrade::score_bounded`).
+pub(crate) enum ShardBlock {
+    /// Dense scores for every shard row (`b × shard_len`) — the exact and
+    /// quantized dense paths; the coordinator ranks it per request.
+    Dense(Matrix),
+    /// Per-request pre-ranked shortlists — the IVF paths route, score and
+    /// rank inside the task (the coordinator has no dense block to rank
+    /// unvisited rows from).
+    Ranked(Vec<Vec<ScoredItem>>),
+}
+
+/// One shard's batched IVF scoring result: the clusters each request visits,
+/// and a scored block for every cluster in the union of visited sets.
+struct IvfShardBlock {
+    /// `visited[i]`: cluster ids request row `i` routes to.
+    visited: Vec<Vec<usize>>,
+    /// `blocks[j]`: the `b × panel_len` score block of cluster `j`, `None`
+    /// when no request in the batch visits it.
+    blocks: Vec<Option<Matrix>>,
+}
+
+/// Ranks one cluster panel's score slice to its top `select_k`: the fused
+/// mask+select with the panel-local → shard-local id translation (`ids`),
+/// emitting global item ids (`offset + shard-local id`). `local_seen` is the
+/// seen bitmap in *shard-local* index space (the global bitmap sliced to the
+/// shard's range, or a task-local bitmap on the bounded path). Masked items
+/// participate at `-inf`, and since each panel keeps its ids ascending, the
+/// panel-index tie-break reproduces the global-id tie-break exactly.
+fn rank_panel(
+    offset: usize,
+    ids: &[usize],
+    scores: &[f32],
+    select_k: usize,
+    local_seen: Option<&[bool]>,
+) -> Vec<ScoredItem> {
+    let local = match local_seen {
+        Some(bits) => top_k_indices_masked_with(scores, select_k, |p| bits[ids[p]]),
+        None => top_k_indices(scores, select_k),
+    };
+    local
+        .into_iter()
+        .map(|p| {
+            let masked = local_seen.is_some_and(|bits| bits[ids[p]]);
+            let score = if masked { f32::NEG_INFINITY } else { scores[p] };
+            ScoredItem { item: offset + ids[p], score }
+        })
+        .collect()
 }
 
 /// Marks every in-catalogue id of `items` in the bitmap (O(history)).

@@ -1,0 +1,246 @@
+//! Seeded, deterministic k-means over embedding rows — the index-build half
+//! of the inverted-file (IVF) retrieval tier.
+//!
+//! [`kmeans_rows`] partitions the rows of an item embedding matrix into `k`
+//! clusters with Lloyd's algorithm. The assignment step is the catalogue-side
+//! GEMM this workspace already optimises — `rows · centroidsᵀ` through the
+//! tiered kernels in [`crate::kernels`] — so index builds ride the same
+//! AVX2/AVX-512 paths as serving and training.
+//!
+//! Determinism contract: the entire build is a pure function of
+//! `(rows, k, max_iters, seed)` *and the active kernel tier*. Initial
+//! centroids are sampled with a splitmix64-driven partial Fisher–Yates (no
+//! global RNG), the argmax tie-break is the lower cluster id, and the
+//! centroid update accumulates rows in ascending row order, so two builds
+//! with the same inputs produce bit-identical centroids and assignments
+//! regardless of how many threads the process has — the kernels themselves
+//! never fan out; only callers do. Bits may differ *across* kernel tiers
+//! (different accumulation orders), matching the workspace-wide convention
+//! for every other GEMM consumer.
+
+use crate::kernels;
+use crate::Matrix;
+
+/// The output of [`kmeans_rows`]: `k × d` centroids, one cluster id per input
+/// row, and the number of Lloyd iterations actually executed.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centres, one per row; `clamped_k × d` where `clamped_k =
+    /// k.clamp(1, n)` (empty input yields zero rows).
+    pub centroids: Matrix,
+    /// `assignments[i]` is the cluster id of input row `i`, in
+    /// `0..centroids.rows()`.
+    pub assignments: Vec<usize>,
+    /// Lloyd iterations executed before convergence or the `max_iters` cap.
+    pub iterations: usize,
+}
+
+/// SplitMix64 step: a tiny, high-quality seeded generator (the PCG paper's
+/// recommended seeder), enough to drive the Fisher–Yates init without
+/// touching the workspace RNG plumbing.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Picks `k` distinct indices out of `0..n` with a seeded partial
+/// Fisher–Yates shuffle.
+fn sample_distinct(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed ^ 0x51AF_D822_9C39_71C4;
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + (splitmix64(&mut state) % (n - i) as u64) as usize;
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Seeded Lloyd k-means over the rows of `rows`.
+///
+/// `k` is clamped to `1..=n`; an empty input returns zero centroids and no
+/// assignments. Each iteration scores every row against every centroid with
+/// one `rows · centroidsᵀ` GEMM and assigns row `i` to the cluster maximising
+/// `dot(x_i, c_j) − ½‖c_j‖²` (the nearest centroid in squared Euclidean
+/// distance, since `‖x_i‖²` is constant per row), ties to the lower cluster
+/// id. Clusters that end an iteration empty keep their previous centroid —
+/// they are never re-seeded, which keeps the build deterministic and lets the
+/// index layer drop them. Iteration stops when assignments stop changing or
+/// after `max_iters` rounds.
+pub fn kmeans_rows(rows: &Matrix, k: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    let (n, d) = rows.shape();
+    if n == 0 {
+        return KMeansResult { centroids: Matrix::zeros(0, d), assignments: Vec::new(), iterations: 0 };
+    }
+    let k = k.clamp(1, n);
+    let mut centroids = rows.gather_rows(&sample_distinct(n, k, seed));
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+
+    let mut half_norms = vec![0.0f32; k];
+    for _ in 0..max_iters {
+        iterations += 1;
+        for (j, hn) in half_norms.iter_mut().enumerate() {
+            let c = centroids.row(j);
+            *hn = 0.5 * kernels::dot(c, c);
+        }
+        // The assignment GEMM: n×k scores through the tiered kernel layer.
+        let scores = rows.matmul_transposed(&centroids);
+        let mut changed = false;
+        for (i, slot) in assignments.iter_mut().enumerate() {
+            let row_scores = scores.row(i);
+            let mut best = 0usize;
+            let mut best_score = row_scores[0] - half_norms[0];
+            for j in 1..k {
+                let s = row_scores[j] - half_norms[j];
+                // Strict `>` keeps the lower cluster id on ties (NaN never
+                // displaces a real score either).
+                if s > best_score {
+                    best = j;
+                    best_score = s;
+                }
+            }
+            if *slot != best {
+                *slot = best;
+                changed = true;
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+        // Centroid update, accumulated in ascending row order so the f32 sums
+        // are reproducible. Empty clusters keep their previous centre.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for (i, &c) in assignments.iter().enumerate() {
+            let src = rows.row(i);
+            let dst = sums.row_mut(c);
+            for (acc, &v) in dst.iter_mut().zip(src) {
+                *acc += v;
+            }
+            counts[c] += 1;
+        }
+        for (j, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                let inv = 1.0 / count as f32;
+                let dst = centroids.row_mut(j);
+                for (out, &acc) in dst.iter_mut().zip(sums.row(j)) {
+                    *out = acc * inv;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    KMeansResult { centroids, assignments, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_matrix() -> Matrix {
+        // Two well-separated blobs of 8 rows each in 4-d.
+        let mut data = Vec::new();
+        for i in 0..16 {
+            let centre = if i < 8 { 10.0 } else { -10.0 };
+            for c in 0..4 {
+                data.push(centre + ((i * 7 + c * 3) % 5) as f32 * 0.1);
+            }
+        }
+        Matrix::from_vec(16, 4, data)
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical_across_runs_and_threads() {
+        let rows = blob_matrix();
+        let a = kmeans_rows(&rows, 3, 10, 42);
+        let b = kmeans_rows(&rows, 3, 10, 42);
+        assert_eq!(a.centroids.as_slice(), b.centroids.as_slice());
+        assert_eq!(a.assignments, b.assignments);
+        // The build never touches the worker pool, so running it from a
+        // different thread (or a process with a different pool size) cannot
+        // change a bit.
+        let rows2 = rows.clone();
+        let c = std::thread::spawn(move || kmeans_rows(&rows2, 3, 10, 42)).join().unwrap();
+        assert_eq!(a.centroids.as_slice(), c.centroids.as_slice());
+        assert_eq!(a.assignments, c.assignments);
+    }
+
+    #[test]
+    fn different_seeds_pick_different_initialisations() {
+        let rows = blob_matrix();
+        let a = kmeans_rows(&rows, 5, 1, 1);
+        let b = kmeans_rows(&rows, 5, 1, 2);
+        // One Lloyd step from different inits: assignments or centroids must
+        // differ for at least one seed pair on this asymmetric input.
+        assert!(a.centroids.as_slice() != b.centroids.as_slice() || a.assignments != b.assignments);
+    }
+
+    #[test]
+    fn separated_blobs_are_split_cleanly() {
+        let rows = blob_matrix();
+        let result = kmeans_rows(&rows, 2, 20, 7);
+        let first = result.assignments[0];
+        assert!(result.assignments[..8].iter().all(|&a| a == first));
+        assert!(result.assignments[8..].iter().all(|&a| a != first));
+        // Centroids land on the blob means (coordinates near ±10).
+        for j in 0..2 {
+            let mean = result.centroids.row(j).iter().sum::<f32>() / 4.0;
+            assert!(mean.abs() > 9.0, "centroid {j} mean = {mean}");
+        }
+    }
+
+    #[test]
+    fn k_is_clamped_to_row_count() {
+        let rows = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let result = kmeans_rows(&rows, 10, 5, 3);
+        assert_eq!(result.centroids.rows(), 3);
+        assert_eq!(result.assignments.len(), 3);
+        // With k = n every row gets its own cluster after convergence.
+        let mut seen = result.assignments.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 3);
+
+        let zero = kmeans_rows(&rows, 0, 5, 3);
+        assert_eq!(zero.centroids.rows(), 1);
+        assert!(zero.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_result() {
+        let rows = Matrix::zeros(0, 4);
+        let result = kmeans_rows(&rows, 4, 5, 9);
+        assert_eq!(result.centroids.rows(), 0);
+        assert!(result.assignments.is_empty());
+        assert_eq!(result.iterations, 0);
+    }
+
+    #[test]
+    fn identical_rows_leave_empty_clusters_with_stable_centroids() {
+        // All rows identical: every row scores equally against every (equal)
+        // initial centroid, the tie-break sends them all to cluster 0, and
+        // clusters 1..k keep their initial centres bit-for-bit.
+        let rows = Matrix::full(6, 3, 2.5);
+        let result = kmeans_rows(&rows, 3, 8, 11);
+        assert!(result.assignments.iter().all(|&a| a == 0));
+        for j in 0..3 {
+            assert_eq!(result.centroids.row(j), &[2.5, 2.5, 2.5]);
+        }
+    }
+
+    #[test]
+    fn max_iters_zero_returns_initial_sampling() {
+        let rows = blob_matrix();
+        let result = kmeans_rows(&rows, 2, 0, 5);
+        assert_eq!(result.iterations, 0);
+        assert_eq!(result.centroids.rows(), 2);
+        // Assignments default to cluster 0 when no iteration ran.
+        assert!(result.assignments.iter().all(|&a| a == 0));
+    }
+}

@@ -71,6 +71,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod init;
 pub mod kernels;
 pub mod linalg;
@@ -80,6 +81,7 @@ pub mod pool;
 pub mod quant;
 pub mod stats;
 
+pub use cluster::{kmeans_rows, KMeansResult};
 pub use matrix::Matrix;
 pub use ops::{sigmoid, sigmoid_scalar, softmax_in_place};
 pub use pool::Pooling;
