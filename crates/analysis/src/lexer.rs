@@ -1,0 +1,248 @@
+//! A hand-rolled line lexer for Rust source.
+//!
+//! The linter does not need a parse tree — every rule keys off tokens that
+//! are unambiguous at the lexical level (`unsafe`, `Ordering::SeqCst`,
+//! `.unwrap()`, attribute lines, marker comments). What it *does* need is to
+//! never confuse the three token channels: real code, comment text, and
+//! literal contents. A `".unwrap()"` inside a string must not trip the panic
+//! lint, and a `SAFETY:` inside a string must not satisfy the unsafe audit.
+//!
+//! [`lex`] therefore splits each physical line into:
+//!
+//! - `code` — the line with comments removed and the *contents* of string,
+//!   raw-string, char, and byte literals blanked to spaces (the delimiting
+//!   quotes are kept so token shapes survive);
+//! - `comment` — the text of any `//`/`///`/`//!` or `/* ... */` comment on
+//!   the line, with the leading `//` stripped;
+//! - `raw` — the untouched source line, for rules that must read literal
+//!   contents (e.g. the `enable = "..."` string of `#[target_feature]`).
+//!
+//! State (block-comment nesting, multi-line strings, raw-string hash counts)
+//! carries across lines, so block comments and multi-line literals are
+//! handled correctly. Lifetimes (`'a`) are distinguished from char literals
+//! (`'a'`) by a one-token lookahead.
+
+/// One physical source line, split into token channels.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The untouched source line.
+    pub raw: String,
+    /// Code with comments removed and literal contents blanked.
+    pub code: String,
+    /// Comment text on this line (leading `//` stripped; block-comment
+    /// bodies appear verbatim).
+    pub comment: String,
+}
+
+/// Lexer state carried across physical lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    /// Inside a (possibly nested) `/* ... */`; the payload is the depth.
+    Block(u32),
+    /// Inside a normal `"..."` string.
+    Str,
+    /// Inside a raw string `r##"..."##`; the payload is the hash count.
+    RawStr(u32),
+}
+
+/// Splits `source` into per-line token channels. Never fails: malformed
+/// input degrades to "everything is code", which at worst produces an extra
+/// finding for a human to look at rather than silently suppressing one.
+pub fn lex(source: &str) -> Vec<Line> {
+    let mut state = State::Code;
+    let mut out = Vec::new();
+    for raw in source.lines() {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Block(depth) => {
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        comment.push_str("/*");
+                        i += 2;
+                    } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        i += 2;
+                        if depth == 1 {
+                            state = State::Code;
+                            code.push(' ');
+                        } else {
+                            state = State::Block(depth - 1);
+                            comment.push_str("*/");
+                        }
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    let h = hashes as usize;
+                    if c == '"' && (1..=h).all(|k| chars.get(i + k) == Some(&'#')) {
+                        code.push('"');
+                        code.push_str(&" ".repeat(h));
+                        state = State::Code;
+                        i += 1 + h;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        comment.push_str(&chars[i + 2..].iter().collect::<String>());
+                        i = chars.len();
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        code.push(' ');
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        state = if let Some(h) = raw_string_hashes(&code) { State::RawStr(h) } else { State::Str };
+                        i += 1;
+                    } else if c == '\'' {
+                        i = lex_quote(&chars, i, &mut code);
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(Line { raw: raw.to_string(), code, comment });
+    }
+    out
+}
+
+/// Called with `code` ending in the just-pushed `"`. Returns `Some(hashes)`
+/// when the characters before it spell a raw-string opener (`r"`, `br#"`,
+/// ...), i.e. zero or more `#` preceded by `r`/`br` that is not the tail of
+/// an identifier.
+fn raw_string_hashes(code: &str) -> Option<u32> {
+    let before: Vec<char> = code[..code.len() - 1].chars().collect();
+    let mut j = before.len();
+    let mut hashes = 0u32;
+    while j > 0 && before[j - 1] == '#' {
+        hashes += 1;
+        j -= 1;
+    }
+    if j == 0 || before[j - 1] != 'r' {
+        return None;
+    }
+    j -= 1;
+    if j > 0 && before[j - 1] == 'b' {
+        j -= 1;
+    }
+    let prev_is_ident = j > 0 && (before[j - 1].is_alphanumeric() || before[j - 1] == '_');
+    if prev_is_ident {
+        None
+    } else {
+        Some(hashes)
+    }
+}
+
+/// Handles a `'` in code position: either a char/byte literal (contents
+/// blanked) or a lifetime (kept as-is). Returns the index to resume at.
+fn lex_quote(chars: &[char], i: usize, code: &mut String) -> usize {
+    if chars.get(i + 1) == Some(&'\\') {
+        // Escaped char literal: '\n', '\'', '\u{1F600}', ...
+        code.push('\'');
+        code.push_str("  ");
+        let mut j = i + 3; // skip the backslash and the char after it
+        while j < chars.len() && chars[j] != '\'' {
+            code.push(' ');
+            j += 1;
+        }
+        if j < chars.len() {
+            code.push('\'');
+            j += 1;
+        }
+        j
+    } else if i + 2 < chars.len() && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+        // Single-char literal: 'a', ' ', '{'.
+        code.push_str("' '");
+        i + 3
+    } else {
+        // Lifetime ('a, 'static) or stray quote: leave as code.
+        code.push('\'');
+        i + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_go_to_the_comment_channel() {
+        let lines = lex("let x = 1; // SAFETY: not really code\n");
+        assert!(!lines[0].code.contains("SAFETY"));
+        assert!(lines[0].comment.contains("SAFETY: not really code"));
+        assert!(lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_survive() {
+        let lines = lex(r#"let s = "call .unwrap() // not a comment";"#);
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert!(lines[0].comment.is_empty());
+        assert_eq!(lines[0].code.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents_including_quotes() {
+        let lines = lex("let s = r#\"has \"inner\" quotes and unsafe\"#; unsafe {}");
+        assert!(!lines[0].code.contains("inner"));
+        // The trailing real code is still visible.
+        assert!(lines[0].code.contains("unsafe {}"));
+        assert_eq!(lines[0].code.matches("unsafe").count(), 1);
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let lines = lex("a /* one\n /* two */ still comment\nend */ b");
+        assert!(lines[0].code.contains('a'));
+        assert!(!lines[1].code.contains("still"));
+        assert!(lines[1].comment.contains("still comment"));
+        assert!(lines[2].code.contains('b'));
+        assert!(!lines[2].code.contains("end"));
+    }
+
+    #[test]
+    fn lifetimes_are_code_char_literals_are_blanked() {
+        let lines = lex("fn f<'a>(x: &'a str, c: char) -> bool { c == 'x' && x.len() > 1 }");
+        assert!(lines[0].code.contains("'a"));
+        assert!(!lines[0].code.contains("'x'"));
+        assert!(lines[0].code.contains("' '"));
+    }
+
+    #[test]
+    fn escaped_char_literals_do_not_open_strings() {
+        let lines = lex(r#"let q = '\''; let s = "text";"#);
+        assert!(!lines[0].code.contains("text"));
+        assert_eq!(lines[0].code.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn multi_line_strings_stay_blanked() {
+        let lines = lex("let s = \"first\nsecond .unwrap()\";\nlet y = 2;");
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[2].code.contains("let y = 2;"));
+    }
+}

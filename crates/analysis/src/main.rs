@@ -1,0 +1,73 @@
+//! `ham-lint`: walk `crates/*/src`, run every rule, exit nonzero on
+//! findings.
+//!
+//! Usage: `ham-lint [workspace-root]` (default `.`). CI runs it as the
+//! `static-analysis` job; locally, `cargo run -p ham-analysis --bin
+//! ham-lint` from the workspace root does the same thing.
+
+#![forbid(unsafe_code)]
+
+use ham_analysis::scan::SourceFile;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let root = PathBuf::from(root);
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        eprintln!("ham-lint: no crates/ directory under {} — run from the workspace root", root.display());
+        std::process::exit(2);
+    }
+
+    let mut sources = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
+        Ok(entries) => entries.filter_map(|e| e.ok().map(|e| e.path())).filter(|p| p.is_dir()).collect(),
+        Err(err) => {
+            eprintln!("ham-lint: cannot read {}: {err}", crates_dir.display());
+            std::process::exit(2);
+        }
+    };
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut sources);
+        }
+    }
+
+    let mut files = Vec::new();
+    for path in &sources {
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        match std::fs::read_to_string(path) {
+            Ok(text) => files.push(SourceFile::parse(&rel.to_string_lossy(), &text)),
+            Err(err) => {
+                eprintln!("ham-lint: cannot read {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let findings = ham_analysis::lint_workspace_files(&files);
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("ham-lint: {} files clean", files.len());
+    } else {
+        println!("ham-lint: {} finding(s) across {} files", findings.len(), files.len());
+        std::process::exit(1);
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Workspace-level check: crate-root lint attributes.
+//!
+//! Crates that need no `unsafe` must say so irrevocably with
+//! `#![forbid(unsafe_code)]` — the compiler then rejects any future unsafe
+//! block, including ones added by well-meaning refactors. `ham-tensor`, the
+//! one crate that legitimately holds unsafe (the SIMD tiers and the pool's
+//! scope transmute), must instead carry `#![deny(unsafe_op_in_unsafe_fn)]`
+//! so every unsafe operation sits in an explicit, SAFETY-commentable block
+//! even inside `unsafe fn`.
+
+use super::Finding;
+use crate::scan::SourceFile;
+
+pub const RULE: &str = "crate-attrs";
+
+/// Crate directories (under `crates/`) that must forbid unsafe code.
+pub const FORBID_UNSAFE: &[&str] = &[
+    "analysis",
+    "autograd",
+    "baselines",
+    "bench",
+    "core",
+    "data",
+    "eval",
+    "experiments",
+    "faults",
+    "online",
+    "serve",
+    "telemetry",
+];
+
+pub fn check(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for file in files {
+        let Some(krate) = lib_rs_crate(&file.path) else { continue };
+        let has = |attr: &str| file.lines.iter().any(|l| l.code.contains(attr));
+        if FORBID_UNSAFE.contains(&krate) && !has("#![forbid(unsafe_code)]") {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: 1,
+                rule: RULE,
+                message: format!("crate `{krate}` holds no unsafe code and must declare #![forbid(unsafe_code)]"),
+            });
+        }
+        if krate == "tensor" && !has("#![deny(unsafe_op_in_unsafe_fn)]") {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: 1,
+                rule: RULE,
+                message: "ham-tensor must declare #![deny(unsafe_op_in_unsafe_fn)]".to_string(),
+            });
+        }
+    }
+}
+
+/// `Some(crate_dir)` when `path` is `.../crates/<crate_dir>/src/lib.rs`.
+fn lib_rs_crate(path: &str) -> Option<&str> {
+    let (prefix, _) = path.split_once("/src/lib.rs").or_else(|| path.split_once("src/lib.rs"))?;
+    let krate = prefix.rsplit('/').next().unwrap_or(prefix);
+    if krate.is_empty() {
+        None
+    } else {
+        Some(krate)
+    }
+}

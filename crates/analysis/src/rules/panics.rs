@@ -1,0 +1,55 @@
+//! Rule family 4: the panic-surface lint.
+//!
+//! The serving and online-learning crates are the layers where a panic
+//! reaches a customer: a worker that unwinds mid-request turns into a shed
+//! or a poisoned lock at best. Runtime code there must not `unwrap()` or
+//! `expect()` unless the site carries an `allow(panic, reason)` annotation
+//! arguing the failure is genuinely unreachable (a construction-time
+//! invariant, or startup code that runs before traffic).
+//!
+//! `#[cfg(test)]` items are exempt — tests *should* unwrap. Non-panicking
+//! relatives (`unwrap_or`, `unwrap_or_else`, `unwrap_or_default`,
+//! `expect_err` in tests) do not match.
+
+use super::{push, Finding};
+use crate::scan::{has_marker, justification, SourceFile};
+
+pub const RULE: &str = "panic-surface";
+
+pub const ALLOW: &str = "ham-lint: allow(panic";
+
+/// Crate source trees whose runtime code is customer-facing.
+const AUDITED: &[&str] = &["crates/serve/src/", "crates/online/src/"];
+
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !AUDITED.iter().any(|fragment| file.path.contains(fragment)) {
+        return;
+    }
+    for idx in 0..file.lines.len() {
+        if file.test_mask[idx] {
+            continue;
+        }
+        let code = file.lines[idx].code.as_str();
+        // `.unwrap()` is exact; `.expect(` cannot match `.expect_err(`.
+        let unwraps = code.matches(".unwrap()").count();
+        let expects = code.matches(".expect(").count();
+        if unwraps + expects == 0 {
+            continue;
+        }
+        if has_marker(&justification(&file.lines, idx), ALLOW) {
+            continue;
+        }
+        let what = match (unwraps, expects) {
+            (0, _) => "`.expect()`",
+            (_, 0) => "`.unwrap()`",
+            _ => "`.unwrap()`/`.expect()`",
+        };
+        push(
+            findings,
+            file,
+            idx,
+            RULE,
+            format!("{what} in serve/online runtime code without an allow(panic) annotation"),
+        );
+    }
+}

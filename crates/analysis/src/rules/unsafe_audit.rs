@@ -1,0 +1,112 @@
+//! Rule family 1: the unsafe audit.
+//!
+//! Three checks keep the workspace's `unsafe` surface auditable:
+//!
+//! 1. every line containing the `unsafe` keyword must be justified by a
+//!    `// SAFETY:` comment (trailing, or in the comment block directly
+//!    above — doc sections headed `# Safety` count for `unsafe fn` items);
+//! 2. every `#[target_feature(enable = ...)]` function must live in the
+//!    tier module matching the feature it enables (`avx2.rs` / `avx512.rs`)
+//!    and must not be crate-public — the only path to a tier function is the
+//!    `kernels/mod.rs` dispatcher, whose entry points are detection-guarded;
+//! 3. tier modules must stay private: `pub mod avx2`/`avx512` or a
+//!    `pub use` re-export of their items would open a detection-bypassing
+//!    path and is rejected outright.
+
+use super::{push, Finding};
+use crate::scan::{has_marker, justification, word_positions, SourceFile};
+
+pub const RULE: &str = "unsafe-audit";
+
+pub fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for idx in 0..file.lines.len() {
+        let code = file.lines[idx].code.as_str();
+
+        if !word_positions(code, "unsafe").is_empty() {
+            let just = justification(&file.lines, idx);
+            if !has_marker(&just, "SAFETY:") && !has_marker(&just, "# Safety") {
+                push(
+                    findings,
+                    file,
+                    idx,
+                    RULE,
+                    "`unsafe` without a `// SAFETY:` comment on the line or in the comment block above".to_string(),
+                );
+            }
+        }
+
+        if code.contains("#[target_feature") {
+            check_target_feature(file, idx, findings);
+        }
+
+        for tier in ["avx2", "avx512"] {
+            if code.contains(&format!("pub mod {tier}")) {
+                push(
+                    findings,
+                    file,
+                    idx,
+                    RULE,
+                    format!("tier module `{tier}` must stay private — it is only reachable through the dispatcher"),
+                );
+            }
+            if code.trim_start().starts_with("pub use") && code.contains(&format!("{tier}::")) {
+                push(
+                    findings,
+                    file,
+                    idx,
+                    RULE,
+                    format!("re-exporting from `{tier}` bypasses the dispatcher's detection guard"),
+                );
+            }
+        }
+    }
+}
+
+fn check_target_feature(file: &SourceFile, idx: usize, findings: &mut Vec<Finding>) {
+    // The enabled features live in a string literal, blanked in the code
+    // channel — read them from the raw line.
+    let raw = file.lines[idx].raw.as_str();
+    let required = if raw.contains("avx512") {
+        Some("avx512.rs")
+    } else if raw.contains("avx2") {
+        Some("avx2.rs")
+    } else {
+        None
+    };
+    match required {
+        Some(module) if !file.path.ends_with(module) => push(
+            findings,
+            file,
+            idx,
+            RULE,
+            format!("#[target_feature] enabling this tier belongs in `{module}`, not `{}`", file.path),
+        ),
+        None => push(
+            findings,
+            file,
+            idx,
+            RULE,
+            "#[target_feature] enables no known tier (avx2/avx512) — no tier module owns it".to_string(),
+        ),
+        _ => {}
+    }
+
+    // The annotated fn itself must not be crate-public; `pub(super)` or
+    // private keeps the dispatcher the only way in.
+    for fn_idx in idx..file.lines.len().min(idx + 8) {
+        let code = file.lines[fn_idx].code.as_str();
+        if word_positions(code, "fn").is_empty() {
+            continue;
+        }
+        if code.trim_start().starts_with("pub fn") || code.trim_start().starts_with("pub unsafe fn") {
+            push(
+                findings,
+                file,
+                fn_idx,
+                RULE,
+                "#[target_feature] fn must not be crate-public — callers must go through the dispatcher".to_string(),
+            );
+        }
+        break;
+    }
+}

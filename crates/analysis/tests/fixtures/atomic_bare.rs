@@ -1,0 +1,21 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn request_shutdown(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}
+
+pub fn is_less(a: i32, b: i32) -> bool {
+    a.cmp(&b) == std::cmp::Ordering::Less
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_use_bare_orderings() {
+        let flag = AtomicBool::new(false);
+        flag.store(true, Ordering::SeqCst);
+        assert!(flag.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,11 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn request_shutdown(flag: &AtomicBool) {
+    // ordering: SeqCst — pairs with the dispatcher's exit check; the store
+    // must be visible before the wake-up notification.
+    flag.store(true, Ordering::SeqCst);
+}
+
+pub fn should_exit(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::SeqCst) // ordering: SeqCst, pairs with the store above.
+}

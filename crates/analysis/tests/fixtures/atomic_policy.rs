@@ -1,0 +1,9 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn drain(counter: &AtomicU64) -> u64 {
+    counter.swap(0, Ordering::SeqCst)
+}

@@ -1,0 +1,8 @@
+// ham-lint: hot-path
+pub fn score(xs: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    for x in xs {
+        out.push(x * 2.0);
+    }
+    out
+}

@@ -1,0 +1,5 @@
+// ham-lint: hot-path
+pub fn ranked(xs: &[f32]) -> usize {
+    let idx: Vec<usize> = (0..xs.len()).collect(); // ham-lint: allow(alloc, "the ranking is the response payload")
+    idx.len()
+}

@@ -1,0 +1,13 @@
+// ham-lint: hot-path
+#[inline]
+pub fn score_into(xs: &[f32], out: &mut [f32]) {
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = x * 2.0;
+    }
+}
+
+pub fn unmarked_may_allocate(n: usize) -> Vec<f32> {
+    let mut out = Vec::new();
+    out.resize(n, 0.0);
+    out
+}

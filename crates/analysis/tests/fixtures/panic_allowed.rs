@@ -1,0 +1,19 @@
+use std::sync::{Mutex, PoisonError};
+
+pub fn current(slot: &Mutex<u64>) -> u64 {
+    *slot.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn spawn_dispatcher() -> std::thread::JoinHandle<()> {
+    // ham-lint: allow(panic, "startup, before any traffic is accepted")
+    std::thread::Builder::new().spawn(|| {}).expect("dispatcher thread")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Result<u64, ()> = Ok(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+use std::sync::Mutex;
+
+pub fn current(slot: &Mutex<u64>) -> u64 {
+    *slot.lock().unwrap()
+}
+
+pub fn named(slot: &Mutex<u64>) -> u64 {
+    *slot.lock().expect("registry poisoned")
+}

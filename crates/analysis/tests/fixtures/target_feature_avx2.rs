@@ -1,0 +1,6 @@
+// SAFETY: detection-guarded — only the dispatcher calls in, after
+// `is_x86_feature_detected!` confirmed avx2+fma.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}

@@ -1,0 +1,5 @@
+// SAFETY: detection-guarded by the dispatcher.
+#[target_feature(enable = "avx512f,avx512bw")]
+pub unsafe fn hsum16(a: &[f32]) -> f32 {
+    a.iter().sum()
+}

@@ -1,0 +1,5 @@
+pub mod avx2;
+mod avx512;
+mod portable;
+
+pub use avx2::dot;

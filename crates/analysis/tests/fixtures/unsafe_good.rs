@@ -1,0 +1,14 @@
+pub fn read_first(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty(), "read_first: empty slice");
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+/// Reads without the bounds check.
+///
+/// # Safety
+/// `xs` must be non-empty.
+unsafe fn read_first_unchecked(xs: &[f32]) -> f32 {
+    // SAFETY: the caller upholds non-emptiness (see `# Safety` above).
+    unsafe { *xs.get_unchecked(0) }
+}

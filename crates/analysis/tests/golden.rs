@@ -1,0 +1,155 @@
+//! Golden tests: each rule family against known-bad, known-good, and
+//! escape-hatch fixtures. The fixtures live under `tests/fixtures/` as real
+//! source files (never compiled — cargo only builds top-level `tests/*.rs`),
+//! and are linted under *logical* workspace paths, because several rules
+//! scope themselves by path (audited modules, tier-module placement, the
+//! serve/online panic surface).
+
+use ham_analysis::rules::{atomics, crate_attrs, hotpath, panics, unsafe_audit};
+use ham_analysis::scan::SourceFile;
+use ham_analysis::{lint_source, lint_workspace_files, Finding};
+
+fn rules_hit(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// --- rule family 1: unsafe-audit ------------------------------------------
+
+#[test]
+fn unsafe_without_safety_comment_is_flagged() {
+    let findings = lint_source("crates/tensor/src/pool/scope.rs", include_str!("fixtures/unsafe_bad.rs"));
+    assert_eq!(rules_hit(&findings), vec![unsafe_audit::RULE]);
+    assert_eq!(findings[0].line, 2, "the finding points at the unsafe block");
+}
+
+#[test]
+fn safety_comments_and_doc_safety_sections_satisfy_the_audit() {
+    let findings = lint_source("crates/tensor/src/pool/scope.rs", include_str!("fixtures/unsafe_good.rs"));
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn target_feature_fn_must_live_in_its_tier_module() {
+    let src = include_str!("fixtures/target_feature_avx2.rs");
+    let misplaced = lint_source("crates/tensor/src/kernels/portable.rs", src);
+    assert_eq!(rules_hit(&misplaced), vec![unsafe_audit::RULE]);
+    assert!(misplaced[0].message.contains("avx2.rs"), "names the owning module: {misplaced:?}");
+    let in_place = lint_source("crates/tensor/src/kernels/avx2.rs", src);
+    assert!(in_place.is_empty(), "unexpected: {in_place:?}");
+}
+
+#[test]
+fn target_feature_fn_must_not_be_crate_public() {
+    let findings =
+        lint_source("crates/tensor/src/kernels/avx512.rs", include_str!("fixtures/target_feature_public.rs"));
+    assert_eq!(rules_hit(&findings), vec![unsafe_audit::RULE]);
+    assert!(findings[0].message.contains("dispatcher"), "explains the reachability rule: {findings:?}");
+}
+
+#[test]
+fn tier_modules_must_stay_private_and_unreexported() {
+    let findings = lint_source("crates/tensor/src/kernels/mod.rs", include_str!("fixtures/tier_reexport.rs"));
+    assert_eq!(rules_hit(&findings), vec![unsafe_audit::RULE, unsafe_audit::RULE]);
+    assert_eq!((findings[0].line, findings[1].line), (1, 5), "pub mod and pub use are both flagged");
+}
+
+// --- rule family 2: atomic-ordering ---------------------------------------
+
+#[test]
+fn bare_ordering_in_an_audited_module_is_flagged() {
+    let src = include_str!("fixtures/atomic_bare.rs");
+    let findings = lint_source("crates/serve/src/server.rs", src);
+    assert_eq!(rules_hit(&findings), vec![atomics::RULE]);
+    assert_eq!(findings[0].line, 4, "only the runtime SeqCst store — cmp::Ordering and test code are exempt");
+}
+
+#[test]
+fn unaudited_modules_are_out_of_scope_for_the_ordering_rule() {
+    let findings = lint_source("crates/core/src/lib.rs", include_str!("fixtures/atomic_bare.rs"));
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn ordering_comments_satisfy_the_rule_trailing_or_above() {
+    let findings = lint_source("crates/serve/src/server.rs", include_str!("fixtures/atomic_justified.rs"));
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn the_policy_table_covers_blessed_orderings_only() {
+    let findings = lint_source("crates/telemetry/src/metrics.rs", include_str!("fixtures/atomic_policy.rs"));
+    assert_eq!(rules_hit(&findings), vec![atomics::RULE]);
+    assert_eq!(findings[0].line, 8, "Relaxed is policy-blessed in telemetry; the SeqCst swap is not");
+}
+
+// --- rule family 3: hot-path-alloc ----------------------------------------
+
+#[test]
+fn marked_hot_path_functions_must_not_allocate() {
+    let findings = lint_source("crates/serve/src/shard.rs", include_str!("fixtures/hotpath_alloc.rs"));
+    assert_eq!(rules_hit(&findings), vec![hotpath::RULE]);
+    assert!(findings[0].message.contains("Vec::new"), "names the allocating call: {findings:?}");
+}
+
+#[test]
+fn unmarked_functions_may_allocate_and_clean_marked_ones_pass() {
+    let findings = lint_source("crates/serve/src/shard.rs", include_str!("fixtures/hotpath_clean.rs"));
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn allow_alloc_escapes_a_deliberate_allocation() {
+    let findings = lint_source("crates/serve/src/shard.rs", include_str!("fixtures/hotpath_allowed.rs"));
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// --- rule family 4: panic-surface -----------------------------------------
+
+#[test]
+fn unwrap_and_expect_in_serve_runtime_code_are_flagged() {
+    let src = include_str!("fixtures/panic_bad.rs");
+    let findings = lint_source("crates/serve/src/registry.rs", src);
+    assert_eq!(rules_hit(&findings), vec![panics::RULE, panics::RULE]);
+    assert_eq!((findings[0].line, findings[1].line), (4, 8));
+}
+
+#[test]
+fn panic_rule_scopes_to_serve_and_online_only() {
+    let findings = lint_source("crates/data/src/loader.rs", include_str!("fixtures/panic_bad.rs"));
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn poison_recovery_allow_panic_and_tests_all_pass() {
+    let findings = lint_source("crates/online/src/lib.rs", include_str!("fixtures/panic_allowed.rs"));
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+// --- rule family 5: crate-attrs (workspace-level) -------------------------
+
+#[test]
+fn unsafe_free_crates_must_forbid_unsafe_code() {
+    let missing = SourceFile::parse("crates/serve/src/lib.rs", "//! Serving.\npub mod server;\n");
+    let findings = lint_workspace_files(&[missing]);
+    assert_eq!(rules_hit(&findings), vec![crate_attrs::RULE]);
+
+    let present = SourceFile::parse("crates/serve/src/lib.rs", "//! Serving.\n#![forbid(unsafe_code)]\n");
+    assert!(lint_workspace_files(&[present]).is_empty());
+}
+
+#[test]
+fn ham_tensor_must_deny_unsafe_op_in_unsafe_fn() {
+    let missing = SourceFile::parse("crates/tensor/src/lib.rs", "//! Tensors.\n");
+    let findings = lint_workspace_files(&[missing]);
+    assert_eq!(rules_hit(&findings), vec![crate_attrs::RULE]);
+    assert!(findings[0].message.contains("unsafe_op_in_unsafe_fn"));
+
+    let present = SourceFile::parse("crates/tensor/src/lib.rs", "#![deny(unsafe_op_in_unsafe_fn)]\n");
+    assert!(lint_workspace_files(&[present]).is_empty());
+}
+
+#[test]
+fn non_lib_files_are_exempt_from_crate_attrs() {
+    let module = SourceFile::parse("crates/serve/src/server.rs", "pub fn run() {}\n");
+    assert!(lint_workspace_files(&[module]).is_empty());
+}

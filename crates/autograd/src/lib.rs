@@ -50,6 +50,7 @@
 //! assert_eq!(gw.shape(), (2, 2));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gradcheck;

@@ -26,6 +26,8 @@
 //! `-C target-cpu=native` to see what runtime dispatch buys a portable
 //! binary).
 
+#![forbid(unsafe_code)]
+
 use ham_core::{train, HamConfig, HamModel, HamVariant, TrainConfig};
 use ham_data::dataset::SequenceDataset;
 use ham_data::synthetic::DatasetProfile;

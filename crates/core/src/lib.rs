@@ -45,6 +45,7 @@
 //! assert_eq!(scores.len(), data.num_items);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

@@ -31,6 +31,7 @@
 //! assert!(!instances.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod append;

@@ -25,6 +25,7 @@
 //! assert!(report.mean.recall_at_10 >= 0.0 && report.mean.recall_at_10 <= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod improvement;

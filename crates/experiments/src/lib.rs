@@ -17,6 +17,7 @@
 //! percentages of the HAM variants over the baselines, parameter-sensitivity
 //! trends, ablation effects and per-user test-time speed-ups.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablation;

@@ -39,6 +39,7 @@
 //!
 //! [`RecServer`]: ../ham_serve/server/struct.RecServer.html
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -89,6 +89,7 @@
 //! assert_eq!(response.model_version, 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ham_core::{HamConfig, HamModel, TrainConfig, TrainerState};
@@ -531,6 +532,7 @@ impl OnlineTrainer {
                 let mut serving = Some(serving);
                 loop {
                     if !self.faults.fail_publish() {
+                        // ham-lint: allow(panic, "the Option is taken exactly once — every loop path below breaks or retries before re-taking")
                         let serving = serving.take().expect("publish attempted twice");
                         version = if round == 1 {
                             // keep version 1 == first trained model
@@ -656,6 +658,7 @@ fn shadow_evaluate(
 /// not memcpy the embedding tables a second time.
 fn freeze(model: HamModel, shards: usize, quantize: bool, ivf: Option<IvfConfig>, round: u64) -> ServingModel {
     let serving = ServingModel::from_scorer(&format!("ham-online-r{round}"), Arc::new(model), shards.max(1))
+        // ham-lint: allow(panic, "HamModel::linear_head is total — every HAM model exposes its output embeddings")
         .expect("HAM models always expose a linear head");
     let serving = if quantize { serving.with_quantized_catalog() } else { serving };
     match ivf {

@@ -37,7 +37,7 @@ use ham_tensor::{Matrix, QuantizedQuery};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// A dedicated thread pool for deadline-bounded shard scoring.
@@ -72,7 +72,11 @@ impl ShardExecutor {
                     .name(format!("ham-shard-exec-{i}"))
                     .spawn(move || loop {
                         let task = {
-                            let mut guard = shared.tasks.lock().expect("shard executor queue poisoned");
+                            // The (queue, flag) tuple stays structurally
+                            // sound whatever a holder was doing when it
+                            // panicked; recover rather than lose a bulkhead
+                            // worker to someone else's poison.
+                            let mut guard = shared.tasks.lock().unwrap_or_else(PoisonError::into_inner);
                             loop {
                                 if let Some(task) = guard.0.pop_front() {
                                     break task;
@@ -80,13 +84,14 @@ impl ShardExecutor {
                                 if guard.1 {
                                     return;
                                 }
-                                guard = shared.arrived.wait(guard).expect("shard executor queue poisoned");
+                                guard = shared.arrived.wait(guard).unwrap_or_else(PoisonError::into_inner);
                             }
                         };
                         // Tasks contain their own catch_unwind; a panic never
                         // reaches (and never kills) the worker.
                         task();
                     })
+                    // ham-lint: allow(panic, "bulkhead startup, before any batch is scored — cannot serve without workers")
                     .expect("failed to spawn shard executor worker")
             })
             .collect();
@@ -94,7 +99,10 @@ impl ShardExecutor {
     }
 
     fn submit(&self, task: Task) {
-        let mut guard = self.shared.tasks.lock().expect("shard executor queue poisoned");
+        // Recoverable for the same reason as the worker loop: the tuple is
+        // plain data, and a submit that panicked here would cascade into a
+        // degraded batch for an unrelated coordinator.
+        let mut guard = self.shared.tasks.lock().unwrap_or_else(PoisonError::into_inner);
         guard.0.push_back(task);
         self.shared.arrived.notify_one();
     }
@@ -103,7 +111,7 @@ impl ShardExecutor {
 impl Drop for ShardExecutor {
     fn drop(&mut self) {
         {
-            let mut guard = self.shared.tasks.lock().expect("shard executor queue poisoned");
+            let mut guard = self.shared.tasks.lock().unwrap_or_else(PoisonError::into_inner);
             guard.1 = true;
             // Unsubmitted work is dropped: the only caller joins every batch
             // before shutdown, so anything still queued here was cancelled.
@@ -147,7 +155,10 @@ impl SlotBoard {
     }
 
     fn fill(&self, shard: usize, state: SlotState) {
-        let mut slots = self.slots.lock().expect("slot board poisoned");
+        // Shard tasks can panic (that is the point of the bulkhead), so the
+        // board lock can be poisoned by a sibling — the Vec of slots is
+        // still valid, and already-filled results must not be thrown away.
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
         // A cancelled task can report after the coordinator has already
         // drained the board; its slot is gone and the result is discarded.
         // Indexing here would panic *outside* the task's catch_unwind and
@@ -159,25 +170,31 @@ impl SlotBoard {
     }
 
     fn cancelled(&self) -> bool {
+        // ordering: Relaxed — an advisory flag with no data published
+        // alongside it; a task that misses the very latest value just does
+        // some wasted scoring before its result is discarded.
         self.cancelled.load(Ordering::Relaxed)
     }
 
     /// Blocks until every slot is non-pending, or `deadline` passes.
     fn wait(&self, deadline: Option<Instant>) {
-        let mut slots = self.slots.lock().expect("slot board poisoned");
+        // Poison recovery mirrors `fill`: slots a panicked sibling never
+        // filled stay Pending and are counted into the degraded response —
+        // exactly the contract this module exists to provide.
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if !slots.iter().any(|s| matches!(s, SlotState::Pending)) {
                 return;
             }
             match deadline {
-                None => slots = self.done.wait(slots).expect("slot board poisoned"),
+                None => slots = self.done.wait(slots).unwrap_or_else(PoisonError::into_inner),
                 Some(deadline) => {
                     let now = Instant::now();
                     if now >= deadline {
                         return;
                     }
                     let (returned, _timeout) =
-                        self.done.wait_timeout(slots, deadline - now).expect("slot board poisoned");
+                        self.done.wait_timeout(slots, deadline - now).unwrap_or_else(PoisonError::into_inner);
                     slots = returned;
                 }
             }
@@ -284,9 +301,12 @@ pub(crate) fn score_bounded(
     board.wait(shard_deadline);
     // Whatever is still pending has missed the budget: flip the cancellation
     // flag so those tasks drain cheaply, then classify the slots.
+    // ordering: Relaxed — advisory-only; see `SlotBoard::cancelled`.
     board.cancelled.store(true, Ordering::Relaxed);
     let slots = {
-        let mut slots = board.slots.lock().expect("slot board poisoned");
+        // Recover from a panicked shard task's poison; unfilled slots read
+        // as Pending below and become part of the degraded answer.
+        let mut slots = board.slots.lock().unwrap_or_else(PoisonError::into_inner);
         std::mem::take(&mut *slots)
     };
     let mut survivors: Vec<(usize, ShardBlock)> = Vec::with_capacity(shards_total);

@@ -61,6 +61,7 @@
 //! [`server::SubmitError::ShuttingDown`] while every admitted request is
 //! still answered.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod degrade;

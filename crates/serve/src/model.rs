@@ -66,6 +66,7 @@ impl ServingModel {
     {
         let catalog = Arc::new(catalog_from_env(head_fn(&model)?.candidates(), num_shards));
         let query = Box::new(move |user: usize, history: &[ItemId]| {
+            // ham-lint: allow(panic, "head_fn returned Some at construction and is a pure fn of the immutable model")
             head_fn(&model).expect("model's linear head disappeared after construction").query_vector(user, history)
         });
         Some(Self { name: name.to_string(), catalog, query })
@@ -188,6 +189,7 @@ impl ServingModel {
     /// identical to [`Self::recommend`].
     ///
     /// [`matvec_transposed_into`]: ham_tensor::kernels::matvec_transposed_into
+    // ham-lint: hot-path
     pub fn recommend_with(&self, request: &RecommendRequest, scratch: &mut ServeScratch) -> Vec<ScoredItem> {
         let q = self.query_vector(request.user, &request.history);
         let ServeScratch { scores, seen, qquery, route } = scratch;

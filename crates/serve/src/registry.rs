@@ -11,7 +11,7 @@
 use crate::model::ServingModel;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// How many recent publications the registry archives for
 /// [`ModelRegistry::rollback_to`]. Snapshots share their `ServingModel`
@@ -76,7 +76,12 @@ impl ModelRegistry {
     /// the snapshot immutable) for as long as the caller holds it, no matter
     /// how many publishes happen meanwhile.
     pub fn current(&self) -> Arc<PublishedModel> {
-        Arc::clone(&self.slot.lock().expect("registry slot poisoned"))
+        // Both registry locks guard plain containers (an `Arc` slot and a
+        // `VecDeque` archive) that stay structurally sound if a holder
+        // panicked mid-publish — the slot then still holds the last
+        // *completed* publish, which is exactly what readers should see.
+        // Recover from poisoning everywhere rather than take serving down.
+        Arc::clone(&self.slot.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Atomically replaces the live model; returns the new version number.
@@ -87,7 +92,7 @@ impl ModelRegistry {
     /// with the highest version, and [`Self::version`] never reports a
     /// version newer than the slot's occupant.
     pub fn publish(&self, model: ServingModel) -> u64 {
-        let mut slot = self.slot.lock().expect("registry slot poisoned");
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
         let version = self.versions.fetch_add(1, Ordering::SeqCst) + 1;
         let published = Arc::new(PublishedModel { model: Arc::new(model), version, rollback_of: None });
         self.archive(&published);
@@ -106,9 +111,9 @@ impl ModelRegistry {
     /// rolling back to the live version itself is allowed (an explicit
     /// re-pin). The model is shared by `Arc` — no catalogue copy.
     pub fn rollback_to(&self, version: u64) -> Result<u64, RollbackError> {
-        let mut slot = self.slot.lock().expect("registry slot poisoned");
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
         let target = {
-            let history = self.history.lock().expect("registry history poisoned");
+            let history = self.history.lock().unwrap_or_else(PoisonError::into_inner);
             match history.iter().rev().find(|p| p.version == version) {
                 Some(target) => Arc::clone(&target.model),
                 None => return Err(RollbackError { version, available: history.iter().map(|p| p.version).collect() }),
@@ -124,7 +129,7 @@ impl ModelRegistry {
     /// The versions currently in the rollback archive, oldest first (the
     /// live version is always the last entry).
     pub fn history_versions(&self) -> Vec<u64> {
-        self.history.lock().expect("registry history poisoned").iter().map(|p| p.version).collect()
+        self.history.lock().unwrap_or_else(PoisonError::into_inner).iter().map(|p| p.version).collect()
     }
 
     /// Version of the latest publish.
@@ -133,7 +138,7 @@ impl ModelRegistry {
     }
 
     fn archive(&self, published: &Arc<PublishedModel>) {
-        let mut history = self.history.lock().expect("registry history poisoned");
+        let mut history = self.history.lock().unwrap_or_else(PoisonError::into_inner);
         if history.len() == HISTORY_CAPACITY {
             history.pop_front();
         }

@@ -25,7 +25,7 @@ use ham_tensor::Matrix;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of the micro-batching queue.
@@ -144,17 +144,21 @@ impl ResponseSlot {
     }
 
     fn deliver(&self, response: Result<RecommendResponse, SubmitError>) {
-        *self.filled.lock().expect("response slot poisoned") = Some(response);
+        // A poisoned slot means some earlier holder panicked; the Option
+        // inside is still structurally sound, so recover it — refusing to
+        // deliver would strand the submitter forever.
+        *self.filled.lock().unwrap_or_else(PoisonError::into_inner) = Some(response);
         self.ready.notify_one();
     }
 
     fn wait(&self) -> Result<RecommendResponse, SubmitError> {
-        let mut filled = self.filled.lock().expect("response slot poisoned");
+        let mut filled = self.filled.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(response) = filled.take() {
                 return response;
             }
-            filled = self.ready.wait(filled).expect("response slot poisoned");
+            // Condvar poisoning carries the same recoverable guard.
+            filled = self.ready.wait(filled).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -239,12 +243,15 @@ impl ServeMetrics {
     /// The metric handles for one shard id (resolved in `telemetry`'s
     /// registry on first use, cached after).
     fn shard(&self, telemetry: &Telemetry, shard: usize) -> ShardMetrics {
-        let mut per_shard = self.per_shard.lock().expect("per-shard metrics poisoned");
+        // The cache is a plain Vec of resolved handles — valid even if a
+        // prior holder panicked, so recover from poisoning.
+        let mut per_shard = self.per_shard.lock().unwrap_or_else(PoisonError::into_inner);
         if per_shard.len() <= shard {
             per_shard.resize(shard + 1, None);
         }
         per_shard[shard]
             .get_or_insert_with(|| {
+                // ham-lint: allow(panic, "ServeMetrics is only constructed by resolve(), which requires a registry")
                 let registry = telemetry.registry().expect("ServeMetrics exists only with telemetry enabled");
                 ShardMetrics {
                     score_micros: registry.histogram(&format!("serve_shard_{shard}_score_micros")),
@@ -357,6 +364,7 @@ impl RecServer {
             std::thread::Builder::new()
                 .name("ham-serve-dispatch".to_string())
                 .spawn(move || dispatch_loop(&shared))
+                // ham-lint: allow(panic, "startup, before any traffic — a server without a dispatcher cannot run")
                 .expect("failed to spawn dispatcher")
         };
         Self { shared, dispatcher: Some(dispatcher) }
@@ -379,11 +387,21 @@ impl RecServer {
     pub fn submit(&self, request: RecommendRequest) -> Result<RecommendResponse, SubmitError> {
         let slot = Arc::new(ResponseSlot::new());
         {
-            let mut queue = self.shared.queue.lock().expect("server queue poisoned");
+            // A poisoned queue lock means the dispatcher died mid-drain;
+            // admitting would strand this request with no thread left to
+            // answer it, so shed instead (PR 8's degradation contract:
+            // reject loudly rather than hang quietly).
+            let Ok(mut queue) = self.shared.queue.lock() else {
+                self.shared.counters.shed.inc();
+                return Err(SubmitError::ShuttingDown);
+            };
             // Both checks must happen under the lock: shutdown is flipped
             // while holding it (see `shutdown`), so an admitted request is
             // visible to the dispatcher's exit check, which only fires on an
             // empty queue — enqueue-then-never-answered cannot happen.
+            // ordering: SeqCst pairs with the stores in `shutdown` — the
+            // flag is part of the queue-lock admission protocol and must be
+            // totally ordered with respect to it.
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 return Err(SubmitError::ShuttingDown);
             }
@@ -431,7 +449,13 @@ impl RecServer {
     /// is still drained and answered. Dropping the server joins the
     /// dispatcher (and shuts down first if this was never called).
     pub fn shutdown(&self) {
-        let _queue = self.shared.queue.lock().expect("server queue poisoned");
+        // Shutdown must proceed even if a panicking holder poisoned the
+        // lock — the guard is only held to order the flag flip against
+        // admission, and the flag itself is an atomic.
+        let _queue = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        // ordering: SeqCst pairs with the loads in `submit` and
+        // `dispatch_loop`; the flag participates in the admission/drain
+        // protocol and must not be reordered around the queue lock.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.arrived.notify_all();
     }
@@ -461,21 +485,31 @@ fn dispatch_loop(shared: &ServerShared) {
     let mut executor: Option<ShardExecutor> = None;
     loop {
         let batch = {
-            let mut queue = shared.queue.lock().expect("server queue poisoned");
+            // The dispatcher is the thread every admitted request depends
+            // on: recover the queue from poisoning (it is a plain VecDeque,
+            // structurally sound whatever a panicking holder was doing) —
+            // dying here would strand the whole queue.
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             // Sleep until work arrives or shutdown (then drain what's left).
             while queue.is_empty() {
+                // ordering: SeqCst pairs with the store in `shutdown`,
+                // which happens under this queue lock — see `submit` for
+                // the admission/drain protocol this flag belongs to.
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = shared.arrived.wait(queue).expect("server queue poisoned");
+                queue = shared.arrived.wait(queue).unwrap_or_else(PoisonError::into_inner);
             }
             // Linger once to coalesce concurrent submitters into this batch.
             if queue.len() < shared.config.max_batch
                 && !shared.config.coalesce_wait.is_zero()
+                // ordering: SeqCst, same pairing as the exit check above.
                 && !shared.shutdown.load(Ordering::SeqCst)
             {
-                let (returned, _timeout) =
-                    shared.arrived.wait_timeout(queue, shared.config.coalesce_wait).expect("server queue poisoned");
+                let (returned, _timeout) = shared
+                    .arrived
+                    .wait_timeout(queue, shared.config.coalesce_wait)
+                    .unwrap_or_else(PoisonError::into_inner);
                 queue = returned;
             }
             let take = queue.len().min(shared.config.max_batch);

@@ -243,6 +243,7 @@ impl ShardedCatalog {
     ///
     /// # Panics
     /// Panics if `out.len()` is not the shard's length.
+    // ham-lint: hot-path
     pub fn shard_scores_into(&self, shard: usize, query: &[f32], out: &mut [f32]) {
         self.shards[shard].rows.matvec_transposed_into(query, out);
     }
@@ -320,6 +321,7 @@ impl ShardedCatalog {
         }
         Some(ShardBlock::Dense(match qqueries {
             Some(qq) => {
+                // ham-lint: allow(panic, "callers gate on catalogue quantization; the panel is built at construction")
                 let panel = s.quantized.as_ref().expect("quantized scoring on an unquantized catalogue");
                 let mut block = Matrix::zeros(b, panel.rows());
                 if b == 1 {
@@ -350,6 +352,7 @@ impl ShardedCatalog {
     ) -> Vec<Vec<ScoredItem>> {
         let b = queries.rows();
         let s = &self.shards[shard];
+        // ham-lint: allow(panic, "only called for shards the IVF dispatch selected, which requires the index")
         let index = s.ivf.as_ref().expect("ivf_rank_shard_in_task on an unclustered shard");
         let c = index.num_clusters();
         if c == 0 {
@@ -410,6 +413,7 @@ impl ShardedCatalog {
             }
             let mut lists = Vec::with_capacity(visited[i].len());
             for &j in &visited[i] {
+                // ham-lint: allow(panic, "the loop above scored every visited cluster before ranking")
                 let block = blocks[j].as_ref().expect("visited cluster left unscored");
                 lists.push(rank_panel(
                     s.offset,
@@ -480,6 +484,7 @@ impl ShardedCatalog {
     /// writes into `scores_buf` (grown once to the largest shard, then
     /// reused), so a serving loop holding the buffer performs no score
     /// allocation per request.
+    // ham-lint: hot-path
     pub fn top_k_with_buf(
         &self,
         query: &[f32],
@@ -488,6 +493,7 @@ impl ShardedCatalog {
         scores_buf: &mut Vec<f32>,
     ) -> Vec<ScoredItem> {
         if self.is_clustered() {
+            // ham-lint: allow(alloc, "IVF fallback only — the serving loop passes a scratch route_buf instead")
             return self.ivf_top_k_with_buf(query, k, seen, scores_buf, &mut Vec::new());
         }
         let max_len = self.shards.iter().map(Shard::len).max().unwrap_or(0);
@@ -505,6 +511,7 @@ impl ShardedCatalog {
                 self.shard_scores_into(s, query, scores);
                 self.shard_top_k(s, scores, k, seen)
             })
+            // ham-lint: allow(alloc, "the returned per-shard rankings are the response payload, k elements each")
             .collect();
         merge_top_k(&per_shard, k)
     }
@@ -546,6 +553,7 @@ impl ShardedCatalog {
         }
         let per_shard: Vec<Vec<ScoredItem>> = (0..self.shards.len())
             .map(|s| {
+                // ham-lint: allow(panic, "callers gate on catalogue quantization; the panel is built at construction")
                 let panel = self.shards[s].quantized.as_ref().expect("quantized_top_k on an unquantized catalogue");
                 let scores = &mut scores_buf[..self.shards[s].len()];
                 kernels::quantized_matvec_into(panel, qquery, scores);
@@ -647,6 +655,7 @@ impl ShardedCatalog {
         qquery: Option<&QuantizedQuery>,
     ) -> Vec<ScoredItem> {
         let shard = &self.shards[s];
+        // ham-lint: allow(panic, "IVF entry points are only reachable on clustered catalogues")
         let index = shard.ivf.as_ref().expect("IVF serving on a catalogue without a cluster index");
         let c = index.num_clusters();
         if c == 0 {
@@ -715,6 +724,7 @@ impl ShardedCatalog {
             .into_iter()
             .enumerate()
             .map(|(s, b)| {
+                // ham-lint: allow(panic, "pool.scope joins every spawned task; each task fills its slot before returning")
                 let (block, micros) = b.expect("shard scoring task never ran");
                 shard_micros.push((s, micros));
                 block
@@ -741,6 +751,7 @@ impl ShardedCatalog {
                 let Some(index) = shard.ivf.as_ref() else { continue };
                 let local_seen = seen.map(|bits| &bits[shard.offset..shard.offset + shard.len()]);
                 for &j in &blocks[s].visited[i] {
+                    // ham-lint: allow(panic, "the scoring task scored every visited cluster before returning its block")
                     let block = blocks[s].blocks[j].as_ref().expect("visited cluster left unscored");
                     lists.push(rank_panel(shard.offset, index.cluster_ids(j), block.row(i), select_k, local_seen));
                 }
@@ -774,6 +785,7 @@ impl ShardedCatalog {
     /// panel GEMM per cluster in the union of visited clusters.
     fn ivf_score_shard_batch(&self, s: usize, queries: &Matrix, qqueries: Option<&[QuantizedQuery]>) -> IvfShardBlock {
         let b = queries.rows();
+        // ham-lint: allow(panic, "IVF entry points are only reachable on clustered catalogues")
         let index = self.shards[s].ivf.as_ref().expect("IVF serving on a catalogue without a cluster index");
         let c = index.num_clusters();
         if c == 0 {
@@ -892,6 +904,7 @@ impl ShardedCatalog {
         let parallel_useful = self.shards.iter().filter(|s| !s.is_empty()).count() > 1;
         let score_shard = |s: usize| {
             let started = Instant::now();
+            // ham-lint: allow(panic, "callers gate on catalogue quantization; the panel is built at construction")
             let panel = self.shards[s].quantized.as_ref().expect("quantized_top_k on an unquantized catalogue");
             let mut block = Matrix::zeros(b, panel.rows());
             kernels::quantized_matmul_transposed_into(&qqueries, panel, &mut block);
@@ -915,6 +928,7 @@ impl ShardedCatalog {
             .into_iter()
             .enumerate()
             .map(|(s, b)| {
+                // ham-lint: allow(panic, "pool.scope joins every spawned task; each task fills its slot before returning")
                 let (block, micros) = b.expect("shard scoring task never ran");
                 shard_micros.push((s, micros));
                 block
@@ -1022,6 +1036,7 @@ impl ShardedCatalog {
             .into_iter()
             .enumerate()
             .map(|(s, b)| {
+                // ham-lint: allow(panic, "pool.scope joins every spawned task; each task fills its slot before returning")
                 let (block, micros) = b.expect("shard scoring task never ran");
                 shard_micros.push((s, micros));
                 block

@@ -18,6 +18,8 @@
 //! which is what keeps the serve-p50 overhead within the ≤2% budget pinned
 //! by `BENCH_telemetry.json`.
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
 pub mod registry;
 pub mod span;

@@ -177,6 +177,7 @@ impl Histogram {
 
     /// Records one sample (wait-free).
     #[inline]
+    // ham-lint: hot-path
     pub fn record(&self, value: u64) {
         let shard = &self.shards[thread_shard()];
         shard.buckets[bucket_of(value).min(HISTOGRAM_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);

@@ -32,6 +32,7 @@ const GEMM_MR: usize = 4;
 /// Dot product: four independent 8-wide FMA accumulator chains (32 floats in
 /// flight), one fixed-order horizontal reduction, scalar-FMA tail.
 #[target_feature(enable = "avx2,fma")]
+// ham-lint: hot-path
 pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "avx2::dot: length mismatch (the dispatcher asserts this)");
     let len = a.len().min(b.len());
@@ -56,6 +57,7 @@ pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// `((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7))`.
 #[inline]
 #[target_feature(enable = "avx2,fma")]
+// ham-lint: hot-path
 fn hsum8(v: __m256) -> f32 {
     let lo = _mm256_castps256_ps128(v);
     let hi = _mm256_extractf128_ps::<1>(v);
@@ -69,6 +71,7 @@ fn hsum8(v: __m256) -> f32 {
 /// independent [`dot`], so a row's score never depends on which shard or
 /// position it occupies.
 #[target_feature(enable = "avx2,fma")]
+// ham-lint: hot-path
 pub(super) fn matvec_transposed_into(w: &Matrix, q: &[f32], out: &mut [f32]) {
     let d = w.cols();
     let data = w.as_slice();
@@ -116,6 +119,7 @@ pub(super) fn matmul_transposed_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 /// its column.
 #[inline]
 #[target_feature(enable = "avx2,fma")]
+// ham-lint: hot-path
 fn gemm_panel_rows<const R: usize>(
     a_rows: &[f32], // at least R*d floats, row-major
     d: usize,
@@ -186,6 +190,7 @@ fn gemm_panel_rows<const R: usize>(
 /// chain to reassociate, so the update is position-independent by
 /// construction.
 #[target_feature(enable = "avx2,fma")]
+// ham-lint: hot-path
 pub(super) fn axpy(out: &mut [f32], alpha: f32, x: &[f32]) {
     let len = out.len().min(x.len());
     let av = _mm256_set1_ps(alpha);
@@ -207,6 +212,7 @@ pub(super) fn axpy(out: &mut [f32], alpha: f32, x: &[f32]) {
 /// Batched scatter of rank-1 row updates (see the portable tier); every row
 /// update is one [`axpy`] over `d` columns.
 #[target_feature(enable = "avx2,fma")]
+// ham-lint: hot-path
 pub(super) fn axpy_rows(dst: &mut Matrix, dst_rows: &[usize], scales: &[f32], src: &Matrix, src_rows: &[usize]) {
     let d = src.cols();
     let src_data = src.as_slice();
@@ -223,6 +229,7 @@ pub(super) fn axpy_rows(dst: &mut Matrix, dst_rows: &[usize], scales: &[f32], sr
 /// the accumulation is exact and, integer addition being associative,
 /// bit-identical to every other tier.
 #[target_feature(enable = "avx2")]
+// ham-lint: hot-path
 pub(super) fn quantized_dot_i32(p: &[u8], s: &[i8]) -> i32 {
     let len = p.len().min(s.len());
     let mut acc = _mm256_setzero_si256();
@@ -246,6 +253,7 @@ pub(super) fn quantized_dot_i32(p: &[u8], s: &[i8]) -> i32 {
 /// Horizontal sum of 8 `i32` lanes (exact in any order).
 #[inline]
 #[target_feature(enable = "avx2")]
+// ham-lint: hot-path
 fn hsum_epi32(v: __m256i) -> i32 {
     let lo = _mm256_castsi256_si128(v);
     let hi = _mm256_extracti128_si256::<1>(v);
@@ -258,6 +266,7 @@ fn hsum_epi32(v: __m256i) -> i32 {
 /// Quantized GEMV from the int8 panel: one integer [`quantized_dot_i32`]
 /// plus the zero-point fixup per catalogue row.
 #[target_feature(enable = "avx2")]
+// ham-lint: hot-path
 pub(super) fn quantized_matvec_into(w: &QuantizedMatrix, q: &QuantizedQuery, out: &mut [f32]) {
     let d = w.cols();
     let payload = w.payload();
@@ -403,6 +412,7 @@ pub(super) fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 /// loop.
 #[inline]
 #[target_feature(enable = "avx2,fma")]
+// ham-lint: hot-path
 fn matmul_row<const SKIP_ZEROS: bool>(a_row: &[f32], b_data: &[f32], n: usize, out_row: &mut [f32]) {
     let mut j = 0;
     while j + 32 <= n {

@@ -43,6 +43,7 @@ const GEMM_MR: usize = 4;
 /// ladder below keeps the chain *shape* a pure function of the row length,
 /// which is what the position-independence contract needs.
 #[target_feature(enable = "avx512f,avx512bw")]
+// ham-lint: hot-path
 pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "avx512::dot: length mismatch (the dispatcher asserts this)");
     let len = a.len().min(b.len());
@@ -50,10 +51,10 @@ pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
     let mut acc1 = _mm512_setzero_ps();
     let mut acc2 = _mm512_setzero_ps();
     let mut acc3 = _mm512_setzero_ps();
-    // SAFETY (whole function): every `k` used in a 16-float unaligned load
-    // is guarded by `k + 16·lanes <= len` on both slices.
     let mut k = 0;
     while k + 64 <= len {
+        // SAFETY: the loop condition guarantees every unaligned 16-float
+        // load at k..k+64 is in bounds on both slices.
         unsafe {
             acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a.as_ptr().add(k)), _mm512_loadu_ps(b.as_ptr().add(k)), acc0);
             acc1 =
@@ -66,6 +67,8 @@ pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
         k += 64;
     }
     if k + 32 <= len {
+        // SAFETY: the branch condition guarantees both 16-float loads at
+        // k..k+32 are in bounds on both slices.
         unsafe {
             acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a.as_ptr().add(k)), _mm512_loadu_ps(b.as_ptr().add(k)), acc0);
             acc1 =
@@ -74,6 +77,8 @@ pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
         k += 32;
     }
     if k + 16 <= len {
+        // SAFETY: the branch condition guarantees the 16-float load at
+        // k..k+16 is in bounds on both slices.
         unsafe {
             acc2 = _mm512_fmadd_ps(_mm512_loadu_ps(a.as_ptr().add(k)), _mm512_loadu_ps(b.as_ptr().add(k)), acc2);
         }
@@ -91,6 +96,7 @@ pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// explicit shuffle tree as the AVX2 tier's `hsum8`.
 #[inline]
 #[target_feature(enable = "avx512f,avx512bw")]
+// ham-lint: hot-path
 fn hsum16(v: __m512) -> f32 {
     let lo = _mm512_castps512_ps256(v);
     // Extract the upper 256 bits via the f64 view: `_mm512_extractf64x4_pd`
@@ -107,6 +113,7 @@ fn hsum16(v: __m512) -> f32 {
 /// an independent [`dot`], so a row's score never depends on which shard or
 /// position it occupies.
 #[target_feature(enable = "avx512f,avx512bw")]
+// ham-lint: hot-path
 pub(super) fn matvec_transposed_into(w: &Matrix, q: &[f32], out: &mut [f32]) {
     let d = w.cols();
     let data = w.as_slice();
@@ -154,6 +161,7 @@ pub(super) fn matmul_transposed_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 /// its column.
 #[inline]
 #[target_feature(enable = "avx512f,avx512bw")]
+// ham-lint: hot-path
 fn gemm_panel_rows<const R: usize>(
     a_rows: &[f32], // at least R*d floats, row-major
     d: usize,
@@ -226,6 +234,7 @@ fn gemm_panel_rows<const R: usize>(
 /// chain to reassociate, so the update is position-independent by
 /// construction.
 #[target_feature(enable = "avx512f,avx512bw")]
+// ham-lint: hot-path
 pub(super) fn axpy(out: &mut [f32], alpha: f32, x: &[f32]) {
     let len = out.len().min(x.len());
     let av = _mm512_set1_ps(alpha);
@@ -247,6 +256,7 @@ pub(super) fn axpy(out: &mut [f32], alpha: f32, x: &[f32]) {
 /// Batched scatter of rank-1 row updates (see the portable tier); every row
 /// update is one [`axpy`] over `d` columns.
 #[target_feature(enable = "avx512f,avx512bw")]
+// ham-lint: hot-path
 pub(super) fn axpy_rows(dst: &mut Matrix, dst_rows: &[usize], scales: &[f32], src: &Matrix, src_rows: &[usize]) {
     let d = src.cols();
     let src_data = src.as_slice();
@@ -284,6 +294,7 @@ pub(super) fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 /// loop.
 #[inline]
 #[target_feature(enable = "avx512f,avx512bw")]
+// ham-lint: hot-path
 fn matmul_row<const SKIP_ZEROS: bool>(a_row: &[f32], b_data: &[f32], n: usize, out_row: &mut [f32]) {
     let mut j = 0;
     while j + 64 <= n {
@@ -340,6 +351,7 @@ fn matmul_row<const SKIP_ZEROS: bool>(a_row: &[f32], b_data: &[f32], n: usize, o
 /// bit-identical to every other tier because integer addition is
 /// associative.
 #[target_feature(enable = "avx512f,avx512bw")]
+// ham-lint: hot-path
 pub(super) fn quantized_dot_i32(p: &[u8], s: &[i8]) -> i32 {
     let len = p.len().min(s.len());
     let mut acc = _mm512_setzero_si512();
@@ -367,6 +379,7 @@ pub(super) fn quantized_dot_i32(p: &[u8], s: &[i8]) -> i32 {
 /// Quantized GEMV from the int8 panel: one integer [`quantized_dot_i32`]
 /// plus the zero-point fixup per catalogue row.
 #[target_feature(enable = "avx512f,avx512bw")]
+// ham-lint: hot-path
 pub(super) fn quantized_matvec_into(w: &QuantizedMatrix, q: &QuantizedQuery, out: &mut [f32]) {
     let d = w.cols();
     let payload = w.payload();

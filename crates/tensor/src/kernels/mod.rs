@@ -318,14 +318,17 @@ pub fn dot_with_tier(tier: KernelTier, a: &[f32], b: &[f32]) -> f32 {
 }
 
 fn dot_impl(tier: KernelTier, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_dispatchable(tier);
     assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
     counters::note(tier, 8 * a.len() as u64);
     match tier {
         KernelTier::Portable => portable::dot(a, b),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: every caller validated the tier — `dispatch()` only yields
-        // Avx2 after runtime detection, `checked()` asserts it — so the
-        // avx2+fma features this function requires are present.
+        // Avx2 after runtime detection, `checked()` asserts it, and the
+        // `debug_assert_dispatchable` at the top of this function re-checks
+        // it in debug builds — so the avx2+fma features this function
+        // requires are present.
         KernelTier::Avx2 => unsafe { avx2::dot(a, b) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: as above — avx512f+avx512bw were detected or asserted.
@@ -369,6 +372,7 @@ pub fn matvec_transposed_into_with_tier(tier: KernelTier, w: &Matrix, q: &[f32],
 }
 
 fn matvec_transposed_into_impl(tier: KernelTier, w: &Matrix, q: &[f32], out: &mut [f32]) {
+    debug_assert_dispatchable(tier);
     let (n, d) = w.shape();
     assert_eq!(q.len(), d, "matvec_transposed: query length {} does not match {} columns", q.len(), d);
     assert_eq!(out.len(), n, "matvec_transposed_into: buffer holds {} scores for {} rows", out.len(), n);
@@ -377,8 +381,10 @@ fn matvec_transposed_into_impl(tier: KernelTier, w: &Matrix, q: &[f32], out: &mu
         KernelTier::Portable => portable::matvec_transposed_into(w, q, out),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: every caller validated the tier — `dispatch()` only yields
-        // Avx2 after runtime detection, `checked()` asserts it — so the
-        // avx2+fma features this function requires are present.
+        // Avx2 after runtime detection, `checked()` asserts it, and the
+        // `debug_assert_dispatchable` at the top of this function re-checks
+        // it in debug builds — so the avx2+fma features this function
+        // requires are present.
         KernelTier::Avx2 => unsafe { avx2::matvec_transposed_into(w, q, out) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: as above — avx512f+avx512bw were detected or asserted.
@@ -425,6 +431,7 @@ pub fn matmul_transposed_into_with_tier(tier: KernelTier, a: &Matrix, b: &Matrix
 }
 
 fn matmul_transposed_into_impl(tier: KernelTier, a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    debug_assert_dispatchable(tier);
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -448,8 +455,10 @@ fn matmul_transposed_into_impl(tier: KernelTier, a: &Matrix, b: &Matrix, out: &m
         KernelTier::Portable => portable::matmul_transposed_into(a, b, out),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: every caller validated the tier — `dispatch()` only yields
-        // Avx2 after runtime detection, `checked()` asserts it — so the
-        // avx2+fma features this function requires are present.
+        // Avx2 after runtime detection, `checked()` asserts it, and the
+        // `debug_assert_dispatchable` at the top of this function re-checks
+        // it in debug builds — so the avx2+fma features this function
+        // requires are present.
         KernelTier::Avx2 => unsafe { avx2::matmul_transposed_into(a, b, out) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: as above — avx512f+avx512bw were detected or asserted.
@@ -491,6 +500,7 @@ pub fn matmul_with_tier(tier: KernelTier, a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 fn matmul_impl(tier: KernelTier, a: &Matrix, b: &Matrix) -> Matrix {
+    debug_assert_dispatchable(tier);
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -506,8 +516,10 @@ fn matmul_impl(tier: KernelTier, a: &Matrix, b: &Matrix) -> Matrix {
         KernelTier::Portable => portable::matmul_into(a, b, &mut out),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: every caller validated the tier — `dispatch()` only yields
-        // Avx2 after runtime detection, `checked()` asserts it — so the
-        // avx2+fma features this function requires are present.
+        // Avx2 after runtime detection, `checked()` asserts it, and the
+        // `debug_assert_dispatchable` at the top of this function re-checks
+        // it in debug builds — so the avx2+fma features this function
+        // requires are present.
         KernelTier::Avx2 => unsafe { avx2::matmul_into(a, b, &mut out) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: as above — avx512f+avx512bw were detected or asserted.
@@ -540,14 +552,17 @@ pub fn axpy_with_tier(tier: KernelTier, out: &mut [f32], alpha: f32, x: &[f32]) 
 }
 
 fn axpy_impl(tier: KernelTier, out: &mut [f32], alpha: f32, x: &[f32]) {
+    debug_assert_dispatchable(tier);
     assert_eq!(out.len(), x.len(), "axpy: length mismatch {} vs {}", out.len(), x.len());
     counters::note(tier, 12 * x.len() as u64);
     match tier {
         KernelTier::Portable => portable::axpy(out, alpha, x),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: every caller validated the tier — `dispatch()` only yields
-        // Avx2 after runtime detection, `checked()` asserts it — so the
-        // avx2+fma features this function requires are present.
+        // Avx2 after runtime detection, `checked()` asserts it, and the
+        // `debug_assert_dispatchable` at the top of this function re-checks
+        // it in debug builds — so the avx2+fma features this function
+        // requires are present.
         KernelTier::Avx2 => unsafe { avx2::axpy(out, alpha, x) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: as above — avx512f+avx512bw were detected or asserted.
@@ -599,6 +614,7 @@ fn axpy_rows_impl(
     src: &Matrix,
     src_rows: &[usize],
 ) {
+    debug_assert_dispatchable(tier);
     assert_eq!(dst.cols(), src.cols(), "axpy_rows: dst has {} columns, src has {}", dst.cols(), src.cols());
     assert!(
         dst_rows.len() == scales.len() && dst_rows.len() == src_rows.len(),
@@ -618,8 +634,10 @@ fn axpy_rows_impl(
         KernelTier::Portable => portable::axpy_rows(dst, dst_rows, scales, src, src_rows),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: every caller validated the tier — `dispatch()` only yields
-        // Avx2 after runtime detection, `checked()` asserts it — so the
-        // avx2+fma features this function requires are present.
+        // Avx2 after runtime detection, `checked()` asserts it, and the
+        // `debug_assert_dispatchable` at the top of this function re-checks
+        // it in debug builds — so the avx2+fma features this function
+        // requires are present.
         KernelTier::Avx2 => unsafe { avx2::axpy_rows(dst, dst_rows, scales, src, src_rows) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: as above — avx512f+avx512bw were detected or asserted.
@@ -653,6 +671,7 @@ pub fn quantized_dot_with_tier(tier: KernelTier, w: &QuantizedMatrix, row: usize
 }
 
 fn quantized_dot_impl(tier: KernelTier, w: &QuantizedMatrix, row: usize, q: &QuantizedQuery) -> f32 {
+    debug_assert_dispatchable(tier);
     assert!(row < w.rows(), "quantized_dot: row {row} out of bounds for {} rows", w.rows());
     assert_eq!(q.len(), w.cols(), "quantized_dot: query length {} does not match {} columns", q.len(), w.cols());
     counters::note(tier, 2 * w.cols() as u64);
@@ -661,8 +680,10 @@ fn quantized_dot_impl(tier: KernelTier, w: &QuantizedMatrix, row: usize, q: &Qua
         KernelTier::Portable => portable::quantized_dot_i32(p, q.payload()),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: every caller validated the tier — `dispatch()` only yields
-        // a SIMD tier after runtime detection, `checked()` asserts it — so
-        // the features each arm requires are present.
+        // a SIMD tier after runtime detection, `checked()` asserts it, and
+        // the `debug_assert_dispatchable` at the top of this function
+        // re-checks it in debug builds — so the features each arm requires
+        // are present.
         KernelTier::Avx2 => unsafe { avx2::quantized_dot_i32(p, q.payload()) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: as above — avx512f+avx512bw were detected or asserted.
@@ -693,6 +714,7 @@ pub fn quantized_matvec_into_with_tier(tier: KernelTier, w: &QuantizedMatrix, q:
 }
 
 fn quantized_matvec_into_impl(tier: KernelTier, w: &QuantizedMatrix, q: &QuantizedQuery, out: &mut [f32]) {
+    debug_assert_dispatchable(tier);
     let (n, d) = w.shape();
     assert_eq!(q.len(), d, "quantized_matvec: query length {} does not match {} columns", q.len(), d);
     assert_eq!(out.len(), n, "quantized_matvec_into: buffer holds {} scores for {} rows", out.len(), n);
@@ -701,8 +723,10 @@ fn quantized_matvec_into_impl(tier: KernelTier, w: &QuantizedMatrix, q: &Quantiz
         KernelTier::Portable => portable::quantized_matvec_into(w, q, out),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: every caller validated the tier — `dispatch()` only yields
-        // a SIMD tier after runtime detection, `checked()` asserts it — so
-        // the features each arm requires are present.
+        // a SIMD tier after runtime detection, `checked()` asserts it, and
+        // the `debug_assert_dispatchable` at the top of this function
+        // re-checks it in debug builds — so the features each arm requires
+        // are present.
         KernelTier::Avx2 => unsafe { avx2::quantized_matvec_into(w, q, out) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: as above — avx512f+avx512bw were detected or asserted.
@@ -743,6 +767,7 @@ fn quantized_matmul_transposed_into_impl(
     w: &QuantizedMatrix,
     out: &mut Matrix,
 ) {
+    debug_assert_dispatchable(tier);
     let (n, d) = w.shape();
     for (b, q) in queries.iter().enumerate() {
         assert_eq!(q.len(), d, "quantized_matmul_transposed: query {b} length {} for {} columns", q.len(), d);
@@ -761,8 +786,10 @@ fn quantized_matmul_transposed_into_impl(
         KernelTier::Portable => portable::quantized_matmul_transposed_into(queries, w, out),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: every caller validated the tier — `dispatch()` only yields
-        // a SIMD tier after runtime detection, `checked()` asserts it — so
-        // the features each arm requires are present.
+        // a SIMD tier after runtime detection, `checked()` asserts it, and
+        // the `debug_assert_dispatchable` at the top of this function
+        // re-checks it in debug builds — so the features each arm requires
+        // are present.
         KernelTier::Avx2 => unsafe { avx2::quantized_matmul_transposed_into(queries, w, out) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: as above — avx512f+avx512bw were detected or asserted.
@@ -779,6 +806,17 @@ fn quantized_matmul_transposed_into_impl(
 fn checked(tier: KernelTier) -> KernelTier {
     assert!(tier.supported(), "kernels: the {tier} tier is not supported on this CPU");
     tier
+}
+
+/// The debug-build backstop behind every `*_impl` SAFETY comment: re-verify
+/// at the dispatch boundary that the selected tier's CPU features were
+/// actually detected before any arm executes a `#[target_feature]` kernel.
+/// Release builds rely on the structural argument alone (`dispatch()` only
+/// yields detected tiers, `checked()` asserts explicit ones) and compile
+/// this away.
+#[inline]
+fn debug_assert_dispatchable(tier: KernelTier) {
+    debug_assert!(tier.supported(), "kernel dispatch reached the {tier} tier without CPU support");
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ use crate::Matrix;
 /// Eight explicit partial sums make the reassociation part of the program:
 /// the loop body is lane-wise independent and compiles to vector FMAs, with
 /// one horizontal reduction at the end.
+// ham-lint: hot-path
 pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
     let mut acc = [0.0f32; DOT_LANES];
     let mut a_chunks = a.chunks_exact(DOT_LANES);
@@ -43,6 +44,7 @@ pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
 
 /// `out[j] = w.row(j) · q` — one fused pass over `w` with the vectorizing
 /// multi-accumulator [`dot`] per row.
+// ham-lint: hot-path
 pub(super) fn matvec_transposed_into(w: &Matrix, q: &[f32], out: &mut [f32]) {
     let d = w.cols();
     let data = w.as_slice();
@@ -136,6 +138,7 @@ pub(super) fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 /// and, as a public kernel through the dispatcher, the rank-1 row update the
 /// batched BPR trainer accumulates its gradients with.
 #[inline]
+// ham-lint: hot-path
 pub(super) fn axpy(out: &mut [f32], alpha: f32, b: &[f32]) {
     for (o, &bv) in out.iter_mut().zip(b) {
         *o += alpha * bv;
@@ -145,6 +148,7 @@ pub(super) fn axpy(out: &mut [f32], alpha: f32, b: &[f32]) {
 /// Batched scatter of rank-1 row updates:
 /// `dst.row(dst_rows[p]) += scales[p] * src.row(src_rows[p])` for every `p`.
 /// The shapes were validated by the dispatcher.
+// ham-lint: hot-path
 pub(super) fn axpy_rows(dst: &mut Matrix, dst_rows: &[usize], scales: &[f32], src: &Matrix, src_rows: &[usize]) {
     let d = src.cols();
     let src_data = src.as_slice();
@@ -160,6 +164,7 @@ pub(super) fn axpy_rows(dst: &mut Matrix, dst_rows: &[usize], scales: &[f32], sr
 /// auto-vectorizes; integer addition is associative, so every accumulation
 /// shape yields the same value — quantized scores are bit-identical across
 /// tiers by construction, not by a rounding argument.
+// ham-lint: hot-path
 pub(super) fn quantized_dot_i32(p: &[u8], s: &[i8]) -> i32 {
     let mut acc = [0i32; 4];
     let mut p_chunks = p.chunks_exact(4);
@@ -179,6 +184,7 @@ pub(super) fn quantized_dot_i32(p: &[u8], s: &[i8]) -> i32 {
 /// Quantized GEMV: `out[j] ≈ w.row(j) · q` from the int8 panel — one
 /// integer dot plus the zero-point fixup per row, streaming 1 byte/element
 /// instead of 4.
+// ham-lint: hot-path
 pub(super) fn quantized_matvec_into(w: &QuantizedMatrix, q: &QuantizedQuery, out: &mut [f32]) {
     let d = w.cols();
     let payload = w.payload();

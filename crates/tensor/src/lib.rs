@@ -69,6 +69,7 @@
 //! assert_eq!(pooled.len(), 8);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod cluster;

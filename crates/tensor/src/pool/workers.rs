@@ -213,6 +213,9 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
+        // ordering: SeqCst pairs with the workers' loads — the flag must be
+        // globally visible before the notify below wakes them, or a worker
+        // could re-sleep past the only wakeup it will ever get.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         {
             let _guard = self.shared.sleep.lock().expect("pool sleep lock poisoned");
@@ -281,12 +284,16 @@ fn worker_loop(shared: &PoolShared, index: usize) {
             task();
             continue;
         }
+        // ordering: SeqCst pairs with the store in `Drop` — a totally
+        // ordered flag keeps the shutdown handshake obviously correct; this
+        // load is once per idle transition, never in the task loop.
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
         let guard = shared.sleep.lock().expect("pool sleep lock poisoned");
         // Re-check under the sleep lock: pushers notify under the same lock,
         // so a task enqueued after the check cannot be missed.
+        // ordering: SeqCst, same pairing as the pre-lock check above.
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
